@@ -1,0 +1,153 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Steiner assignment vs an unstructured one, the fused vs columnwise
+// MTTKRP kernel, message amortization in the multi-vector parallel run,
+// and the d-dimensional generalization.
+package sttsv
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/partition"
+)
+
+// BenchmarkAblationSteinerVsRoundRobin quantifies why the partition uses
+// Steiner systems: with identical work balance, the round-robin assignment
+// inflates every processor's row-block footprint — and therefore its
+// vector communication — well beyond the (q+1) minimum the Steiner blocks
+// achieve.
+func BenchmarkAblationSteinerVsRoundRobin(b *testing.B) {
+	for _, q := range []int{3, 4} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			var steiner, rr partition.FootprintStats
+			var part *Partition
+			for i := 0; i < b.N; i++ {
+				p, err := NewPartition(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				part = p
+				steiner = part.SteinerFootprints()
+				rr = partition.AssignmentFootprints(partition.RoundRobinAssignment(part.M, part.P))
+			}
+			blockEdge := q * (q + 1)
+			b.ReportMetric(float64(steiner.Max), "steiner-footprint")
+			b.ReportMetric(float64(rr.Max), "roundrobin-footprint")
+			b.ReportMetric(
+				float64(partition.VectorWordsForFootprint(rr.Max, blockEdge, part.M, part.P))/
+					float64(partition.VectorWordsForFootprint(steiner.Max, blockEdge, part.M, part.P)),
+				"comm-inflation")
+		})
+	}
+}
+
+// BenchmarkAblationMTTKRPFusion compares the fused one-pass MTTKRP kernel
+// against r independent STTSV passes: identical operation counts,
+// different tensor traffic.
+func BenchmarkAblationMTTKRPFusion(b *testing.B) {
+	n, r := 96, 8
+	a := RandomTensor(n, 20)
+	cols := make([][]float64, r)
+	for l := range cols {
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = float64((l+i)%13) - 6
+		}
+		cols[l] = c
+	}
+	x := FactorsFromColumns(cols)
+	b.Run("columnwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MTTKRPColumnwise(a, x, nil)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MTTKRP(a, x, nil)
+		}
+	})
+}
+
+// BenchmarkAblationMultiVectorAmortization shows the parallel MTTKRP's
+// latency amortization: r× the bandwidth of one STTSV at an unchanged
+// message count.
+func BenchmarkAblationMultiVectorAmortization(b *testing.B) {
+	part, err := NewPartition(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockEdge := 6
+	n := part.M * blockEdge
+	r := 4
+	x := make([]float64, n)
+	var words, msgs float64
+	for i := 0; i < b.N; i++ {
+		single, err := ParallelCompute(nil, x, ParallelOptions{Part: part, B: blockEdge, Wiring: WiringP2P})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, multi, err := ParallelMTTKRP(nil, nil, r, ParallelOptions{Part: part, B: blockEdge, Wiring: WiringP2P})
+		if err != nil {
+			b.Fatal(err)
+		}
+		words = float64(multi.Report.MaxSentWords()) / float64(single.Report.MaxSentWords())
+		msgs = float64(multi.Report.MaxSentMsgs()) / float64(single.Report.MaxSentMsgs())
+	}
+	b.ReportMetric(words, "words-ratio")
+	b.ReportMetric(msgs, "msgs-ratio")
+}
+
+// BenchmarkDTensorApply measures the d-dimensional symmetric STTSV
+// generalization across orders.
+func BenchmarkDTensorApply(b *testing.B) {
+	for _, c := range []struct{ n, d int }{{64, 3}, {24, 4}, {14, 5}} {
+		a := RandomDTensor(c.n, c.d, 30)
+		x := make([]float64, c.n)
+		for i := range x {
+			x[i] = 1
+		}
+		b.Run(fmt.Sprintf("n=%d/d=%d", c.n, c.d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				DCompute(a, x)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSequentialIO replays the kernels' address traces
+// through an LRU cache: the tetrahedral-blocked schedule approaches
+// compulsory traffic where the flat i-j-k loop thrashes.
+func BenchmarkAblationSequentialIO(b *testing.B) {
+	const n, blockEdge, cacheWords = 48, 8, 64
+	var unblocked, blocked int64
+	for i := 0; i < b.N; i++ {
+		cu := memsim.NewCache(cacheWords, 1)
+		unblocked = memsim.TracePacked(n, cu)
+		cb := memsim.NewCache(cacheWords, 1)
+		blocked = memsim.TraceBlocked(n, blockEdge, cb)
+	}
+	b.ReportMetric(float64(unblocked), "unblocked-words")
+	b.ReportMetric(float64(blocked), "blocked-words")
+	b.ReportMetric(float64(memsim.CompulsoryWords(n)), "compulsory-words")
+}
+
+// BenchmarkAblationSequenceApproach measures the §8 two-step alternative:
+// Ω(n) words moved regardless of P, and no symmetry reuse.
+func BenchmarkAblationSequenceApproach(b *testing.B) {
+	n, p := 60, 10
+	a := RandomTensor(n, 40)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	var res *ParallelResult
+	for i := 0; i < b.N; i++ {
+		r, err := SequenceBaselineCompute(a, x, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.Report.MaxSentWords()), "words/proc")
+}

@@ -1,0 +1,294 @@
+// Benchmark harness: one benchmark per table, figure and analytic claim of
+// the paper (the per-experiment index lives in DESIGN.md; measured-vs-paper
+// numbers in EXPERIMENTS.md). Custom metrics attach the quantities the
+// paper reports — words per processor, bound ratios, schedule steps — to
+// the benchmark output, so `go test -bench=. -benchmem` regenerates every
+// experiment row.
+package sttsv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTable1Partition regenerates Table 1: the processor sets
+// (R_p, N_p, D_p) of the tetrahedral block partition for m=10, P=30
+// (spherical Steiner system with q=3).
+func BenchmarkTable1Partition(b *testing.B) {
+	var part *Partition
+	for i := 0; i < b.N; i++ {
+		p, err := NewPartition(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		part = p
+	}
+	b.ReportMetric(float64(part.P), "processors")
+	b.ReportMetric(float64(len(part.Rp[0])), "|Rp|")
+	b.ReportMetric(float64(len(part.Np[0])), "|Np|")
+}
+
+// BenchmarkTable2RowBlockSets regenerates Table 2: the row-block sets Q_i,
+// each of size q(q+1)=12 for q=3.
+func BenchmarkTable2RowBlockSets(b *testing.B) {
+	part, err := NewPartition(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := 0
+	for i := 0; i < b.N; i++ {
+		size = 0
+		for _, qi := range part.Qi {
+			size += len(qi)
+		}
+	}
+	b.ReportMetric(float64(size/part.M), "|Qi|")
+}
+
+// BenchmarkTable3SQS8Partition regenerates Table 3 (Appendix A): the
+// partition from the Steiner (8,4,3) system with m=8, P=14.
+func BenchmarkTable3SQS8Partition(b *testing.B) {
+	var part *Partition
+	for i := 0; i < b.N; i++ {
+		p, err := NewPartitionFromSteiner(SQS8())
+		if err != nil {
+			b.Fatal(err)
+		}
+		part = p
+	}
+	b.ReportMetric(float64(part.P), "processors")
+	b.ReportMetric(float64(len(part.Np[0])), "|Np|")
+}
+
+// BenchmarkFigure1Schedule regenerates Figure 1: the 12-step point-to-point
+// communication schedule of the P=14 SQS(8) example.
+func BenchmarkFigure1Schedule(b *testing.B) {
+	part, err := NewPartitionFromSteiner(SQS8())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int
+	for i := 0; i < b.N; i++ {
+		sch, err := BuildSchedule(part)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = sch.NumSteps()
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+// BenchmarkAlg5CommOptimal is experiment E1: the measured per-processor
+// words of Algorithm 5 with the point-to-point wiring against the
+// Theorem 5.2 lower bound, for q ∈ {2, 3}.
+func BenchmarkAlg5CommOptimal(b *testing.B) {
+	for _, q := range []int{2, 3} {
+		part, err := NewPartition(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blockEdge := q * (q + 1)
+		n := part.M * blockEdge
+		x := make([]float64, n)
+		b.Run(fmt.Sprintf("q=%d/n=%d", q, n), func(b *testing.B) {
+			var res *ParallelResult
+			for i := 0; i < b.N; i++ {
+				r, err := ParallelCompute(nil, x, ParallelOptions{Part: part, B: blockEdge, Wiring: WiringP2P})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			measured := float64(res.Report.MaxSentWords())
+			b.ReportMetric(measured, "words/proc")
+			b.ReportMetric(measured/LowerBoundWords(n, part.P), "vs-lower-bound")
+			b.ReportMetric(measured/OptimalWords(n, q), "vs-model")
+		})
+	}
+}
+
+// BenchmarkAlg5AllToAll is experiment E4: the All-to-All wiring costs
+// 4n/(q+1)·(1−1/P) — twice the lower bound's leading term.
+func BenchmarkAlg5AllToAll(b *testing.B) {
+	for _, q := range []int{2, 3} {
+		part, err := NewPartition(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blockEdge := q * (q + 1)
+		n := part.M * blockEdge
+		x := make([]float64, n)
+		b.Run(fmt.Sprintf("q=%d/n=%d", q, n), func(b *testing.B) {
+			var res *ParallelResult
+			for i := 0; i < b.N; i++ {
+				r, err := ParallelCompute(nil, x, ParallelOptions{Part: part, B: blockEdge, Wiring: WiringAllToAll})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			measured := float64(res.Report.MaxSentWords())
+			b.ReportMetric(measured, "words/proc")
+			b.ReportMetric(measured/AllToAllWords(n, q), "vs-model")
+			b.ReportMetric(measured/OptimalWords(n, q), "vs-optimal")
+		})
+	}
+}
+
+// BenchmarkAlg5LoadBalance is experiment E2: per-processor ternary
+// multiplications against the n³/(2P) leading term of §7.1.
+func BenchmarkAlg5LoadBalance(b *testing.B) {
+	q := 3
+	part, err := NewPartition(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockEdge := q * (q + 1)
+	n := part.M * blockEdge
+	a := RandomTensor(n, 1)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	var res *ParallelResult
+	for i := 0; i < b.N; i++ {
+		r, err := ParallelCompute(a, x, ParallelOptions{Part: part, B: blockEdge, Wiring: WiringP2P})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	var mx, total int64
+	for _, tm := range res.Ternary {
+		total += tm
+		if tm > mx {
+			mx = tm
+		}
+	}
+	lead := float64(n) * float64(n) * float64(n) / (2 * float64(part.P))
+	b.ReportMetric(float64(mx), "max-ternary")
+	b.ReportMetric(float64(mx)/lead, "vs-n3-over-2P")
+	b.ReportMetric(float64(total), "total-ternary")
+}
+
+// BenchmarkScheduleSteps is experiment E3: measured schedule length versus
+// the q³/2 + 3q²/2 − 1 of §7.2.2.
+func BenchmarkScheduleSteps(b *testing.B) {
+	for _, q := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			part, err := NewPartition(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var steps int
+			for i := 0; i < b.N; i++ {
+				sch, err := BuildSchedule(part)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = sch.NumSteps()
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(ScheduleSteps(q)), "theory")
+			b.ReportMetric(float64(part.P-1), "alltoall-steps")
+		})
+	}
+}
+
+// BenchmarkNaiveVsSymmetric is experiment E5: Algorithm 4 performs half
+// the ternary multiplications of Algorithm 3 and runs about twice as fast.
+func BenchmarkNaiveVsSymmetric(b *testing.B) {
+	for _, n := range []int{48, 96, 192} {
+		a := RandomTensor(n, 2)
+		d := a.Dense()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ComputeNaive(d, x, nil)
+			}
+			b.ReportMetric(float64(n)*float64(n)*float64(n), "ternary")
+		})
+		b.Run(fmt.Sprintf("symmetric/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Compute(a, x, nil)
+			}
+			b.ReportMetric(float64(n)*float64(n)*float64(n+1)/2, "ternary")
+		})
+	}
+}
+
+// BenchmarkAlg5VsRowPartition is experiment E6: the 1D row baseline moves
+// Θ(n) words per processor, Algorithm 5 only Θ(n/P^{1/3}).
+func BenchmarkAlg5VsRowPartition(b *testing.B) {
+	q := 3
+	part, err := NewPartition(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockEdge := q * (q + 1)
+	n := part.M * blockEdge
+	a := RandomTensor(n, 3)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	b.Run("alg5", func(b *testing.B) {
+		var res *ParallelResult
+		for i := 0; i < b.N; i++ {
+			r, err := ParallelCompute(a, x, ParallelOptions{Part: part, B: blockEdge, Wiring: WiringP2P})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(res.Report.MaxSentWords()), "words/proc")
+	})
+	b.Run("row-baseline", func(b *testing.B) {
+		var res *ParallelResult
+		for i := 0; i < b.N; i++ {
+			r, err := RowBaselineCompute(a, x, part.P)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(res.Report.MaxSentWords()), "words/proc")
+	})
+}
+
+// BenchmarkHOPM is experiment E7: the higher-order power method converging
+// on a hypergraph adjacency tensor (the §1 eigenvector application).
+func BenchmarkHOPM(b *testing.B) {
+	a, err := RandomHypergraphTensor(60, 400, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pair *Eigenpair
+	for i := 0; i < b.N; i++ {
+		p, err := PowerMethod(a, EigenOptions{Seed: 5, MaxIter: 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pair = p
+	}
+	b.ReportMetric(float64(pair.Iterations), "iterations")
+	b.ReportMetric(pair.Residual, "residual")
+}
+
+// BenchmarkCPGradient is experiment E8: one Algorithm 2 gradient
+// evaluation (r STTSV calls plus the Gram/Hadamard updates).
+func BenchmarkCPGradient(b *testing.B) {
+	n, r := 60, 8
+	a := RandomTensor(n, 6)
+	x := NewFactors(n, r)
+	for i := range x.Data {
+		x.Data[i] = float64(i%11)/11 - 0.5
+	}
+	for i := 0; i < b.N; i++ {
+		CPGradient(a, x)
+	}
+	b.ReportMetric(float64(r), "sttsv-calls")
+}

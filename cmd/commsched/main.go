@@ -1,0 +1,71 @@
+// Command commsched builds and prints the point-to-point communication
+// schedule of §7.2 in the style of the paper's Figure 1: one line per
+// step, listing the simultaneous processor-to-processor transfers.
+//
+// Usage:
+//
+//	commsched -q 3      # 26-step schedule for the spherical system, P=30
+//	commsched -sqs8     # the 12-step Figure 1 schedule, P=14
+//	commsched -q 2 -v   # also list the row blocks each message carries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/steiner"
+)
+
+func main() {
+	q := flag.Int("q", 3, "prime power q for the spherical Steiner system")
+	sqs8 := flag.Bool("sqs8", false, "use the Steiner (8,4,3) system (Figure 1) instead of -q")
+	verbose := flag.Bool("v", false, "list the row blocks carried by each transfer")
+	flag.Parse()
+
+	var part *partition.Tetrahedral
+	var err error
+	if *sqs8 {
+		part, err = partition.New(steiner.SQS8())
+	} else {
+		part, err = partition.NewSpherical(*q)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commsched:", err)
+		os.Exit(1)
+	}
+	sched, err := schedule.Build(part)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commsched:", err)
+		os.Exit(1)
+	}
+	if err := sched.Validate(part); err != nil {
+		fmt.Fprintln(os.Stderr, "commsched: invalid schedule:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Point-to-point schedule: P=%d processors, %d steps (all-to-all would use %d)\n",
+		part.P, sched.NumSteps(), part.P-1)
+	if !*sqs8 {
+		fmt.Printf("Theory (q³/2+3q²/2−1 for q=%d): %d steps\n", *q, schedule.TheoreticalSteps(*q))
+	}
+	fmt.Println()
+	for si, step := range sched.Steps {
+		var parts []string
+		for _, tr := range step {
+			if *verbose {
+				rows := make([]string, len(tr.Rows))
+				for i, r := range tr.Rows {
+					rows[i] = fmt.Sprint(r + 1)
+				}
+				parts = append(parts, fmt.Sprintf("%d->%d[%s]", tr.From+1, tr.To+1, strings.Join(rows, ",")))
+			} else {
+				parts = append(parts, fmt.Sprintf("%d->%d", tr.From+1, tr.To+1))
+			}
+		}
+		fmt.Printf("step %2d: %s\n", si+1, strings.Join(parts, "  "))
+	}
+}

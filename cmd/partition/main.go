@@ -1,0 +1,78 @@
+// Command partition prints tetrahedral block partitions in the format of
+// the paper's Table 1 (processor sets R_p, N_p, D_p), Table 2 (row-block
+// sets Q_i) and Table 3 (the SQS(8) example).
+//
+// Usage:
+//
+//	partition -q 3            # Tables 1 and 2 for the spherical system
+//	partition -sqs8           # Table 3 (m=8, P=14)
+//	partition -q 3 -qi=false  # suppress the Q_i table
+//
+// Indices are printed 1-based to match the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/steiner"
+)
+
+func main() {
+	q := flag.Int("q", 3, "prime power q for the spherical Steiner (q²+1, q+1, 3) system")
+	sqs8 := flag.Bool("sqs8", false, "use the Steiner (8,4,3) system (Table 3) instead of -q")
+	showQi := flag.Bool("qi", true, "also print the row-block sets Q_i (Table 2)")
+	flag.Parse()
+
+	var part *partition.Tetrahedral
+	var err error
+	if *sqs8 {
+		part, err = partition.New(steiner.SQS8())
+	} else {
+		part, err = partition.NewSpherical(*q)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+	if err := part.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "partition: invalid:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Tetrahedral block partition: m=%d row blocks, P=%d processors, |Rp|=%d\n\n",
+		part.M, part.P, part.R)
+	fmt.Printf("%-4s %-22s %-40s %s\n", "p", "Rp", "Np", "Dp")
+	for p := 0; p < part.P; p++ {
+		fmt.Printf("%-4d %-22s %-40s %s\n",
+			p+1, intSet(part.Rp[p]), coordSet(part.Np[p]), coordSet(part.Dp[p]))
+	}
+
+	if *showQi {
+		fmt.Printf("\n%-4s %s\n", "i", "Qi")
+		for i := 0; i < part.M; i++ {
+			fmt.Printf("%-4d %s\n", i+1, intSet(part.Qi[i]))
+		}
+	}
+}
+
+// intSet formats a 0-based index list as a 1-based set.
+func intSet(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x + 1)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// coordSet formats block coordinates as 1-based triples.
+func coordSet(cs []partition.Coord) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("(%d,%d,%d)", c.I+1, c.J+1, c.K+1)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

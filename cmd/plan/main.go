@@ -1,0 +1,54 @@
+// Command plan enumerates the admissible machine configurations for the
+// tetrahedral-partition STTSV up to a processor budget and costs them for
+// a given problem dimension, recommending the cheapest:
+//
+//	plan -n 1000 -maxp 400
+//
+// The predicted words/processor match the metered simulator runs exactly
+// when the vector chunks divide evenly (cross-validated in
+// internal/plan's tests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/plan"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "problem dimension")
+	maxP := flag.Int("maxp", 400, "processor budget")
+	flag.Parse()
+
+	cfgs, err := plan.Enumerate(*n, *maxP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plan:", err)
+		os.Exit(1)
+	}
+	if len(cfgs) == 0 {
+		fmt.Fprintf(os.Stderr, "plan: no admissible configuration with P <= %d\n", *maxP)
+		os.Exit(1)
+	}
+	best, err := plan.Best(*n, *maxP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plan:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine configurations for n=%d, P <= %d\n\n", *n, *maxP)
+	fmt.Printf("%-12s %-5s %4s %5s %7s %8s %12s %12s %7s %14s\n",
+		"family", "q/k", "m", "P", "b", "padded", "words/proc", "lower bound", "steps", "tensor wds/p")
+	for _, c := range cfgs {
+		marker := " "
+		if c == best {
+			marker = "*"
+		}
+		fmt.Printf("%-12s %-5d %4d %5d %7d %8d %12.1f %12.1f %7d %14.0f %s\n",
+			c.Family, c.Q, c.M, c.P, c.BlockEdge, c.PaddedN,
+			c.Words, c.LowerBound, c.Steps, c.TensorWordsPerProc, marker)
+	}
+	fmt.Printf("\n* recommended: %v machine with P=%d (predicted %.1f words/processor, bound %.1f)\n",
+		best.Family, best.P, best.Words, best.LowerBound)
+}

@@ -1,0 +1,62 @@
+// Command steiner constructs and verifies the Steiner (n, r, 3) systems
+// used to generate tetrahedral block partitions: the spherical geometries
+// (q²+1, q+1, 3) for prime powers q, and the Boolean quadruple system
+// SQS(8).
+//
+// Usage:
+//
+//	steiner -q 3        # the (10, 4, 3) system of the paper's Table 1
+//	steiner -sqs8       # the (8, 4, 3) system of Appendix A
+//	steiner -q 4 -stats # incidence statistics only, no block list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/steiner"
+)
+
+func main() {
+	q := flag.Int("q", 3, "prime power q for the spherical Steiner system")
+	sqs8 := flag.Bool("sqs8", false, "build the Steiner (8,4,3) system instead of -q")
+	double := flag.Int("double", -1, "build SQS(8·2^k) by k rounds of the doubling construction")
+	statsOnly := flag.Bool("stats", false, "print statistics only, not the block list")
+	flag.Parse()
+
+	var sys *steiner.System
+	var err error
+	switch {
+	case *double >= 0:
+		sys, err = steiner.SQSDoubled(*double)
+	case *sqs8:
+		sys = steiner.SQS8()
+	default:
+		sys, err = steiner.Spherical(*q)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "steiner:", err)
+		os.Exit(1)
+	}
+	if err := sys.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "steiner: verification failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(sys)
+	fmt.Printf("every point lies in %d blocks; every pair lies in %d blocks; every triple in exactly 1\n",
+		sys.ElementCount(), sys.PairCount())
+	if *statsOnly {
+		return
+	}
+	fmt.Println()
+	for i, blk := range sys.Blocks {
+		parts := make([]string, len(blk))
+		for j, p := range blk {
+			parts[j] = fmt.Sprint(p)
+		}
+		fmt.Printf("%3d: {%s}\n", i+1, strings.Join(parts, ","))
+	}
+}

@@ -1,0 +1,88 @@
+package sttsv_test
+
+import (
+	"fmt"
+	"math"
+
+	sttsv "repro"
+)
+
+// ExampleCompute evaluates y = A ×₂x ×₃x with the symmetry-exploiting
+// kernel and checks it against the naive algorithm.
+func ExampleCompute() {
+	a := sttsv.RandomTensor(16, 1)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	var stats sttsv.Stats
+	y := sttsv.Compute(a, x, &stats)
+	yn := sttsv.ComputeNaive(a.Dense(), x, nil)
+	maxDiff := 0.0
+	for i := range y {
+		if d := math.Abs(y[i] - yn[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Println("ternary multiplications:", stats.TernaryMults)
+	fmt.Println("agrees with naive:", maxDiff < 1e-10)
+	// Output:
+	// ternary multiplications: 2176
+	// agrees with naive: true
+}
+
+// ExampleParallelCompute runs the communication-optimal Algorithm 5 on the
+// simulated 10-processor machine and compares the metered words against
+// the paper's model.
+func ExampleParallelCompute() {
+	part, _ := sttsv.NewPartition(2) // q=2: P = 10 processors
+	b := 6                           // block edge divisible by q(q+1)
+	n := part.M * b
+	x := make([]float64, n)
+	res, _ := sttsv.ParallelCompute(nil, x, sttsv.ParallelOptions{
+		Part: part, B: b, Wiring: sttsv.WiringP2P,
+	})
+	fmt.Println("words per processor:", res.Report.MaxSentWords())
+	fmt.Println("model 2(n(q+1)/(q²+1) − n/P):", sttsv.OptimalWords(n, 2))
+	fmt.Println("steps per phase:", res.Steps)
+	// Output:
+	// words per processor: 30
+	// model 2(n(q+1)/(q²+1) − n/P): 30
+	// steps per phase: 9
+}
+
+// ExamplePowerMethod finds the dominant Z-eigenpair of a rank-one tensor.
+func ExamplePowerMethod() {
+	v := make([]float64, 25)
+	for i := range v {
+		v[i] = 0.2 // unit vector
+	}
+	a := sttsv.RankOneTensor(3, v)
+	pair, _ := sttsv.PowerMethod(a, sttsv.EigenOptions{Seed: 1})
+	fmt.Printf("lambda = %.4f, converged = %v\n", pair.Lambda, pair.Converged)
+	// Output:
+	// lambda = 3.0000, converged = true
+}
+
+// ExampleBestMachine asks the planner which machine to use for a
+// 500-dimensional problem with at most 100 processors.
+func ExampleBestMachine() {
+	cfg, _ := sttsv.BestMachine(500, 100)
+	fmt.Printf("family=%v P=%d m=%d steps=%d\n", cfg.Family, cfg.P, cfg.M, cfg.Steps)
+	// Output:
+	// family=spherical P=68 m=17 steps=55
+}
+
+// ExampleBuildSchedule reproduces the paper's Figure 1: the 12-step
+// point-to-point schedule of the SQS(8) machine.
+func ExampleBuildSchedule() {
+	part, _ := sttsv.NewPartitionFromSteiner(sttsv.SQS8())
+	sched, _ := sttsv.BuildSchedule(part)
+	fmt.Println("processors:", part.P)
+	fmt.Println("steps:", sched.NumSteps())
+	fmt.Println("all-to-all would need:", part.P-1)
+	// Output:
+	// processors: 14
+	// steps: 12
+	// all-to-all would need: 13
+}

@@ -1,0 +1,99 @@
+// Hypergraph centrality: the adjacency tensor of a 3-uniform hypergraph is
+// symmetric, and its dominant Z-eigenvector ranks vertices by how strongly
+// they participate in well-connected triples (the "tensor times same
+// vector" application of Shivakumar et al. cited in the paper's §1). The
+// STTSV kernel is the bottleneck of every power-method iteration.
+//
+// The example builds a planted-community hypergraph — two groups of
+// vertices where triples inside the first group are much more likely —
+// and shows that the centrality scores separate the groups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	sttsv "repro"
+)
+
+func main() {
+	const (
+		n         = 60
+		community = 20 // vertices 0..19 form the dense community
+	)
+
+	// Sample hyperedges: triples within the community with high
+	// probability, background triples uniformly.
+	rng := rand.New(rand.NewSource(7))
+	seen := map[[3]int]bool{}
+	var edges [][3]int
+	addEdge := func(a, b, c int) {
+		if a == b || b == c || a == c {
+			return
+		}
+		t := [3]int{a, b, c}
+		sort.Ints(t[:])
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		edges = append(edges, t)
+	}
+	for i := 0; i < 400; i++ { // dense community triples
+		addEdge(rng.Intn(community), rng.Intn(community), rng.Intn(community))
+	}
+	for i := 0; i < 300; i++ { // sparse background
+		addEdge(rng.Intn(n), rng.Intn(n), rng.Intn(n))
+	}
+	fmt.Printf("hypergraph: %d vertices, %d hyperedges\n", n, len(edges))
+
+	a, err := sttsv.HypergraphTensor(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dominant Z-eigenvector = centrality scores. The adjacency tensor is
+	// nonnegative, so the plain power method converges to the Perron
+	// vector.
+	pair, err := sttsv.PowerMethod(a, sttsv.EigenOptions{Seed: 1, MaxIter: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("centrality eigenvalue: %.6f (%d iterations, residual %.2g)\n",
+		pair.Lambda, pair.Iterations, pair.Residual)
+
+	// Rank vertices by |score| and report how many of the top-`community`
+	// fall inside the planted community.
+	type vc struct {
+		v     int
+		score float64
+	}
+	ranked := make([]vc, n)
+	for v := range ranked {
+		s := pair.X[v]
+		if s < 0 {
+			s = -s
+		}
+		ranked[v] = vc{v, s}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+
+	inCommunity := 0
+	for _, r := range ranked[:community] {
+		if r.v < community {
+			inCommunity++
+		}
+	}
+	fmt.Printf("top %d by centrality: %d/%d inside the planted community\n",
+		community, inCommunity, community)
+	fmt.Println("\ntop 10 vertices:")
+	for _, r := range ranked[:10] {
+		tag := ""
+		if r.v < community {
+			tag = "  <- community"
+		}
+		fmt.Printf("  vertex %2d  score %.4f%s\n", r.v, r.score, tag)
+	}
+}

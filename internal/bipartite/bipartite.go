@@ -1,0 +1,327 @@
+// Package bipartite provides bipartite-graph machinery used by the
+// tetrahedral partition and the communication scheduler:
+//
+//   - Hopcroft–Karp maximum matching (cited in §6.1.3 and §7.2.1 of the
+//     paper as the workhorse for finding the required assignments);
+//   - Hall-condition certificates (Theorem 6.6, Hall's marriage theorem),
+//     extracted from a failed matching;
+//   - decomposition of a d-regular bipartite (multi)graph into d disjoint
+//     perfect matchings (Lemma 7.1), which yields the communication steps
+//     of Theorem 7.2;
+//   - a greedy maximal-matching decomposition fallback for irregular
+//     graphs.
+//
+// Vertices are 0-based: the left side X has NX vertices and the right side
+// Y has NY vertices. Parallel edges are supported (the peer graph of the
+// communication schedule is a multigraph).
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a bipartite multigraph.
+type Graph struct {
+	NX, NY int
+	adj    [][]int // adj[x] lists y-neighbors, possibly with repetition
+}
+
+// NewGraph returns an empty bipartite graph with the given side sizes.
+func NewGraph(nx, ny int) *Graph {
+	if nx < 0 || ny < 0 {
+		panic(fmt.Sprintf("bipartite: NewGraph(%d, %d) with negative size", nx, ny))
+	}
+	return &Graph{NX: nx, NY: ny, adj: make([][]int, nx)}
+}
+
+// AddEdge adds an edge between x in X and y in Y. Parallel edges accumulate.
+func (g *Graph) AddEdge(x, y int) {
+	if x < 0 || x >= g.NX || y < 0 || y >= g.NY {
+		panic(fmt.Sprintf("bipartite: AddEdge(%d, %d) out of range (%d, %d)", x, y, g.NX, g.NY))
+	}
+	g.adj[x] = append(g.adj[x], y)
+}
+
+// Neighbors returns the y-neighbors of x (with multiplicities). The result
+// aliases internal state.
+func (g *Graph) Neighbors(x int) []int { return g.adj[x] }
+
+// NumEdges returns the total edge count including parallel edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n
+}
+
+// DegreeX returns the degree of x (counting parallel edges).
+func (g *Graph) DegreeX(x int) int { return len(g.adj[x]) }
+
+// DegreeY returns the degree of y (counting parallel edges).
+func (g *Graph) DegreeY(y int) int {
+	n := 0
+	for _, a := range g.adj {
+		for _, v := range a {
+			if v == y {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.NX, g.NY)
+	for x, a := range g.adj {
+		c.adj[x] = append([]int(nil), a...)
+	}
+	return c
+}
+
+const unmatched = -1
+
+// Matching holds a matching as two mutually inverse maps. XtoY[x] == -1
+// when x is unmatched, and likewise for YtoX.
+type Matching struct {
+	XtoY []int
+	YtoX []int
+}
+
+// Size returns the number of matched pairs.
+func (m *Matching) Size() int {
+	n := 0
+	for _, y := range m.XtoY {
+		if y != unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+// CoversX reports whether every X vertex is matched.
+func (m *Matching) CoversX() bool {
+	for _, y := range m.XtoY {
+		if y == unmatched {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximumMatching computes a maximum matching with the Hopcroft–Karp
+// algorithm in O(E·√V).
+func MaximumMatching(g *Graph) *Matching {
+	matchX := make([]int, g.NX)
+	matchY := make([]int, g.NY)
+	for i := range matchX {
+		matchX[i] = unmatched
+	}
+	for i := range matchY {
+		matchY[i] = unmatched
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NX)
+	queue := make([]int, 0, g.NX)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for x := 0; x < g.NX; x++ {
+			if matchX[x] == unmatched {
+				dist[x] = 0
+				queue = append(queue, x)
+			} else {
+				dist[x] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			x := queue[qi]
+			for _, y := range g.adj[x] {
+				nx := matchY[y]
+				if nx == unmatched {
+					found = true
+				} else if dist[nx] == inf {
+					dist[nx] = dist[x] + 1
+					queue = append(queue, nx)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(x int) bool
+	dfs = func(x int) bool {
+		for _, y := range g.adj[x] {
+			nx := matchY[y]
+			if nx == unmatched || (dist[nx] == dist[x]+1 && dfs(nx)) {
+				matchX[x] = y
+				matchY[y] = x
+				return true
+			}
+		}
+		dist[x] = inf
+		return false
+	}
+
+	for bfs() {
+		for x := 0; x < g.NX; x++ {
+			if matchX[x] == unmatched {
+				dfs(x)
+			}
+		}
+	}
+	return &Matching{XtoY: matchX, YtoX: matchY}
+}
+
+// HallViolator returns a subset W of X with |N(W)| < |W| when the graph has
+// no X-saturating matching, or nil when every X vertex can be matched
+// (Hall's condition holds). The certificate is the set of X vertices
+// reachable from an unmatched X vertex by alternating paths.
+func HallViolator(g *Graph) []int {
+	m := MaximumMatching(g)
+	if m.CoversX() {
+		return nil
+	}
+	// Alternating BFS from all unmatched X vertices: X→Y via non-matching
+	// edges, Y→X via matching edges.
+	inW := make([]bool, g.NX)
+	seenY := make([]bool, g.NY)
+	var queue []int
+	for x := 0; x < g.NX; x++ {
+		if m.XtoY[x] == unmatched {
+			inW[x] = true
+			queue = append(queue, x)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		for _, y := range g.adj[x] {
+			if seenY[y] {
+				continue
+			}
+			seenY[y] = true
+			if nx := m.YtoX[y]; nx != unmatched && !inW[nx] {
+				inW[nx] = true
+				queue = append(queue, nx)
+			}
+		}
+	}
+	var w []int
+	for x, ok := range inW {
+		if ok {
+			w = append(w, x)
+		}
+	}
+	sort.Ints(w)
+	return w
+}
+
+// DisjointPerfectMatchings decomposes a d-regular bipartite multigraph with
+// NX == NY into exactly d edge-disjoint perfect matchings (Lemma 7.1 / the
+// König edge-coloring theorem). It returns an error when the graph is not
+// regular with the same side sizes.
+func DisjointPerfectMatchings(g *Graph) ([]*Matching, error) {
+	if g.NX != g.NY {
+		return nil, fmt.Errorf("bipartite: sides differ: %d vs %d", g.NX, g.NY)
+	}
+	if g.NX == 0 {
+		return nil, nil
+	}
+	d := g.DegreeX(0)
+	for x := 0; x < g.NX; x++ {
+		if g.DegreeX(x) != d {
+			return nil, fmt.Errorf("bipartite: X vertex %d has degree %d, want %d", x, g.DegreeX(x), d)
+		}
+	}
+	for y := 0; y < g.NY; y++ {
+		if got := g.DegreeY(y); got != d {
+			return nil, fmt.Errorf("bipartite: Y vertex %d has degree %d, want %d", y, got, d)
+		}
+	}
+	work := g.Clone()
+	matchings := make([]*Matching, 0, d)
+	for r := 0; r < d; r++ {
+		m := MaximumMatching(work)
+		if !m.CoversX() {
+			return nil, fmt.Errorf("bipartite: round %d: no perfect matching in remaining %d-regular graph", r, d-r)
+		}
+		matchings = append(matchings, m)
+		removeMatching(work, m)
+	}
+	if work.NumEdges() != 0 {
+		return nil, fmt.Errorf("bipartite: %d edges left after %d matchings", work.NumEdges(), d)
+	}
+	return matchings, nil
+}
+
+// MaximalMatchingDecomposition repeatedly extracts maximum matchings until
+// no edges remain, returning the sequence. For a bipartite graph with
+// maximum degree Δ this uses exactly Δ rounds (each maximum matching of a
+// bipartite graph can be chosen to cover all maximum-degree vertices; with
+// plain maximum matchings the bound Δ still holds empirically for our
+// near-regular peer graphs, and correctness — every edge scheduled exactly
+// once — holds for any graph). It is the scheduler's fallback for irregular
+// communication patterns.
+func MaximalMatchingDecomposition(g *Graph) []*Matching {
+	work := g.Clone()
+	var out []*Matching
+	for work.NumEdges() > 0 {
+		m := MaximumMatching(work)
+		if m.Size() == 0 {
+			panic("bipartite: nonempty graph with empty maximum matching")
+		}
+		out = append(out, m)
+		removeMatching(work, m)
+	}
+	return out
+}
+
+// removeMatching deletes one copy of each matched edge from the graph.
+func removeMatching(g *Graph, m *Matching) {
+	for x, y := range m.XtoY {
+		if y == unmatched {
+			continue
+		}
+		a := g.adj[x]
+		for i, v := range a {
+			if v == y {
+				a[i] = a[len(a)-1]
+				g.adj[x] = a[:len(a)-1]
+				break
+			}
+		}
+	}
+}
+
+// ValidateDecomposition checks that the matchings partition the edge
+// multiset of g exactly. Used by tests and by the schedule validator.
+func ValidateDecomposition(g *Graph, ms []*Matching) error {
+	remaining := make(map[[2]int]int)
+	for x, a := range g.adj {
+		for _, y := range a {
+			remaining[[2]int{x, y}]++
+		}
+	}
+	for mi, m := range ms {
+		for x, y := range m.XtoY {
+			if y == unmatched {
+				continue
+			}
+			k := [2]int{x, y}
+			if remaining[k] == 0 {
+				return fmt.Errorf("bipartite: matching %d uses edge (%d,%d) not available", mi, x, y)
+			}
+			remaining[k]--
+		}
+	}
+	for k, c := range remaining {
+		if c != 0 {
+			return fmt.Errorf("bipartite: edge (%d,%d) left unscheduled ×%d", k[0], k[1], c)
+		}
+	}
+	return nil
+}

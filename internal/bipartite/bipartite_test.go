@@ -1,0 +1,281 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaximumMatchingSmall(t *testing.T) {
+	// Classic 3x3 with a perfect matching.
+	g := NewGraph(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 2)
+	m := MaximumMatching(g)
+	if m.Size() != 3 {
+		t.Fatalf("matching size = %d, want 3", m.Size())
+	}
+	if !m.CoversX() {
+		t.Fatal("matching does not cover X")
+	}
+	checkMatchingValid(t, g, m)
+}
+
+func TestMaximumMatchingNoPerfect(t *testing.T) {
+	// Two X vertices share a single Y neighbor.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	m := MaximumMatching(g)
+	if m.Size() != 1 {
+		t.Fatalf("matching size = %d, want 1", m.Size())
+	}
+	if m.CoversX() {
+		t.Fatal("CoversX should be false")
+	}
+}
+
+func TestMaximumMatchingEmpty(t *testing.T) {
+	g := NewGraph(0, 0)
+	m := MaximumMatching(g)
+	if m.Size() != 0 {
+		t.Fatal("empty graph should have empty matching")
+	}
+	g2 := NewGraph(3, 3)
+	if MaximumMatching(g2).Size() != 0 {
+		t.Fatal("edgeless graph should have empty matching")
+	}
+}
+
+func checkMatchingValid(t *testing.T, g *Graph, m *Matching) {
+	t.Helper()
+	// Mutually inverse and edges exist.
+	for x, y := range m.XtoY {
+		if y == -1 {
+			continue
+		}
+		if m.YtoX[y] != x {
+			t.Fatalf("XtoY[%d]=%d but YtoX[%d]=%d", x, y, y, m.YtoX[y])
+		}
+		found := false
+		for _, v := range g.Neighbors(x) {
+			if v == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) is not an edge", x, y)
+		}
+	}
+}
+
+// bruteMaxMatching computes maximum matching size by exhaustive search
+// (for cross-checking on tiny graphs).
+func bruteMaxMatching(g *Graph, x int, usedY []bool) int {
+	if x == g.NX {
+		return 0
+	}
+	best := bruteMaxMatching(g, x+1, usedY) // leave x unmatched
+	for _, y := range g.Neighbors(x) {
+		if !usedY[y] {
+			usedY[y] = true
+			if v := 1 + bruteMaxMatching(g, x+1, usedY); v > best {
+				best = v
+			}
+			usedY[y] = false
+		}
+	}
+	return best
+}
+
+func TestMaximumMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nx := rng.Intn(6) + 1
+		ny := rng.Intn(6) + 1
+		g := NewGraph(nx, ny)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(x, y)
+				}
+			}
+		}
+		m := MaximumMatching(g)
+		checkMatchingValid(t, g, m)
+		want := bruteMaxMatching(g, 0, make([]bool, ny))
+		if m.Size() != want {
+			t.Fatalf("trial %d: HK found %d, brute force %d", trial, m.Size(), want)
+		}
+	}
+}
+
+func TestHallViolator(t *testing.T) {
+	// W = {0, 1, 2} all map only to {0, 1}: violator must contain a
+	// subset with |N(W)| < |W|.
+	g := NewGraph(4, 4)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 1)
+	g.AddEdge(3, 2)
+	w := HallViolator(g)
+	if w == nil {
+		t.Fatal("expected a Hall violator")
+	}
+	// Compute N(W) and check |N(W)| < |W|.
+	ny := make(map[int]bool)
+	for _, x := range w {
+		for _, y := range g.Neighbors(x) {
+			ny[y] = true
+		}
+	}
+	if len(ny) >= len(w) {
+		t.Fatalf("violator W=%v has |N(W)|=%d >= |W|=%d", w, len(ny), len(w))
+	}
+}
+
+func TestHallViolatorNilWhenSaturating(t *testing.T) {
+	g := NewGraph(3, 5)
+	for x := 0; x < 3; x++ {
+		g.AddEdge(x, x)
+		g.AddEdge(x, x+2)
+	}
+	if w := HallViolator(g); w != nil {
+		t.Fatalf("unexpected violator %v", w)
+	}
+}
+
+// regularRandomBipartite builds a d-regular bipartite multigraph on n+n
+// vertices as a union of d random permutations.
+func regularRandomBipartite(n, d int, rng *rand.Rand) *Graph {
+	g := NewGraph(n, n)
+	for r := 0; r < d; r++ {
+		perm := rng.Perm(n)
+		for x := 0; x < n; x++ {
+			g.AddEdge(x, perm[x])
+		}
+	}
+	return g
+}
+
+func TestDisjointPerfectMatchings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(10) + 2
+		d := rng.Intn(5) + 1
+		g := regularRandomBipartite(n, d, rng)
+		ms, err := DisjointPerfectMatchings(g)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d d=%d): %v", trial, n, d, err)
+		}
+		if len(ms) != d {
+			t.Fatalf("trial %d: got %d matchings, want %d", trial, len(ms), d)
+		}
+		for mi, m := range ms {
+			if !m.CoversX() {
+				t.Fatalf("trial %d: matching %d not perfect", trial, mi)
+			}
+		}
+		if err := ValidateDecomposition(g, ms); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDisjointPerfectMatchingsRejectsIrregular(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := DisjointPerfectMatchings(g); err == nil {
+		t.Fatal("irregular graph accepted")
+	}
+	g2 := NewGraph(2, 3)
+	if _, err := DisjointPerfectMatchings(g2); err == nil {
+		t.Fatal("mismatched sides accepted")
+	}
+}
+
+func TestDisjointPerfectMatchingsEmpty(t *testing.T) {
+	ms, err := DisjointPerfectMatchings(NewGraph(0, 0))
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("got (%v, %v)", ms, err)
+	}
+}
+
+func TestMaximalMatchingDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nx := rng.Intn(8) + 1
+		ny := rng.Intn(8) + 1
+		g := NewGraph(nx, ny)
+		maxDeg := 0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for rng.Intn(4) == 0 { // occasionally parallel edges
+					g.AddEdge(x, y)
+					break
+				}
+			}
+		}
+		for x := 0; x < nx; x++ {
+			if d := g.DegreeX(x); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		for y := 0; y < ny; y++ {
+			if d := g.DegreeY(y); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		ms := MaximalMatchingDecomposition(g)
+		if err := ValidateDecomposition(g, ms); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// König: bipartite edge chromatic number == Δ. Our repeated
+		// maximum matchings may exceed Δ in contrived cases but must be
+		// within 2Δ; treat > 2Δ as a bug.
+		if maxDeg > 0 && len(ms) > 2*maxDeg {
+			t.Fatalf("trial %d: %d rounds for max degree %d", trial, len(ms), maxDeg)
+		}
+	}
+}
+
+func TestDegreeAndClone(t *testing.T) {
+	g := NewGraph(2, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // parallel
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 3 || g.DegreeX(0) != 2 || g.DegreeY(1) != 2 || g.DegreeY(0) != 0 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+	c := g.Clone()
+	c.AddEdge(1, 0)
+	if g.NumEdges() != 3 || c.NumEdges() != 4 {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewGraph(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	g.AddEdge(1, 0)
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := regularRandomBipartite(200, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximumMatching(g)
+	}
+}

@@ -1,0 +1,114 @@
+// Package costmodel collects the closed-form communication and computation
+// costs proved in the paper, so that experiments can compare measured
+// counters against theory:
+//
+//   - Theorem 5.2's memory-independent communication lower bound;
+//   - Algorithm 5's bandwidth cost with the direct point-to-point schedule
+//     (§7.2.2), which matches the bound's leading term exactly;
+//   - Algorithm 5's bandwidth cost when wired with fixed-width All-to-All
+//     collectives (2× the leading term);
+//   - the 1D row-partition baseline's Θ(n) cost;
+//   - ternary-multiplication counts (§3, §7.1).
+package costmodel
+
+import (
+	"math"
+
+	"repro/internal/intmath"
+)
+
+// LowerBoundWords returns the Theorem 5.2 communication lower bound: with
+// P processors, one copy of the inputs and outputs, and a load-balanced
+// atomic algorithm, some processor communicates at least
+// 2·(n(n−1)(n−2)/P)^{1/3} − 2n/P words.
+func LowerBoundWords(n, p int) float64 {
+	nn := float64(n)
+	return 2*math.Cbrt(nn*(nn-1)*(nn-2)/float64(p)) - 2*nn/float64(p)
+}
+
+// LowerBoundLeading returns the bound's leading term 2n/P^{1/3}.
+func LowerBoundLeading(n, p int) float64 {
+	return 2 * float64(n) / math.Cbrt(float64(p))
+}
+
+// Processors returns P = q(q²+1), the machine size of the spherical-family
+// partition for prime power q.
+func Processors(q int) int { return q * (q*q + 1) }
+
+// QForProcessors returns the prime power q with q(q²+1) == p, or ok=false
+// when p is not of that form.
+func QForProcessors(p int) (q int, ok bool) {
+	for q = 1; Processors(q) <= p; q++ {
+		if Processors(q) == p {
+			_, _, isPP := intmath.PrimePower(q)
+			return q, isPP
+		}
+	}
+	return 0, false
+}
+
+// OptimalWords returns Algorithm 5's exact per-processor bandwidth cost
+// with the point-to-point schedule (§7.2.2): 2·(n(q+1)/(q²+1) − n/P) words
+// sent (and the same received), assuming q²+1 | n and q(q+1) | b.
+func OptimalWords(n, q int) float64 {
+	p := float64(Processors(q))
+	return 2 * (float64(n)*float64(q+1)/float64(q*q+1) - float64(n)/p)
+}
+
+// AllToAllWords returns Algorithm 5's per-processor bandwidth cost when
+// the two exchanges are performed with fixed-width All-to-All collectives
+// (§7.2.2): 4n/(q+1)·(1 − 1/P) — asymptotically twice the lower bound's
+// leading term.
+func AllToAllWords(n, q int) float64 {
+	p := float64(Processors(q))
+	return 4 * float64(n) / float64(q+1) * (1 - 1/p)
+}
+
+// RowPartitionWords returns the per-processor bandwidth cost of the 1D
+// row-partition baseline (symmetric storage, all-gather of x plus
+// reduce-scatter of y): 2n(1 − 1/P) words — Θ(n) independent of P, versus
+// Θ(n/P^{1/3}) for Algorithm 5.
+func RowPartitionWords(n, p int) float64 {
+	return 2 * float64(n) * (1 - 1/float64(p))
+}
+
+// SequenceApproachWordsLow returns the Ω(n) bandwidth lower bound (§8,
+// citing Al Daas et al. 2022) for the two-step TTV-then-multiply approach
+// when P <= n: communication at least on the order of n words because the
+// intermediate matrix has n² entries.
+func SequenceApproachWordsLow(n int) float64 { return float64(n) }
+
+// TernaryTotal returns the total ternary multiplications of the
+// symmetry-exploiting computation: n²(n+1)/2 (§3).
+func TernaryTotal(n int) int64 {
+	return int64(n) * int64(n) * int64(n+1) / 2
+}
+
+// TernaryPerProcessorBound returns the §7.1 per-processor computation
+// bound for block edge b and parameter q:
+// (q+1)q(q−1)/6·3b³ + q·3b²(b−1) + (3b(b−1)(b−2))/6 + 2b(b−1) + b, i.e.
+// the off-diagonal, non-central diagonal and central diagonal terms for a
+// processor that holds a central block.
+func TernaryPerProcessorBound(q, b int) int64 {
+	bb := int64(b)
+	qq := int64(q)
+	off := (qq + 1) * qq * (qq - 1) / 6 * 3 * bb * bb * bb
+	non := qq * (3*bb*bb*(bb-1)/2 + 2*bb*bb)
+	cen := 3*bb*(bb-1)*(bb-2)/6 + 2*bb*(bb-1) + bb
+	return off + non + cen
+}
+
+// TernaryLeading returns the leading term n³/(2P) of the per-processor
+// computational cost (§7.1).
+func TernaryLeading(n, p int) float64 {
+	nn := float64(n)
+	return nn * nn * nn / (2 * float64(p))
+}
+
+// ElementaryOps returns the ≈ 2n³ elementary arithmetic operation count of
+// the symmetry-exploiting STTSV (§8: each ternary multiplication needs two
+// multiplications, plus an addition and often a further multiplication).
+func ElementaryOps(n int) int64 { return 4 * TernaryTotal(n) }
+
+// PaddedDimension returns the smallest multiple of q²+1 at least n (§6.1).
+func PaddedDimension(n, q int) int { return intmath.RoundUp(n, q*q+1) }

@@ -1,0 +1,128 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProcessorsAndInverse(t *testing.T) {
+	cases := map[int]int{2: 10, 3: 30, 4: 68, 5: 130, 7: 350, 8: 520, 9: 738}
+	for q, p := range cases {
+		if got := Processors(q); got != p {
+			t.Errorf("Processors(%d) = %d, want %d", q, got, p)
+		}
+		gq, ok := QForProcessors(p)
+		if !ok || gq != q {
+			t.Errorf("QForProcessors(%d) = (%d, %v), want (%d, true)", p, gq, ok, q)
+		}
+	}
+	for _, p := range []int{1, 9, 11, 29, 31, 100, 131} {
+		if _, ok := QForProcessors(p); ok {
+			t.Errorf("QForProcessors(%d) should fail", p)
+		}
+	}
+	// 6(6²+1) = 222 has the right form but 6 is not a prime power.
+	if _, ok := QForProcessors(222); ok {
+		t.Error("QForProcessors(222) should fail: q=6 is not a prime power")
+	}
+}
+
+func TestLowerBoundValues(t *testing.T) {
+	// Spot value: n=120, P=30: 2(120·119·118/30)^{1/3} − 2·120/30.
+	want := 2*math.Cbrt(120.0*119*118/30) - 8
+	if got := LowerBoundWords(120, 30); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LowerBoundWords(120,30) = %g, want %g", got, want)
+	}
+	if got := LowerBoundLeading(120, 30); math.Abs(got-2*120/math.Cbrt(30)) > 1e-9 {
+		t.Errorf("LowerBoundLeading = %g", got)
+	}
+}
+
+func TestOptimalMatchesLowerBoundLeading(t *testing.T) {
+	// §7.2.2: the optimal algorithm's cost has exactly the lower bound's
+	// leading term: 2n(q+1)/(q²+1) ≈ 2n/P^{1/3}. The ratio tends to 1 as
+	// q grows.
+	var last float64
+	for _, q := range []int{2, 3, 4, 5, 7, 9, 13, 16, 25} {
+		n := (q*q + 1) * q * (q + 1) * 4
+		ratio := OptimalWords(n, q) / LowerBoundLeading(n, Processors(q))
+		if ratio < 0.95 || ratio > 1.25 {
+			t.Errorf("q=%d: optimal/leading = %g, want near 1", q, ratio)
+		}
+		last = ratio
+	}
+	if math.Abs(last-1) > 0.05 {
+		t.Errorf("ratio at q=25 is %g, not near 1", last)
+	}
+}
+
+func TestAllToAllIsTwiceOptimal(t *testing.T) {
+	// §7.2.2: the All-to-All wiring costs asymptotically 2× the optimal.
+	for _, q := range []int{3, 5, 9, 16} {
+		n := (q*q + 1) * q * (q + 1)
+		ratio := AllToAllWords(n, q) / OptimalWords(n, q)
+		if math.Abs(ratio-2) > 4.0/float64(q) {
+			t.Errorf("q=%d: all-to-all/optimal = %g, want ≈ 2", q, ratio)
+		}
+	}
+}
+
+func TestRowPartitionIsWorseByCubeRootP(t *testing.T) {
+	for _, q := range []int{3, 5, 9} {
+		p := Processors(q)
+		n := (q*q + 1) * q * (q + 1)
+		ratio := RowPartitionWords(n, p) / OptimalWords(n, q)
+		want := math.Cbrt(float64(p))
+		if math.Abs(ratio-want)/want > 0.35 {
+			t.Errorf("q=%d: baseline/optimal = %g, want ≈ P^(1/3) = %g", q, ratio, want)
+		}
+	}
+}
+
+func TestTernaryCounts(t *testing.T) {
+	if got := TernaryTotal(10); got != 550 {
+		t.Errorf("TernaryTotal(10) = %d", got)
+	}
+	// Per-processor bound times P approaches the total as q grows; check
+	// it is an upper bound on the balanced share for a mid-size case.
+	q, b := 3, 12
+	n := (q*q + 1) * b
+	p := Processors(q)
+	bound := TernaryPerProcessorBound(q, b)
+	share := float64(TernaryTotal(n)) / float64(p)
+	if float64(bound) < share*0.99 {
+		t.Errorf("per-processor bound %d below balanced share %g", bound, share)
+	}
+	// Leading term: bound/(n³/2P) → 1.
+	lead := TernaryLeading(n, p)
+	if r := float64(bound) / lead; r < 1 || r > 1.4 {
+		t.Errorf("bound/leading = %g", r)
+	}
+}
+
+func TestPaddedDimension(t *testing.T) {
+	cases := []struct{ n, q, want int }{
+		{100, 3, 100}, {101, 3, 110}, {9, 2, 10}, {10, 2, 10}, {11, 2, 15},
+	}
+	for _, c := range cases {
+		if got := PaddedDimension(c.n, c.q); got != c.want {
+			t.Errorf("PaddedDimension(%d, %d) = %d, want %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+func TestElementaryOps(t *testing.T) {
+	// ≈ 2n³ for large n.
+	n := 200
+	got := float64(ElementaryOps(n))
+	want := 2 * math.Pow(float64(n), 3)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("ElementaryOps(%d) = %g, want ≈ %g", n, got, want)
+	}
+}
+
+func TestSequenceApproachWordsLow(t *testing.T) {
+	if SequenceApproachWordsLow(500) != 500 {
+		t.Error("sequence bound wrong")
+	}
+}

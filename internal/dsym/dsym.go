@@ -1,0 +1,318 @@
+// Package dsym generalizes the STTSV machinery to d-dimensional symmetric
+// tensors — the first item on the paper's future-work list (§8: "We intend
+// to generalize our results for d-dimensional computations. The lower
+// bound arguments can easily be extended…").
+//
+// A fully symmetric order-d tensor of dimension n has one stored value per
+// multiset of d indices: C(n+d−1, d) values, ≈ n^d/d! — the savings the
+// paper's introduction highlights. The package provides
+//
+//   - packed storage indexed by the combinatorial number system (the d=3
+//     case coincides bit-for-bit with package tensor's layout);
+//   - the d-dimensional STTSV y = A ×₂x ×₃x ⋯ ×_d x, both a dense naive
+//     oracle (n^d d-ary multiplications) and the symmetry-exploiting
+//     algorithm that visits each stored value once (≈ d·n^d/d! merged
+//     operations — the Algorithm 4 generalization);
+//   - the generalized Theorem 5.2 lower bound 2·(d!·C(n,d)/P)^{1/d} − 2n/P
+//     (package costmodel holds the d=3 special case);
+//   - a d-dimensional higher-order power method.
+//
+// What does NOT generalize (as the paper notes) is the partition: no
+// infinite families of Steiner (n, r, s) systems are known for s > 3, so
+// the communication-optimal data distribution stays 3-dimensional.
+package dsym
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/intmath"
+)
+
+// Tensor is a fully symmetric order-D tensor of dimension N in packed
+// multiset storage: Data[Index(idx)] holds the value of every permutation
+// of idx.
+type Tensor struct {
+	N, D int
+	Data []float64
+}
+
+// Size returns the number of stored values: C(n+d−1, d).
+func Size(n, d int) int { return intmath.Binomial(n+d-1, d) }
+
+// New returns a zero symmetric tensor of dimension n and order d >= 1.
+func New(n, d int) *Tensor {
+	if n < 0 || d < 1 {
+		panic(fmt.Sprintf("dsym: New(%d, %d)", n, d))
+	}
+	return &Tensor{N: n, D: d, Data: make([]float64, Size(n, d))}
+}
+
+// Index maps a non-increasing multi-index i₁ >= i₂ >= … >= i_d >= 0 to its
+// packed offset via the combinatorial number system:
+// Σ_t C(i_t + d − t, d − t + 1). For d=3 this is tensor.PackedIndex.
+func Index(idx []int) int {
+	d := len(idx)
+	off := 0
+	for t := 0; t < d; t++ {
+		if t > 0 && idx[t] > idx[t-1] {
+			panic(fmt.Sprintf("dsym: Index(%v) not non-increasing", idx))
+		}
+		if idx[t] < 0 {
+			panic(fmt.Sprintf("dsym: Index(%v) negative", idx))
+		}
+		k := d - t
+		off += intmath.Binomial(idx[t]+k-1, k)
+	}
+	return off
+}
+
+// sortDesc returns a descending-sorted copy (insertion sort — d is tiny).
+func sortDesc(idx []int) []int {
+	cp := append([]int(nil), idx...)
+	for i := 1; i < len(cp); i++ {
+		v := cp[i]
+		j := i - 1
+		for j >= 0 && cp[j] < v {
+			cp[j+1] = cp[j]
+			j--
+		}
+		cp[j+1] = v
+	}
+	return cp
+}
+
+// At returns the entry for any ordering of the indices.
+func (t *Tensor) At(idx ...int) float64 {
+	t.checkArity(idx)
+	return t.Data[Index(sortDesc(idx))]
+}
+
+// Set assigns the entry (and by symmetry all permutations).
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.checkArity(idx)
+	t.Data[Index(sortDesc(idx))] = v
+}
+
+func (t *Tensor) checkArity(idx []int) {
+	if len(idx) != t.D {
+		panic(fmt.Sprintf("dsym: %d indices for order-%d tensor", len(idx), t.D))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= t.N {
+			panic(fmt.Sprintf("dsym: index %v out of range [0,%d)", idx, t.N))
+		}
+	}
+}
+
+// ForEach visits every stored entry in packed order with its sorted
+// (non-increasing) multi-index. The slice is reused across calls.
+func (t *Tensor) ForEach(f func(idx []int, v float64)) {
+	idx := make([]int, t.D)
+	var rec func(pos, maxVal, off int)
+	rec = func(pos, maxVal, off int) {
+		if pos == t.D {
+			f(idx, t.Data[off])
+			return
+		}
+		k := t.D - pos
+		for v := 0; v <= maxVal; v++ {
+			idx[pos] = v
+			rec(pos+1, v, off+intmath.Binomial(v+k-1, k))
+		}
+	}
+	rec(0, t.N-1, 0)
+}
+
+// Random fills the stored entries with uniform(-1,1) values.
+func Random(n, d int, rng *rand.Rand) *Tensor {
+	t := New(n, d)
+	for i := range t.Data {
+		t.Data[i] = 2*rng.Float64() - 1
+	}
+	return t
+}
+
+// RankOne returns w·x^{∘d}.
+func RankOne(w float64, x []float64, d int) *Tensor {
+	t := New(len(x), d)
+	t.ForEach(func(idx []int, _ float64) {
+		v := w
+		for _, i := range idx {
+			v *= x[i]
+		}
+		t.Data[Index(idx)] = v
+	})
+	return t
+}
+
+// Stats counts the merged d-ary multiplications of the symmetric
+// algorithm (each stored entry contributes one merged operation per
+// distinct index it holds).
+type Stats struct {
+	DaryMults int64
+}
+
+// Apply computes y = A ×₂x ×₃x ⋯ ×_d x, elementwise
+// y_i = Σ_{j₂…j_d} a_{i j₂…j_d}·x_{j₂}⋯x_{j_d}, visiting each stored
+// entry exactly once: for a multiset M and each distinct a ∈ M, the entry
+// contributes value·perm(M∖a)·Π_{e∈M∖a} x_e to y_a, where perm counts the
+// distinct orderings of the remaining d−1 positions. For d=3 this is
+// Algorithm 4.
+func Apply(t *Tensor, x []float64, stats *Stats) []float64 {
+	if len(x) != t.N {
+		panic(fmt.Sprintf("dsym: vector length %d, dimension %d", len(x), t.N))
+	}
+	y := make([]float64, t.N)
+	d := t.D
+	factorial := make([]int, d+1)
+	factorial[0] = 1
+	for i := 1; i <= d; i++ {
+		factorial[i] = factorial[i-1] * i
+	}
+	var count int64
+	t.ForEach(func(idx []int, v float64) {
+		// Runs of equal indices in the sorted multi-index. (Zero entries
+		// are processed too, keeping operation counts data-independent.)
+		for s := 0; s < d; {
+			e := s
+			for e < d && idx[e] == idx[s] {
+				e++
+			}
+			runVal := idx[s]
+			// Contribution to y[runVal]: orderings of M minus one copy
+			// of runVal, times the product of x over M minus that copy.
+			perms := factorial[d-1]
+			prod := v
+			for s2 := 0; s2 < d; {
+				e2 := s2
+				for e2 < d && idx[e2] == idx[s2] {
+					e2++
+				}
+				l := e2 - s2
+				if idx[s2] == runVal {
+					l-- // one copy removed
+				}
+				perms /= factorial[l]
+				for rep := 0; rep < l; rep++ {
+					prod *= x[idx[s2]]
+				}
+				s2 = e2
+			}
+			y[runVal] += float64(perms) * prod
+			count++
+			s = e
+		}
+	})
+	if stats != nil {
+		stats.DaryMults += count
+	}
+	return y
+}
+
+// NaiveCount returns the d-ary multiplication count of the naive
+// algorithm: n^d.
+func NaiveCount(n, d int) int64 {
+	r := int64(1)
+	for i := 0; i < d; i++ {
+		r *= int64(n)
+	}
+	return r
+}
+
+// Naive computes the same result by brute force over the full index cube
+// (the correctness oracle; exponential in d — keep n, d small).
+func Naive(t *Tensor, x []float64) []float64 {
+	if len(x) != t.N {
+		panic(fmt.Sprintf("dsym: vector length %d, dimension %d", len(x), t.N))
+	}
+	y := make([]float64, t.N)
+	idx := make([]int, t.D)
+	var rec func(pos int, prod float64)
+	rec = func(pos int, prod float64) {
+		if pos == t.D {
+			y[idx[0]] += t.At(idx...) * prod
+			return
+		}
+		for v := 0; v < t.N; v++ {
+			idx[pos] = v
+			if pos == 0 {
+				rec(pos+1, 1)
+			} else {
+				rec(pos+1, prod*x[v])
+			}
+		}
+	}
+	rec(0, 1)
+	return y
+}
+
+// LowerBoundWords returns the d-dimensional generalization of the
+// Theorem 5.2 communication lower bound: 2·(d!·C(n,d)/P)^{1/d} − 2n/P.
+// (d = 3 recovers 2·(n(n−1)(n−2)/P)^{1/3} − 2n/P.)
+func LowerBoundWords(n, d, p int) float64 {
+	points := 1.0
+	for i := 0; i < d; i++ {
+		points *= float64(n - i)
+	}
+	return 2*math.Pow(points/float64(p), 1/float64(d)) - 2*float64(n)/float64(p)
+}
+
+// PowerMethod runs the order-d higher-order power method: y = A·x^{d−1},
+// λ = xᵀy, x ← (y + shift·x)/‖·‖. It returns (λ, x, iterations,
+// converged).
+func PowerMethod(t *Tensor, seed int64, shift float64, maxIter int, tol float64) (float64, []float64, int, bool) {
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, t.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	normalize(x)
+	lambda, prev := 0.0, math.Inf(1)
+	iters := 0
+	for it := 1; it <= maxIter; it++ {
+		iters = it
+		y := Apply(t, x, nil)
+		lambda = dot(x, y)
+		if math.Abs(lambda-prev) <= tol*(1+math.Abs(lambda)) {
+			return lambda, x, iters, true
+		}
+		prev = lambda
+		if shift != 0 {
+			for i := range y {
+				y[i] += shift * x[i]
+			}
+		}
+		copy(x, y)
+		if normalize(x) == 0 {
+			return lambda, x, iters, false
+		}
+	}
+	return lambda, x, iters, false
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(x []float64) float64 {
+	n := math.Sqrt(dot(x, x))
+	if n == 0 {
+		return 0
+	}
+	for i := range x {
+		x[i] /= n
+	}
+	return n
+}

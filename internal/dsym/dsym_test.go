@@ -1,0 +1,256 @@
+package dsym
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/intmath"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+const tol = 1e-10
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestSize(t *testing.T) {
+	cases := []struct{ n, d, want int }{
+		{5, 1, 5}, {5, 2, 15}, {5, 3, 35}, {5, 4, 70},
+		{10, 3, 220}, {1, 5, 1}, {0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := Size(c.n, c.d); got != c.want {
+			t.Errorf("Size(%d,%d) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestIndexBijective(t *testing.T) {
+	// ForEach must visit offsets 0..Size-1 in order, with Index agreeing.
+	for _, c := range []struct{ n, d int }{{6, 2}, {5, 3}, {4, 4}, {3, 5}, {7, 1}} {
+		ten := New(c.n, c.d)
+		next := 0
+		ten.ForEach(func(idx []int, _ float64) {
+			if got := Index(idx); got != next {
+				t.Fatalf("n=%d d=%d: Index(%v) = %d, want %d", c.n, c.d, idx, got, next)
+			}
+			next++
+		})
+		if next != Size(c.n, c.d) {
+			t.Fatalf("n=%d d=%d: visited %d of %d", c.n, c.d, next, Size(c.n, c.d))
+		}
+	}
+}
+
+func TestIndexMatchesOrder3Layout(t *testing.T) {
+	// The d=3 layout coincides with package tensor's PackedIndex.
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= j; k++ {
+				if Index([]int{i, j, k}) != tensor.PackedIndex(i, j, k) {
+					t.Fatalf("layout mismatch at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestAtSetPermutationInvariant(t *testing.T) {
+	ten := New(5, 4)
+	ten.Set(3.5, 1, 4, 2, 4)
+	for _, perm := range [][]int{{4, 4, 2, 1}, {2, 4, 1, 4}, {4, 1, 4, 2}} {
+		if ten.At(perm...) != 3.5 {
+			t.Fatalf("At(%v) = %g", perm, ten.At(perm...))
+		}
+	}
+}
+
+func TestApplyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ n, d int }{{5, 2}, {6, 3}, {5, 4}, {4, 5}, {3, 6}, {7, 1}} {
+		ten := Random(c.n, c.d, rng)
+		x := randVec(c.n, rng)
+		want := Naive(ten, x)
+		got := Apply(ten, x, nil)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > tol*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d d=%d: Apply[%d] = %g, Naive %g", c.n, c.d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestApplyOrder3MatchesPackedSTTSV(t *testing.T) {
+	// The d=3 instance must agree with the production Algorithm 4.
+	rng := rand.New(rand.NewSource(2))
+	n := 9
+	a3 := tensor.Random(n, rng)
+	ten := New(n, 3)
+	copy(ten.Data, a3.Data) // identical layouts (verified above)
+	x := randVec(n, rng)
+	want := sttsv.Packed(a3, x, nil)
+	got := Apply(ten, x, nil)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("order-3 disagreement at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestApplyOrder2IsSymmetricMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 6
+	ten := Random(n, 2, rng)
+	x := randVec(n, rng)
+	got := Apply(ten, x, nil)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += ten.At(i, j) * x[j]
+		}
+		if math.Abs(got[i]-want) > tol {
+			t.Fatalf("matvec row %d: %g vs %g", i, got[i], want)
+		}
+	}
+}
+
+func TestRankOneIdentity(t *testing.T) {
+	// A = x^{∘d} with ‖x‖=1: A·x^{d−1} = x for every d.
+	rng := rand.New(rand.NewSource(4))
+	for _, d := range []int{2, 3, 4, 5} {
+		n := 7
+		x := randVec(n, rng)
+		normalize(x)
+		ten := RankOne(1, x, d)
+		y := Apply(ten, x, nil)
+		for i := range y {
+			if math.Abs(y[i]-x[i]) > 1e-9 {
+				t.Fatalf("d=%d: rank-one identity violated at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestOperationCounts(t *testing.T) {
+	// The symmetric algorithm performs ≈ d/d!·n^d merged operations: for
+	// each stored entry, one per distinct index. Exact: Σ over multisets
+	// of (#distinct indices). Verify the d=3 total against the paper's
+	// merged count: each (entry, distinct index) pair is one merged op;
+	// summing multiplicities instead gives n^d.
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ n, d int }{{6, 3}, {5, 4}} {
+		ten := Random(c.n, c.d, rng)
+		x := randVec(c.n, rng)
+		var st Stats
+		Apply(ten, x, &st)
+		// Independent recount.
+		var want int64
+		ten.ForEach(func(idx []int, _ float64) {
+			distinct := 1
+			for i := 1; i < len(idx); i++ {
+				if idx[i] != idx[i-1] {
+					distinct++
+				}
+			}
+			want += int64(distinct)
+		})
+		if st.DaryMults != want {
+			t.Fatalf("n=%d d=%d: counted %d, want %d", c.n, c.d, st.DaryMults, want)
+		}
+		// And the naive count dwarfs it by ≈ (d−1)!.
+		if naive := NaiveCount(c.n, c.d); st.DaryMults >= naive {
+			t.Fatalf("symmetric count %d not below naive %d", st.DaryMults, naive)
+		}
+	}
+}
+
+func TestLowerBoundGeneralizesD3(t *testing.T) {
+	// d=3 must reproduce the costmodel formula 2(n(n−1)(n−2)/P)^{1/3}−2n/P.
+	n, p := 120, 30
+	want := 2*math.Cbrt(float64(n*(n-1)*(n-2))/float64(p)) - 2*float64(n)/float64(p)
+	if got := LowerBoundWords(n, 3, p); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("d=3 bound %g, want %g", got, want)
+	}
+	// Higher d lowers the per-processor requirement exponent: bound
+	// ≈ 2n/P^{1/d} grows toward 2n as d increases (less parallel slack).
+	if LowerBoundWords(n, 4, p) <= LowerBoundWords(n, 3, p) {
+		t.Fatal("d=4 bound should exceed d=3 bound for fixed P")
+	}
+}
+
+func TestPowerMethodRankOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, d := range []int{3, 4} {
+		n := 8
+		v := randVec(n, rng)
+		normalize(v)
+		ten := RankOne(2, v, d)
+		lambda, x, _, converged := PowerMethod(ten, 7, 0, 2000, 1e-12)
+		if !converged {
+			t.Fatalf("d=%d: did not converge", d)
+		}
+		if math.Abs(lambda-2) > 1e-6 {
+			t.Fatalf("d=%d: lambda = %g, want 2", d, lambda)
+		}
+		if a := math.Abs(dot(x, v)); math.Abs(a-1) > 1e-6 {
+			t.Fatalf("d=%d: alignment %g", d, a)
+		}
+	}
+}
+
+func TestStorageSavings(t *testing.T) {
+	// The §1 motivation: a symmetric d-tensor stores ≈ n^d/d! values.
+	for _, c := range []struct{ n, d int }{{20, 3}, {12, 4}, {10, 5}} {
+		packed := float64(Size(c.n, c.d))
+		full := math.Pow(float64(c.n), float64(c.d))
+		dFact := 1.0
+		for i := 2; i <= c.d; i++ {
+			dFact *= float64(i)
+		}
+		ratio := packed / (full / dFact)
+		if ratio < 1 || ratio > 2.5 {
+			t.Errorf("n=%d d=%d: packed/(n^d/d!) = %g", c.n, c.d, ratio)
+		}
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	ten := New(4, 3)
+	for name, fn := range map[string]func(){
+		"arity":       func() { ten.At(1, 2) },
+		"range":       func() { ten.At(1, 2, 9) },
+		"unsorted":    func() { Index([]int{1, 2, 0}) },
+		"negative":    func() { Index([]int{2, 1, -1}) },
+		"apply len":   func() { Apply(ten, make([]float64, 3), nil) },
+		"naive len":   func() { Naive(ten, make([]float64, 3)) },
+		"bad new":     func() { New(3, 0) },
+		"negative n":  func() { New(-1, 3) },
+		"intmath dep": func() { _ = intmath.Binomial(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkApplyD4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ten := Random(24, 4, rng)
+	x := randVec(24, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Apply(ten, x, nil)
+	}
+}

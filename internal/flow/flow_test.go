@@ -1,0 +1,189 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic CLRS-style network with max flow 23.
+	nw := NewNetwork(6)
+	s, v1, v2, v3, v4, tt := 0, 1, 2, 3, 4, 5
+	nw.AddEdge(s, v1, 16)
+	nw.AddEdge(s, v2, 13)
+	nw.AddEdge(v1, v3, 12)
+	nw.AddEdge(v2, v1, 4)
+	nw.AddEdge(v2, v4, 14)
+	nw.AddEdge(v3, v2, 9)
+	nw.AddEdge(v3, tt, 20)
+	nw.AddEdge(v4, v3, 7)
+	nw.AddEdge(v4, tt, 4)
+	if got := nw.MaxFlowDinic(s, tt); got != 23 {
+		t.Fatalf("Dinic = %d, want 23", got)
+	}
+	nw.Reset()
+	if got := nw.MaxFlowFordFulkerson(s, tt); got != 23 {
+		t.Fatalf("Ford-Fulkerson = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 5)
+	nw.AddEdge(2, 3, 5)
+	if got := nw.MaxFlowDinic(0, 3); got != 0 {
+		t.Fatalf("flow across disconnected = %d", got)
+	}
+}
+
+func TestMaxFlowParallelEdges(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.AddEdge(0, 1, 3)
+	nw.AddEdge(0, 1, 4)
+	if got := nw.MaxFlowDinic(0, 1); got != 7 {
+		t.Fatalf("parallel edges flow = %d, want 7", got)
+	}
+}
+
+func TestDinicMatchesFordFulkersonRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(8) + 2
+		a := NewNetwork(n)
+		b := NewNetwork(n)
+		for e := 0; e < rng.Intn(20); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Intn(10)
+			a.AddEdge(u, v, c)
+			b.AddEdge(u, v, c)
+		}
+		fa := a.MaxFlowDinic(0, n-1)
+		fb := b.MaxFlowFordFulkerson(0, n-1)
+		if fa != fb {
+			t.Fatalf("trial %d: Dinic %d vs FF %d", trial, fa, fb)
+		}
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	// After a max-flow solve, flow into each internal vertex equals flow
+	// out (checked via per-edge Flow on the network above).
+	nw := NewNetwork(4)
+	e1 := nw.AddEdge(0, 1, 10)
+	e2 := nw.AddEdge(1, 2, 5)
+	e3 := nw.AddEdge(1, 3, 7)
+	e4 := nw.AddEdge(2, 3, 5)
+	total := nw.MaxFlowDinic(0, 3)
+	if total != 10 {
+		t.Fatalf("max flow = %d, want 10", total)
+	}
+	if nw.Flow(e1) != 10 {
+		t.Errorf("edge s->1 carries %d", nw.Flow(e1))
+	}
+	if nw.Flow(e2)+nw.Flow(e3) != 10 {
+		t.Errorf("vertex 1 not conserving: %d + %d", nw.Flow(e2), nw.Flow(e3))
+	}
+	if nw.Flow(e2) != nw.Flow(e4) {
+		t.Errorf("vertex 2 not conserving")
+	}
+}
+
+func TestReset(t *testing.T) {
+	nw := NewNetwork(2)
+	id := nw.AddEdge(0, 1, 5)
+	nw.MaxFlowDinic(0, 1)
+	if nw.Flow(id) != 5 {
+		t.Fatal("expected saturated edge")
+	}
+	nw.Reset()
+	if nw.Flow(id) != 0 {
+		t.Fatal("Reset did not clear flow")
+	}
+	if got := nw.MaxFlowDinic(0, 1); got != 5 {
+		t.Fatalf("flow after reset = %d", got)
+	}
+}
+
+func TestAssignWithCapacities(t *testing.T) {
+	// 2 agents with capacity 2 each, 4 items; agent 0 can take items
+	// {0,1,2}, agent 1 can take {1,2,3}.
+	assign, err := AssignWithCapacities(2, 4, []int{2, 2}, [][]int{{0, 1, 2}, {1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	for item, agent := range assign {
+		counts[agent]++
+		// Admissibility.
+		adm := map[int][]int{0: {0, 1, 2}, 1: {1, 2, 3}}
+		ok := false
+		for _, it := range adm[agent] {
+			if it == item {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("item %d assigned to inadmissible agent %d", item, agent)
+		}
+	}
+	if counts[0] > 2 || counts[1] > 2 {
+		t.Fatalf("capacity exceeded: %v", counts)
+	}
+}
+
+func TestAssignWithCapacitiesInfeasible(t *testing.T) {
+	// 3 items all admissible only to a capacity-2 agent.
+	if _, err := AssignWithCapacities(1, 3, []int{2}, [][]int{{0, 1, 2}}); err == nil {
+		t.Fatal("infeasible assignment accepted")
+	}
+}
+
+func TestAssignWithCapacitiesValidation(t *testing.T) {
+	if _, err := AssignWithCapacities(2, 2, []int{1}, [][]int{{0}, {1}}); err == nil {
+		t.Fatal("mismatched capLeft accepted")
+	}
+	if _, err := AssignWithCapacities(1, 2, []int{2}, [][]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range item accepted")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	nw := NewNetwork(2)
+	for name, fn := range map[string]func(){
+		"self source/sink":  func() { nw.MaxFlowDinic(1, 1) },
+		"edge out of range": func() { nw.AddEdge(0, 9, 1) },
+		"negative capacity": func() { nw.AddEdge(0, 1, -1) },
+		"negative size":     func() { NewNetwork(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkDinicAssignment(b *testing.B) {
+	// Shape of the Np assignment at q=5: 130 processors × cap 5, 650
+	// items.
+	rng := rand.New(rand.NewSource(3))
+	nLeft, nRight, capv := 130, 650, 5
+	caps := make([]int, nLeft)
+	adj := make([][]int, nLeft)
+	for i := range caps {
+		caps[i] = capv
+		for k := 0; k < 15; k++ {
+			adj[i] = append(adj[i], rng.Intn(nRight))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = AssignWithCapacities(nLeft, nRight, caps, adj)
+	}
+}

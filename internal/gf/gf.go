@@ -1,0 +1,343 @@
+// Package gf implements arithmetic in small finite fields GF(p^k).
+//
+// The tetrahedral block partition of the STTSV paper is generated from
+// Steiner (q²+1, q+1, 3) systems, which are the spherical geometries built
+// from the action of PGL₂(q²) on the projective line over GF(q²)
+// (Theorem 6.5 of the paper, citing Colbourn & Dinitz Example 3.23). That
+// construction needs GF(q²) for an arbitrary prime power q = p^a, i.e.
+// GF(p^{2a}), together with recognition of the subfield GF(q) inside it.
+//
+// Elements of GF(p^k) are represented as integers in [0, p^k): the base-p
+// digits of an element are the coefficients of its polynomial
+// representative over GF(p), modulo a monic irreducible polynomial found by
+// exhaustive search. Because the fields involved are tiny (q <= 16 or so in
+// practice, so p^k <= a few thousand), all arithmetic is table-driven.
+package gf
+
+import (
+	"fmt"
+
+	"repro/internal/intmath"
+)
+
+// Field is an arithmetic context for GF(p^k). The zero element is 0 and the
+// multiplicative identity is 1 under the integer encoding.
+type Field struct {
+	// P is the characteristic (a prime) and K the extension degree, so the
+	// field has Q = P^K elements encoded as integers 0..Q-1.
+	P, K, Q int
+
+	// Irreducible is the monic irreducible polynomial of degree K over
+	// GF(P) used to define the field, as coefficients low-to-high with
+	// Irreducible[K] == 1.
+	Irreducible []int
+
+	mul []uint16 // Q×Q multiplication table, row-major
+	add []uint16 // Q×Q addition table, row-major
+	inv []uint16 // multiplicative inverse, inv[0] unused
+	neg []uint16 // additive inverse
+}
+
+// maxQ bounds the table sizes: Q² uint16 entries per table.
+const maxQ = 4096
+
+// New constructs GF(q) for the prime power q, searching for an irreducible
+// polynomial deterministically (so the same q always yields the same field
+// tables). It returns an error when q is not a prime power or too large.
+func New(q int) (*Field, error) {
+	p, k, ok := intmath.PrimePower(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: %d is not a prime power", q)
+	}
+	if q > maxQ {
+		return nil, fmt.Errorf("gf: field size %d exceeds limit %d", q, maxQ)
+	}
+	f := &Field{P: p, K: k, Q: q}
+	irred, err := findIrreducible(p, k)
+	if err != nil {
+		return nil, err
+	}
+	f.Irreducible = irred
+	f.buildTables()
+	return f, nil
+}
+
+// MustNew is New but panics on error; for use with known-good constants.
+func MustNew(q int) *Field {
+	f, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// digits decodes the integer encoding of an element into its K base-P
+// coefficients.
+func (f *Field) digits(e int) []int {
+	d := make([]int, f.K)
+	for i := 0; i < f.K; i++ {
+		d[i] = e % f.P
+		e /= f.P
+	}
+	return d
+}
+
+// encode packs base-P coefficients back into the integer encoding. Extra
+// leading zero coefficients are permitted.
+func (f *Field) encode(d []int) int {
+	e := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		e = e*f.P + d[i]%f.P
+	}
+	return e
+}
+
+func (f *Field) buildTables() {
+	q := f.Q
+	f.add = make([]uint16, q*q)
+	f.mul = make([]uint16, q*q)
+	f.inv = make([]uint16, q)
+	f.neg = make([]uint16, q)
+	for a := 0; a < q; a++ {
+		da := f.digits(a)
+		for b := a; b < q; b++ {
+			db := f.digits(b)
+			// Addition: coefficient-wise mod p.
+			sum := make([]int, f.K)
+			for i := range sum {
+				sum[i] = (da[i] + db[i]) % f.P
+			}
+			s := uint16(f.encode(sum))
+			f.add[a*q+b] = s
+			f.add[b*q+a] = s
+			// Multiplication: polynomial product reduced mod Irreducible.
+			prod := polyMul(da, db, f.P)
+			prod = polyMod(prod, f.Irreducible, f.P)
+			m := uint16(f.encode(prod))
+			f.mul[a*q+b] = m
+			f.mul[b*q+a] = m
+		}
+	}
+	for a := 0; a < q; a++ {
+		da := f.digits(a)
+		negD := make([]int, f.K)
+		for i := range negD {
+			negD[i] = (f.P - da[i]) % f.P
+		}
+		f.neg[a] = uint16(f.encode(negD))
+	}
+	// Inverses by scanning the multiplication table rows.
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.mul[a*q+b] == 1 {
+				f.inv[a] = uint16(b)
+				break
+			}
+		}
+	}
+}
+
+// Add returns a + b.
+func (f *Field) Add(a, b int) int { return int(f.add[a*f.Q+b]) }
+
+// Sub returns a - b.
+func (f *Field) Sub(a, b int) int { return int(f.add[a*f.Q+int(f.neg[b])]) }
+
+// Neg returns -a.
+func (f *Field) Neg(a int) int { return int(f.neg[a]) }
+
+// Mul returns a · b.
+func (f *Field) Mul(a, b int) int { return int(f.mul[a*f.Q+b]) }
+
+// Inv returns a⁻¹. It panics when a == 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return int(f.inv[a])
+}
+
+// Div returns a / b. It panics when b == 0.
+func (f *Field) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+// Pow returns a**e for e >= 0 (with 0**0 == 1).
+func (f *Field) Pow(a, e int) int {
+	if e < 0 {
+		panic("gf: negative exponent")
+	}
+	r := 1
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			r = f.Mul(r, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Frobenius returns a**p, the image of a under the Frobenius automorphism.
+func (f *Field) Frobenius(a int) int { return f.Pow(a, f.P) }
+
+// Subfield returns the elements of the subfield of order sub, i.e. the
+// fixed points of x -> x^sub, in increasing integer encoding. sub must be
+// p^d for a divisor d of K; otherwise an error is returned.
+func (f *Field) Subfield(sub int) ([]int, error) {
+	p, d, ok := intmath.PrimePower(sub)
+	if !ok || p != f.P || d <= 0 || f.K%d != 0 {
+		return nil, fmt.Errorf("gf: GF(%d) is not a subfield of GF(%d)", sub, f.Q)
+	}
+	var els []int
+	for a := 0; a < f.Q; a++ {
+		if f.Pow(a, sub) == a {
+			els = append(els, a)
+		}
+	}
+	if len(els) != sub {
+		return nil, fmt.Errorf("gf: internal error: found %d fixed points of x^%d, want %d",
+			len(els), sub, sub)
+	}
+	return els, nil
+}
+
+// PrimitiveElement returns a generator of the multiplicative group, found
+// by scanning element order (deterministic; fine for small fields).
+func (f *Field) PrimitiveElement() int {
+	for g := 2; g < f.Q; g++ {
+		if f.orderOf(g) == f.Q-1 {
+			return g
+		}
+	}
+	if f.Q == 2 {
+		return 1
+	}
+	panic("gf: no primitive element found")
+}
+
+func (f *Field) orderOf(a int) int {
+	if a == 0 {
+		return 0
+	}
+	x, ord := a, 1
+	for x != 1 {
+		x = f.Mul(x, a)
+		ord++
+		if ord > f.Q {
+			panic("gf: order computation diverged")
+		}
+	}
+	return ord
+}
+
+// String identifies the field and its defining polynomial.
+func (f *Field) String() string {
+	return fmt.Sprintf("GF(%d) = GF(%d^%d) mod %v", f.Q, f.P, f.K, f.Irreducible)
+}
+
+// --- polynomial arithmetic over GF(p) on int coefficient slices ---
+
+// polyTrim removes leading zero coefficients.
+func polyTrim(a []int) []int {
+	n := len(a)
+	for n > 0 && a[n-1] == 0 {
+		n--
+	}
+	return a[:n]
+}
+
+// polyMul returns a·b over GF(p).
+func polyMul(a, b []int, p int) []int {
+	a, b = polyTrim(a), polyTrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]int, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] = (out[i+j] + ai*bj) % p
+		}
+	}
+	return polyTrim(out)
+}
+
+// polyMod returns a mod m over GF(p); m must be monic (leading coeff 1).
+func polyMod(a, m []int, p int) []int {
+	a = append([]int(nil), a...)
+	a = polyTrim(a)
+	m = polyTrim(m)
+	if len(m) == 0 {
+		panic("gf: polyMod by zero polynomial")
+	}
+	if m[len(m)-1] != 1 {
+		panic("gf: polyMod modulus not monic")
+	}
+	dm := len(m) - 1
+	for len(a)-1 >= dm && len(a) > 0 {
+		lead := a[len(a)-1]
+		shift := len(a) - 1 - dm
+		for i := 0; i <= dm; i++ {
+			a[shift+i] = ((a[shift+i]-lead*m[i])%p + p*p) % p
+		}
+		a = polyTrim(a)
+	}
+	return a
+}
+
+// polyIsIrreducible tests irreducibility of a monic polynomial f of degree
+// >= 1 over GF(p) by trial division against every monic polynomial of
+// degree 1..deg(f)/2. Exhaustive but entirely adequate for the tiny fields
+// this package targets.
+func polyIsIrreducible(f []int, p int) bool {
+	f = polyTrim(f)
+	deg := len(f) - 1
+	if deg < 1 {
+		return false
+	}
+	if deg == 1 {
+		return true
+	}
+	for d := 1; d <= deg/2; d++ {
+		// Enumerate monic divisor candidates of degree d: p^d of them.
+		total := intmath.Pow(p, d)
+		for c := 0; c < total; c++ {
+			div := make([]int, d+1)
+			cc := c
+			for i := 0; i < d; i++ {
+				div[i] = cc % p
+				cc /= p
+			}
+			div[d] = 1
+			if len(polyMod(f, div, p)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// findIrreducible returns the lexicographically first monic irreducible
+// polynomial of degree k over GF(p) (coefficients enumerated as base-p
+// integers low-to-high).
+func findIrreducible(p, k int) ([]int, error) {
+	if k == 1 {
+		return []int{0, 1}, nil // x, any degree-1 monic works; field is Z/p
+	}
+	total := intmath.Pow(p, k)
+	for c := 0; c < total; c++ {
+		f := make([]int, k+1)
+		cc := c
+		for i := 0; i < k; i++ {
+			f[i] = cc % p
+			cc /= p
+		}
+		f[k] = 1
+		if polyIsIrreducible(f, p) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible polynomial of degree %d over GF(%d)", k, p)
+}

@@ -1,0 +1,285 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fieldSizes covers the prime and prime-power fields the Steiner layer uses:
+// GF(q) and GF(q²) for q in {2,3,4,5,7,8,9}.
+var fieldSizes = []int{2, 3, 4, 5, 7, 8, 9, 16, 25, 49, 64, 81}
+
+func TestNewRejectsNonPrimePowers(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 15, 100} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) succeeded, want error", q)
+		}
+	}
+}
+
+func TestNewRejectsTooLarge(t *testing.T) {
+	if _, err := New(8192); err == nil {
+		t.Error("New(8192) succeeded, want size-limit error")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, q := range fieldSizes {
+		f := MustNew(q)
+		t.Run(f.String(), func(t *testing.T) {
+			// Commutativity, associativity, distributivity, identities,
+			// inverses — exhaustively for small q, sampled for larger.
+			step := 1
+			if q > 32 {
+				step = 5
+			}
+			for a := 0; a < q; a++ {
+				if f.Add(a, 0) != a {
+					t.Fatalf("a+0 != a for a=%d", a)
+				}
+				if f.Mul(a, 1) != a {
+					t.Fatalf("a*1 != a for a=%d", a)
+				}
+				if f.Mul(a, 0) != 0 {
+					t.Fatalf("a*0 != 0 for a=%d", a)
+				}
+				if f.Add(a, f.Neg(a)) != 0 {
+					t.Fatalf("a + (-a) != 0 for a=%d", a)
+				}
+				if a != 0 && f.Mul(a, f.Inv(a)) != 1 {
+					t.Fatalf("a * a^-1 != 1 for a=%d", a)
+				}
+				for b := 0; b < q; b += step {
+					if f.Add(a, b) != f.Add(b, a) {
+						t.Fatalf("add not commutative at %d,%d", a, b)
+					}
+					if f.Mul(a, b) != f.Mul(b, a) {
+						t.Fatalf("mul not commutative at %d,%d", a, b)
+					}
+					if f.Sub(a, b) != f.Add(a, f.Neg(b)) {
+						t.Fatalf("sub inconsistent at %d,%d", a, b)
+					}
+					for c := 0; c < q; c += step {
+						if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+							t.Fatalf("add not associative at %d,%d,%d", a, b, c)
+						}
+						if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+							t.Fatalf("mul not associative at %d,%d,%d", a, b, c)
+						}
+						if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+							t.Fatalf("not distributive at %d,%d,%d", a, b, c)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNoZeroDivisors(t *testing.T) {
+	for _, q := range fieldSizes {
+		f := MustNew(q)
+		for a := 1; a < q; a++ {
+			for b := 1; b < q; b++ {
+				if f.Mul(a, b) == 0 {
+					t.Fatalf("GF(%d): %d * %d == 0", q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFermat(t *testing.T) {
+	// a^q == a for all a in GF(q).
+	for _, q := range fieldSizes {
+		f := MustNew(q)
+		for a := 0; a < q; a++ {
+			if f.Pow(a, q) != a {
+				t.Fatalf("GF(%d): a^q != a for a=%d", q, a)
+			}
+		}
+	}
+}
+
+func TestFrobeniusIsAdditiveAndMultiplicative(t *testing.T) {
+	for _, q := range []int{4, 8, 9, 16, 25, 49} {
+		f := MustNew(q)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				if f.Frobenius(f.Add(a, b)) != f.Add(f.Frobenius(a), f.Frobenius(b)) {
+					t.Fatalf("GF(%d): Frobenius not additive at %d,%d", q, a, b)
+				}
+				if f.Frobenius(f.Mul(a, b)) != f.Mul(f.Frobenius(a), f.Frobenius(b)) {
+					t.Fatalf("GF(%d): Frobenius not multiplicative at %d,%d", q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSubfield(t *testing.T) {
+	cases := []struct{ big, sub int }{
+		{4, 2}, {9, 3}, {16, 2}, {16, 4}, {25, 5}, {49, 7},
+		{64, 8}, {64, 4}, {64, 2}, {81, 9}, {81, 3},
+	}
+	for _, c := range cases {
+		f := MustNew(c.big)
+		els, err := f.Subfield(c.sub)
+		if err != nil {
+			t.Fatalf("GF(%d).Subfield(%d): %v", c.big, c.sub, err)
+		}
+		if len(els) != c.sub {
+			t.Fatalf("GF(%d).Subfield(%d): got %d elements", c.big, c.sub, len(els))
+		}
+		in := make(map[int]bool, len(els))
+		for _, e := range els {
+			in[e] = true
+		}
+		if !in[0] || !in[1] {
+			t.Fatalf("GF(%d).Subfield(%d) missing 0 or 1", c.big, c.sub)
+		}
+		// Closure under add and mul.
+		for _, a := range els {
+			for _, b := range els {
+				if !in[f.Add(a, b)] || !in[f.Mul(a, b)] {
+					t.Fatalf("GF(%d).Subfield(%d) not closed at %d,%d", c.big, c.sub, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSubfieldErrors(t *testing.T) {
+	f := MustNew(16)
+	if _, err := f.Subfield(8); err == nil {
+		t.Error("GF(16).Subfield(8) should fail (8 = 2^3, 3 does not divide 4)")
+	}
+	if _, err := f.Subfield(3); err == nil {
+		t.Error("GF(16).Subfield(3) should fail (wrong characteristic)")
+	}
+}
+
+func TestPrimitiveElement(t *testing.T) {
+	for _, q := range fieldSizes {
+		f := MustNew(q)
+		g := f.PrimitiveElement()
+		seen := make(map[int]bool)
+		x := 1
+		for i := 0; i < q-1; i++ {
+			if seen[x] {
+				t.Fatalf("GF(%d): %d is not primitive (cycle length %d)", q, g, i)
+			}
+			seen[x] = true
+			x = f.Mul(x, g)
+		}
+		if x != 1 {
+			t.Fatalf("GF(%d): g^(q-1) != 1", q)
+		}
+		if len(seen) != q-1 {
+			t.Fatalf("GF(%d): primitive element generated %d elements", q, len(seen))
+		}
+	}
+}
+
+func TestDivPanicsOnZero(t *testing.T) {
+	f := MustNew(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	f.Div(3, 0)
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	f := MustNew(27)
+	check := func(a uint8, e uint8) bool {
+		av := int(a) % f.Q
+		ev := int(e) % 40
+		want := 1
+		for i := 0; i < ev; i++ {
+			want = f.Mul(want, av)
+		}
+		return f.Pow(av, ev) == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrreduciblePolynomialHasNoRoots(t *testing.T) {
+	for _, q := range fieldSizes {
+		f := MustNew(q)
+		if f.K == 1 {
+			continue
+		}
+		// Evaluate the defining polynomial at every base-field element; an
+		// irreducible polynomial of degree >= 2 has no roots in GF(p).
+		for x := 0; x < f.P; x++ {
+			val := 0
+			pow := 1
+			for _, c := range f.Irreducible {
+				val = (val + c*pow) % f.P
+				pow = pow * x % f.P
+			}
+			if val == 0 {
+				t.Fatalf("GF(%d): irreducible %v has root %d in GF(%d)", q, f.Irreducible, x, f.P)
+			}
+		}
+	}
+}
+
+func TestPolyHelpers(t *testing.T) {
+	// (x+1)(x+1) = x^2 + 2x + 1 over GF(3)
+	got := polyMul([]int{1, 1}, []int{1, 1}, 3)
+	want := []int{1, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("polyMul: got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("polyMul: got %v want %v", got, want)
+		}
+	}
+	// x^2 mod (x^2+1) = -1 = p-1 over GF(5)
+	r := polyMod([]int{0, 0, 1}, []int{1, 0, 1}, 5)
+	if len(r) != 1 || r[0] != 4 {
+		t.Fatalf("polyMod: got %v want [4]", r)
+	}
+}
+
+func TestPolyIsIrreducibleKnownCases(t *testing.T) {
+	// x^2+1 is irreducible over GF(3) but reducible over GF(5) (2^2 = -1).
+	if !polyIsIrreducible([]int{1, 0, 1}, 3) {
+		t.Error("x^2+1 should be irreducible over GF(3)")
+	}
+	if polyIsIrreducible([]int{1, 0, 1}, 5) {
+		t.Error("x^2+1 should be reducible over GF(5)")
+	}
+	// x^2+x+1 irreducible over GF(2).
+	if !polyIsIrreducible([]int{1, 1, 1}, 2) {
+		t.Error("x^2+x+1 should be irreducible over GF(2)")
+	}
+	// x^2 reducible anywhere.
+	if polyIsIrreducible([]int{0, 0, 1}, 7) {
+		t.Error("x^2 should be reducible")
+	}
+}
+
+func BenchmarkFieldConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(81); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f := MustNew(81)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += f.Mul(i%80+1, (i*7)%80+1)
+	}
+	_ = s
+}

@@ -1,0 +1,206 @@
+package hopm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/tensor"
+)
+
+func randFactors(n, r int, seed int64) *la.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	x := la.NewMatrix(n, r)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestCPGradientMatchesFiniteDifferences(t *testing.T) {
+	// E8: Algorithm 2's analytic gradient agrees with central finite
+	// differences of the objective.
+	rng := rand.New(rand.NewSource(20))
+	n, r := 6, 3
+	a := tensor.Random(n, rng)
+	x := randFactors(n, r, 21)
+	grad := CPGradientTensor(a, x)
+
+	const h = 1e-6
+	for i := 0; i < n; i++ {
+		for l := 0; l < r; l++ {
+			xp := x.Clone()
+			xp.Set(i, l, x.At(i, l)+h)
+			xm := x.Clone()
+			xm.Set(i, l, x.At(i, l)-h)
+			fd := (CPObjective(a, xp) - CPObjective(a, xm)) / (2 * h)
+			an := grad.At(i, l)
+			if math.Abs(fd-an) > 1e-4*(1+math.Abs(an)) {
+				t.Fatalf("gradient (%d,%d): analytic %g, FD %g", i, l, an, fd)
+			}
+		}
+	}
+}
+
+func TestCPGradientZeroAtExactDecomposition(t *testing.T) {
+	// If A = Σ x_ℓ∘x_ℓ∘x_ℓ exactly, the gradient at X is zero and the
+	// objective vanishes.
+	n, r := 8, 2
+	x := randFactors(n, r, 22)
+	vecs := make([][]float64, r)
+	w := make([]float64, r)
+	for l := 0; l < r; l++ {
+		vecs[l] = x.Col(l)
+		w[l] = 1
+	}
+	a, err := tensor.CP(w, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj := CPObjective(a, x); math.Abs(obj) > 1e-9 {
+		t.Fatalf("objective at exact fit = %g", obj)
+	}
+	grad := CPGradientTensor(a, x)
+	if g := grad.FrobeniusNorm(); g > 1e-8 {
+		t.Fatalf("gradient norm at exact fit = %g", g)
+	}
+}
+
+func TestCPObjectiveMatchesDirectResidual(t *testing.T) {
+	// Cross-check the expanded objective against the literal
+	// 1/6·‖A − Σ x∘x∘x‖² computed densely.
+	rng := rand.New(rand.NewSource(23))
+	n, r := 5, 2
+	a := tensor.Random(n, rng)
+	x := randFactors(n, r, 24)
+	vecs := make([][]float64, r)
+	w := make([]float64, r)
+	for l := 0; l < r; l++ {
+		vecs[l] = x.Col(l)
+		w[l] = 1
+	}
+	model, err := tensor.CP(w, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := a.Clone()
+	for i := range diff.Data {
+		diff.Data[i] -= model.Data[i]
+	}
+	norm := diff.FrobeniusNorm()
+	want := norm * norm / 6
+	if got := CPObjective(a, x); math.Abs(got-want) > 1e-8*(1+want) {
+		t.Fatalf("objective %g, direct %g", got, want)
+	}
+}
+
+func TestSymmetricCPRecoversPlantedFactors(t *testing.T) {
+	// E8: gradient descent on a planted rank-2 tensor drives the
+	// objective to ≈ 0.
+	n, r := 8, 2
+	planted := randFactors(n, r, 25)
+	vecs := make([][]float64, r)
+	w := make([]float64, r)
+	for l := 0; l < r; l++ {
+		vecs[l] = planted.Col(l)
+		w[l] = 1
+	}
+	a, err := tensor.CP(w, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start near the planted factors (global convergence is not
+	// guaranteed for random starts; the test is about the machinery).
+	x0 := planted.Clone()
+	rng := rand.New(rand.NewSource(26))
+	for i := range x0.Data {
+		x0.Data[i] += 0.05 * rng.NormFloat64()
+	}
+	res, err := SymmetricCP(a, r, CPOptions{X0: x0, MaxIter: 3000, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := CPObjective(a, x0)
+	if res.Objective > start*1e-6 && res.Objective > 1e-10 {
+		t.Fatalf("objective only reached %g from %g", res.Objective, start)
+	}
+}
+
+func TestSymmetricCPValidation(t *testing.T) {
+	a := tensor.NewSymmetric(4)
+	if _, err := SymmetricCP(a, 0, CPOptions{}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := SymmetricCP(a, 2, CPOptions{X0: la.NewMatrix(3, 2)}); err == nil {
+		t.Error("mismatched X0 accepted")
+	}
+}
+
+func TestExtractRankOnesOdeco(t *testing.T) {
+	// Orthogonally decomposable tensor: deflation recovers both weights.
+	n := 9
+	e1 := make([]float64, n)
+	e1[0] = 1
+	e2 := make([]float64, n)
+	e2[4] = 1
+	a, err := tensor.CP([]float64{4, 2}, [][]float64{e1, e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, v, err := ExtractRankOnes(a, 2, Options{Seed: 27, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-4) > 1e-6 || math.Abs(w[1]-2) > 1e-6 {
+		t.Fatalf("weights = %v, want [4 2]", w)
+	}
+	if math.Abs(math.Abs(v[0][0])-1) > 1e-5 || math.Abs(math.Abs(v[1][4])-1) > 1e-5 {
+		t.Fatalf("vectors not aligned with planted components")
+	}
+	// Reconstruction check: Σ w v∘v∘v ≈ original.
+	recon, err := tensor.CP(w, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := a.Clone()
+	for i := range diff.Data {
+		diff.Data[i] -= recon.Data[i]
+	}
+	if d := diff.FrobeniusNorm(); d > 1e-5 {
+		t.Fatalf("reconstruction error %g", d)
+	}
+}
+
+func TestDeflateRemovesComponent(t *testing.T) {
+	n := 7
+	v := unitVec(n, 28)
+	a := tensor.RankOne(2.5, v)
+	deflate(a, 2.5, v)
+	for _, val := range a.Data {
+		if math.Abs(val) > 1e-12 {
+			t.Fatalf("deflation left residue %g", val)
+		}
+	}
+}
+
+func BenchmarkCPGradient(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.Random(40, rng)
+	x := randFactors(40, 5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CPGradientTensor(a, x)
+	}
+}
+
+func BenchmarkPowerMethodIteration(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.Random(60, rng)
+	f := PackedSTTSV(a)
+	x := unitVec(60, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(x)
+	}
+}

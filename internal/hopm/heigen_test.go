@@ -1,0 +1,169 @@
+package hopm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/tensor"
+)
+
+// positiveTensor builds a strictly positive symmetric tensor (irreducible,
+// so the NQZ theory applies).
+func positiveTensor(n int, seed int64) *tensor.Symmetric {
+	rng := rand.New(rand.NewSource(seed))
+	a := tensor.NewSymmetric(n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64() + 0.1
+	}
+	return a
+}
+
+func TestHEigenPowerMethodConverges(t *testing.T) {
+	n := 12
+	a := positiveTensor(n, 1)
+	pair, err := HEigenPowerMethod(PackedSTTSV(a), n, 20000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Converged {
+		t.Fatalf("NQZ did not converge; bracket residual %g", pair.Residual)
+	}
+	// H-eigenpair identity: A ×₂x ×₃x == λ·x^[2].
+	y := PackedSTTSV(a)(pair.X)
+	for i := range y {
+		want := pair.Lambda * pair.X[i] * pair.X[i]
+		if math.Abs(y[i]-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("H-identity violated at %d: %g vs %g", i, y[i], want)
+		}
+	}
+	// Eigenvector is positive (Perron-Frobenius for tensors).
+	for i, v := range pair.X {
+		if v <= 0 {
+			t.Fatalf("x[%d] = %g not positive", i, v)
+		}
+	}
+}
+
+func TestHEigenKnownValue(t *testing.T) {
+	// All-ones tensor of dimension n: A x² has entries (Σx)², and for the
+	// H-eigenpair with x = c·1: λ·c² = n²c² ... λ = n² with normalization
+	// Σx³=1 → x_i = n^{-1/3}: A x² entries = n²·n^{-2/3}; λ x_i² =
+	// λ·n^{-2/3} → λ = n².
+	n := 5
+	a := tensor.NewSymmetric(n)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	pair, err := HEigenPowerMethod(PackedSTTSV(a), n, 1000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pair.Lambda-float64(n*n)) > 1e-9 {
+		t.Fatalf("lambda = %g, want %d", pair.Lambda, n*n)
+	}
+}
+
+func TestHEigenRejectsNegativeTensor(t *testing.T) {
+	a := tensor.NewSymmetric(4)
+	for i := range a.Data {
+		a.Data[i] = -1
+	}
+	if _, err := HEigenPowerMethod(PackedSTTSV(a), 4, 100, 1e-10); err == nil {
+		t.Fatal("negative tensor accepted")
+	}
+}
+
+func TestHEigenZeroTensor(t *testing.T) {
+	// The zero tensor has the valid H-eigenpair (0, x) for any positive
+	// x: the bracket collapses to [0, 0] immediately.
+	a := tensor.NewSymmetric(4)
+	pair, err := HEigenPowerMethod(PackedSTTSV(a), 4, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Converged || pair.Lambda != 0 {
+		t.Fatalf("zero tensor: lambda=%g converged=%v", pair.Lambda, pair.Converged)
+	}
+}
+
+func TestAdaptiveMatchesStaticShift(t *testing.T) {
+	// Both methods converge to a Z-eigenpair of the same random tensor;
+	// the adaptive one should not need more iterations than the static
+	// safe shift.
+	rng := rand.New(rand.NewSource(2))
+	n := 8
+	a := tensor.Random(n, rng)
+	f := PackedSTTSV(a)
+	shift := SuggestedShift(a)
+	static, err := PowerMethod(f, n, Options{Seed: 3, Shift: shift, MaxIter: 100000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := AdaptivePowerMethod(f, n, shift, Options{Seed: 3, MaxIter: 100000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Converged {
+		t.Fatal("adaptive did not converge")
+	}
+	if static.Converged && adaptive.Iterations > static.Iterations {
+		t.Logf("note: adaptive used %d iterations vs static %d", adaptive.Iterations, static.Iterations)
+	}
+	// The result is a genuine eigenpair.
+	if r := Residual(f, adaptive.X, adaptive.Lambda); r > 1e-4 {
+		t.Fatalf("adaptive residual %g", r)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	a := tensor.NewSymmetric(3)
+	if _, err := AdaptivePowerMethod(PackedSTTSV(a), 3, 0, Options{}); err == nil {
+		t.Error("zero shift accepted")
+	}
+	if _, err := AdaptivePowerMethod(PackedSTTSV(a), 3, 1, Options{X0: []float64{1}}); err == nil {
+		t.Error("short X0 accepted")
+	}
+}
+
+func TestEnumerateEigenpairsOdeco(t *testing.T) {
+	// Orthogonal components 4, 3, 2: multi-start should find several
+	// distinct eigenpairs (each component is an attracting fixed point of
+	// S-HOPM for odeco tensors).
+	n := 9
+	e := func(i int) []float64 {
+		v := make([]float64, n)
+		v[i] = 1
+		return v
+	}
+	a, err := tensor.CP([]float64{4, 3, 2}, [][]float64{e(0), e(3), e(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := EnumerateEigenpairs(PackedSTTSV(a), n, 40, Options{Seed: 5, MaxIter: 3000}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) < 2 {
+		t.Fatalf("found only %d distinct eigenpairs", len(pairs))
+	}
+	// Sorted by |λ| descending, and the dominant is 4.
+	for i := 1; i < len(pairs); i++ {
+		if math.Abs(pairs[i].Lambda) > math.Abs(pairs[i-1].Lambda)+1e-12 {
+			t.Fatal("not sorted by |lambda|")
+		}
+	}
+	if math.Abs(pairs[0].Lambda-4) > 1e-6 {
+		t.Fatalf("dominant lambda = %g, want 4", pairs[0].Lambda)
+	}
+	// All returned pairs satisfy the eigen identity.
+	for _, p := range pairs {
+		if math.Abs(la.Norm(p.X)-1) > 1e-9 {
+			t.Fatal("eigenvector not unit")
+		}
+		if r := Residual(PackedSTTSV(a), p.X, p.Lambda); r > 1e-6 {
+			t.Fatalf("pair λ=%g residual %g", p.Lambda, r)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package intmath provides the small integer utilities shared by the
+// combinatorial layers of the library: binomial and simplex (triangular,
+// tetrahedral) numbers used to size packed symmetric storage, primality and
+// prime-power tests used to pick admissible Steiner-system parameters, and a
+// few arithmetic helpers.
+package intmath
+
+import "fmt"
+
+// Binomial returns C(n, k). It panics if n or k is negative. Values are
+// computed with int64 intermediates; the result must fit in an int.
+func Binomial(n, k int) int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("intmath: Binomial(%d, %d) with negative argument", n, k))
+	}
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		r = r * int64(n-k+i) / int64(i)
+	}
+	return int(r)
+}
+
+// Triangular returns the n-th triangular number n(n+1)/2, the number of
+// pairs (i, j) with n > i >= j >= 1 ... more precisely the count of
+// lattice points {(i,j) : 1 <= j <= i <= n}.
+func Triangular(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("intmath: Triangular(%d) with negative argument", n))
+	}
+	return n * (n + 1) / 2
+}
+
+// Tetrahedral returns the n-th tetrahedral number n(n+1)(n+2)/6: the number
+// of lattice points {(i,j,k) : 1 <= k <= j <= i <= n}, which is the size of
+// the (non-strict) lower tetrahedron of an n×n×n symmetric tensor.
+func Tetrahedral(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("intmath: Tetrahedral(%d) with negative argument", n))
+	}
+	return n * (n + 1) * (n + 2) / 6
+}
+
+// StrictTetrahedral returns n(n-1)(n-2)/6: the number of lattice points
+// {(i,j,k) : 1 <= k < j < i <= n}, the size of the strict lower tetrahedron.
+func StrictTetrahedral(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("intmath: StrictTetrahedral(%d) with negative argument", n))
+	}
+	if n < 3 {
+		return 0
+	}
+	return n * (n - 1) * (n - 2) / 6
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("intmath: CeilDiv(%d, %d) with non-positive divisor", a, b))
+	}
+	return (a + b - 1) / b
+}
+
+// RoundUp returns the smallest multiple of m that is >= n, for m > 0.
+func RoundUp(n, m int) int {
+	return CeilDiv(n, m) * m
+}
+
+// IsPrime reports whether n is prime, by trial division (intended for the
+// small parameters q used in Steiner-system construction).
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PrimePower reports whether n = p^k for a prime p and k >= 1, returning
+// the base p and exponent k. When n is not a prime power it returns
+// (0, 0, false).
+func PrimePower(n int) (p, k int, ok bool) {
+	if n < 2 {
+		return 0, 0, false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		// d is the smallest prime factor; n must be a power of d.
+		p, k = d, 0
+		for n > 1 {
+			if n%d != 0 {
+				return 0, 0, false
+			}
+			n /= d
+			k++
+		}
+		return p, k, true
+	}
+	// n itself is prime.
+	return n, 1, true
+}
+
+// Pow returns base**exp for non-negative exp, with int64 intermediates.
+func Pow(base, exp int) int {
+	if exp < 0 {
+		panic(fmt.Sprintf("intmath: Pow(%d, %d) with negative exponent", base, exp))
+	}
+	r := int64(1)
+	b := int64(base)
+	for i := 0; i < exp; i++ {
+		r *= b
+	}
+	return int(r)
+}
+
+// GCD returns the greatest common divisor of a and b (non-negative result).
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortTriple returns the values of (i, j, k) reordered so that the first
+// return is the largest and the last the smallest (i' >= j' >= k'). It is
+// the index normalization used throughout for symmetric tensor access.
+func SortTriple(i, j, k int) (int, int, int) {
+	if i < j {
+		i, j = j, i
+	}
+	if j < k {
+		j, k = k, j
+	}
+	if i < j {
+		i, j = j, i
+	}
+	return i, j, k
+}
+
+// TripleKind classifies an index triple of the lower tetrahedron.
+type TripleKind int
+
+const (
+	// TripleStrict means i > j > k: an off-diagonal point with 6 distinct
+	// permutations in the full cube.
+	TripleStrict TripleKind = iota
+	// TriplePairHigh means i == j > k (3 distinct permutations).
+	TriplePairHigh
+	// TriplePairLow means i > j == k (3 distinct permutations).
+	TriplePairLow
+	// TripleDiagonal means i == j == k (1 permutation).
+	TripleDiagonal
+)
+
+func (t TripleKind) String() string {
+	switch t {
+	case TripleStrict:
+		return "strict"
+	case TriplePairHigh:
+		return "pair-high"
+	case TriplePairLow:
+		return "pair-low"
+	case TripleDiagonal:
+		return "diagonal"
+	}
+	return fmt.Sprintf("TripleKind(%d)", int(t))
+}
+
+// ClassifyTriple reports the kind of a sorted triple i >= j >= k. It panics
+// if the triple is not sorted.
+func ClassifyTriple(i, j, k int) TripleKind {
+	if i < j || j < k {
+		panic(fmt.Sprintf("intmath: ClassifyTriple(%d, %d, %d) not sorted", i, j, k))
+	}
+	switch {
+	case i == j && j == k:
+		return TripleDiagonal
+	case i == j:
+		return TriplePairHigh
+	case j == k:
+		return TriplePairLow
+	default:
+		return TripleStrict
+	}
+}
+
+// Multiplicity returns the number of distinct permutations of a sorted
+// triple i >= j >= k: 6 when all differ, 3 when exactly two coincide, and 1
+// on the central diagonal.
+func Multiplicity(i, j, k int) int {
+	switch ClassifyTriple(i, j, k) {
+	case TripleStrict:
+		return 6
+	case TripleDiagonal:
+		return 1
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,262 @@
+package intmath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {4, 2, 6}, {5, 3, 10},
+		{10, 4, 210}, {10, 10, 1}, {10, 11, 0}, {52, 5, 2598960},
+		{30, 15, 155117520},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		for k := 1; k < n; k++ {
+			if Binomial(n, k) != Binomial(n-1, k-1)+Binomial(n-1, k) {
+				t.Fatalf("Pascal identity fails at n=%d k=%d", n, k)
+			}
+		}
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, 2) did not panic")
+		}
+	}()
+	Binomial(-1, 2)
+}
+
+func TestSimplexNumbers(t *testing.T) {
+	for n := 0; n <= 100; n++ {
+		if got, want := Triangular(n), Binomial(n+1, 2); got != want {
+			t.Errorf("Triangular(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := Tetrahedral(n), Binomial(n+2, 3); got != want {
+			t.Errorf("Tetrahedral(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := StrictTetrahedral(n), Binomial(n, 3); got != want {
+			t.Errorf("StrictTetrahedral(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTetrahedralCountsLatticePoints(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		count, strict := 0, 0
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= i; j++ {
+				for k := 1; k <= j; k++ {
+					count++
+					if i > j && j > k {
+						strict++
+					}
+				}
+			}
+		}
+		if got := Tetrahedral(n); got != count {
+			t.Errorf("Tetrahedral(%d) = %d, enumeration says %d", n, got, count)
+		}
+		if got := StrictTetrahedral(n); got != strict {
+			t.Errorf("StrictTetrahedral(%d) = %d, enumeration says %d", n, got, strict)
+		}
+	}
+}
+
+func TestCeilDivAndRoundUp(t *testing.T) {
+	cases := []struct{ a, b, ceil, round int }{
+		{0, 1, 0, 0}, {1, 1, 1, 1}, {5, 2, 3, 6}, {6, 2, 3, 6},
+		{7, 3, 3, 9}, {9, 3, 3, 9}, {10, 10, 1, 10}, {11, 10, 2, 20},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := RoundUp(c.a, c.b); got != c.round {
+			t.Errorf("RoundUp(%d,%d) = %d, want %d", c.a, c.b, got, c.round)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		97: true, 7919: true,
+	}
+	for n := -3; n <= 100; n++ {
+		want := primes[n]
+		if !want {
+			// recompute by definition
+			want = n >= 2
+			for d := 2; d < n; d++ {
+				if n%d == 0 {
+					want = false
+					break
+				}
+			}
+		}
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestPrimePower(t *testing.T) {
+	cases := []struct {
+		n, p, k int
+		ok      bool
+	}{
+		{1, 0, 0, false}, {2, 2, 1, true}, {3, 3, 1, true},
+		{4, 2, 2, true}, {6, 0, 0, false}, {8, 2, 3, true},
+		{9, 3, 2, true}, {12, 0, 0, false}, {16, 2, 4, true},
+		{25, 5, 2, true}, {27, 3, 3, true}, {32, 2, 5, true},
+		{36, 0, 0, false}, {49, 7, 2, true}, {64, 2, 6, true},
+		{81, 3, 4, true}, {100, 0, 0, false}, {121, 11, 2, true},
+		{125, 5, 3, true}, {128, 2, 7, true}, {169, 13, 2, true},
+		{243, 3, 5, true}, {1024, 2, 10, true},
+	}
+	for _, c := range cases {
+		p, k, ok := PrimePower(c.n)
+		if p != c.p || k != c.k || ok != c.ok {
+			t.Errorf("PrimePower(%d) = (%d,%d,%v), want (%d,%d,%v)",
+				c.n, p, k, ok, c.p, c.k, c.ok)
+		}
+	}
+}
+
+func TestPrimePowerRoundTrip(t *testing.T) {
+	f := func(pIdx, kRaw uint8) bool {
+		primes := []int{2, 3, 5, 7, 11, 13}
+		p := primes[int(pIdx)%len(primes)]
+		k := int(kRaw)%5 + 1
+		n := Pow(p, k)
+		gp, gk, ok := PrimePower(n)
+		return ok && gp == p && gk == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 10); got != 1024 {
+		t.Errorf("Pow(2,10) = %d", got)
+	}
+	if got := Pow(7, 0); got != 1 {
+		t.Errorf("Pow(7,0) = %d", got)
+	}
+	if got := Pow(0, 5); got != 0 {
+		t.Errorf("Pow(0,5) = %d", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {-12, 18, 6},
+		{17, 13, 1}, {100, 75, 25},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSortTriple(t *testing.T) {
+	f := func(i, j, k int16) bool {
+		a, b, c := SortTriple(int(i), int(j), int(k))
+		if a < b || b < c {
+			return false
+		}
+		// must be a permutation of the input: compare multisets via sums
+		// of values and of squares and cubes.
+		si := int64(i) + int64(j) + int64(k)
+		so := int64(a) + int64(b) + int64(c)
+		qi := int64(i)*int64(i) + int64(j)*int64(j) + int64(k)*int64(k)
+		qo := int64(a)*int64(a) + int64(b)*int64(b) + int64(c)*int64(c)
+		return si == so && qi == qo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyAndMultiplicity(t *testing.T) {
+	cases := []struct {
+		i, j, k int
+		kind    TripleKind
+		mult    int
+	}{
+		{3, 2, 1, TripleStrict, 6},
+		{2, 2, 1, TriplePairHigh, 3},
+		{2, 1, 1, TriplePairLow, 3},
+		{2, 2, 2, TripleDiagonal, 1},
+	}
+	for _, c := range cases {
+		if got := ClassifyTriple(c.i, c.j, c.k); got != c.kind {
+			t.Errorf("ClassifyTriple(%d,%d,%d) = %v, want %v", c.i, c.j, c.k, got, c.kind)
+		}
+		if got := Multiplicity(c.i, c.j, c.k); got != c.mult {
+			t.Errorf("Multiplicity(%d,%d,%d) = %d, want %d", c.i, c.j, c.k, got, c.mult)
+		}
+	}
+}
+
+func TestMultiplicitySumsToCube(t *testing.T) {
+	// Sum of permutation multiplicities over the lower tetrahedron must be
+	// exactly n^3 (every cube point is a permutation of exactly one sorted
+	// triple).
+	for n := 1; n <= 25; n++ {
+		sum := 0
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= i; j++ {
+				for k := 1; k <= j; k++ {
+					sum += Multiplicity(i, j, k)
+				}
+			}
+		}
+		if sum != n*n*n {
+			t.Fatalf("n=%d: multiplicity sum = %d, want %d", n, sum, n*n*n)
+		}
+	}
+}
+
+func TestClassifyTriplePanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClassifyTriple(1,2,3) did not panic")
+		}
+	}()
+	ClassifyTriple(1, 2, 3)
+}
+
+func TestTripleKindString(t *testing.T) {
+	kinds := map[TripleKind]string{
+		TripleStrict:    "strict",
+		TriplePairHigh:  "pair-high",
+		TriplePairLow:   "pair-low",
+		TripleDiagonal:  "diagonal",
+		TripleKind(255): "TripleKind(255)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Min/Max incorrect")
+	}
+}

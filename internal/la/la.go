@@ -1,0 +1,186 @@
+// Package la provides the small dense linear algebra needed by the
+// symmetric CP gradient computation (Algorithm 2) and its driver: column-
+// major-free row-major matrices, Gram and Hadamard products, and basic
+// vector operations. It is intentionally minimal — just the substrate the
+// paper's applications require.
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // Data[r*Cols+c]
+}
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("la: NewMatrix(%d, %d)", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns m[r,c].
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns m[r,c].
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Col returns a copy of column c.
+func (m *Matrix) Col(c int) []float64 {
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.Data[r*m.Cols+c]
+	}
+	return out
+}
+
+// SetCol overwrites column c.
+func (m *Matrix) SetCol(c int, v []float64) {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("la: SetCol of length %d into %d rows", len(v), m.Rows))
+	}
+	for r := 0; r < m.Rows; r++ {
+		m.Data[r*m.Cols+c] = v[r]
+	}
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("la: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Gram returns XᵀX for an n×r matrix X — the r×r factor Gram matrix used
+// on line 3 of Algorithm 2.
+func Gram(x *Matrix) *Matrix {
+	out := NewMatrix(x.Cols, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*x.Cols : (i+1)*x.Cols]
+		for a, va := range row {
+			if va == 0 {
+				continue
+			}
+			orow := out.Data[a*x.Cols : (a+1)*x.Cols]
+			for b, vb := range row {
+				orow[b] += va * vb
+			}
+		}
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a ∗ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("la: Hadamard %dx%d with %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a − b.
+func Sub(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("la: Sub %dx%d with %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every entry by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// FrobeniusNorm returns ‖m‖_F.
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// --- vector helpers ---
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("la: Dot of lengths %d and %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm returns ‖x‖₂.
+func Norm(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Normalize scales x to unit norm in place and returns the original norm.
+// A zero vector is left unchanged and reported as norm 0.
+func Normalize(x []float64) float64 {
+	n := Norm(x)
+	if n == 0 {
+		return 0
+	}
+	for i := range x {
+		x[i] /= n
+	}
+	return n
+}
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("la: Axpy of lengths %d and %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Scale multiplies x by s in place.
+func Scale(s float64, x []float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}

@@ -1,0 +1,155 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestGramMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewMatrix(7, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	// Gram == Xᵀ·X via explicit transpose multiply.
+	xt := NewMatrix(4, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 4; j++ {
+			xt.Set(j, i, x.At(i, j))
+		}
+	}
+	want := MatMul(xt, x)
+	got := Gram(x)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("Gram differs at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	// Symmetry.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != got.At(j, i) {
+				t.Fatal("Gram not symmetric")
+			}
+		}
+	}
+}
+
+func TestHadamardSubScale(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	h := Hadamard(a, b)
+	if h.Data[0] != 5 || h.Data[3] != 32 {
+		t.Fatalf("Hadamard = %v", h.Data)
+	}
+	s := Sub(b, a)
+	if s.Data[0] != 4 || s.Data[3] != 4 {
+		t.Fatalf("Sub = %v", s.Data)
+	}
+	a.Scale(2)
+	if a.Data[3] != 8 {
+		t.Fatalf("Scale = %v", a.Data)
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetCol(1, []float64{1, 2, 3})
+	got := m.Col(1)
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Col = %v", got)
+	}
+	if m.Col(0)[0] != 0 {
+		t.Fatal("SetCol leaked into other column")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm(x) != 5 {
+		t.Fatalf("Norm = %g", Norm(x))
+	}
+	if Dot(x, x) != 25 {
+		t.Fatalf("Dot = %g", Dot(x, x))
+	}
+	y := []float64{1, 1}
+	Axpy(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+	n := Normalize(x)
+	if n != 5 || math.Abs(Norm(x)-1) > 1e-15 {
+		t.Fatalf("Normalize: n=%g ‖x‖=%g", n, Norm(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("Normalize of zero should report 0")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 2, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %g", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dot":       func() { Dot([]float64{1}, []float64{1, 2}) },
+		"Axpy":      func() { Axpy(1, []float64{1}, []float64{1, 2}) },
+		"Hadamard":  func() { Hadamard(NewMatrix(1, 2), NewMatrix(2, 1)) },
+		"Sub":       func() { Sub(NewMatrix(1, 2), NewMatrix(2, 1)) },
+		"SetCol":    func() { NewMatrix(3, 1).SetCol(0, []float64{1}) },
+		"NewMatrix": func() { NewMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,333 @@
+// Package machine simulates the α-β-γ (MPI-style) parallel machine of
+// §3.1: P processors, each with private local memory, communicating over a
+// fully connected network by sending and receiving messages.
+//
+// Because the paper's results are statements about counted communication —
+// words sent and received per processor (bandwidth cost) and message counts
+// (latency cost) — a simulator that executes the real data movement and
+// meters it exactly reproduces the quantities the theory bounds. Each
+// processor runs as a goroutine; messages are copied (distributed memory —
+// no sharing), delivered through per-rank mailboxes, and metered at both
+// endpoints.
+//
+// The package is deliberately small: point-to-point Send/Recv with tags,
+// a combined Exchange, barriers, and per-rank counters. Collectives are
+// layered on top in package collective.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message is an in-flight transfer.
+type message struct {
+	from, tag int
+	data      []float64
+}
+
+// Machine is the shared state of one simulated run.
+type Machine struct {
+	p        int
+	inbox    []chan message
+	sent     []counter
+	recv     []counter
+	barrier  *barrier
+	observer func(Event)
+}
+
+// Event records one message at send time.
+type Event struct {
+	From, To, Tag int
+	Words         int
+}
+
+type counter struct {
+	words int64
+	msgs  int64
+}
+
+// Comm is a rank's handle to the machine. Exactly one goroutine may use a
+// given Comm.
+type Comm struct {
+	m    *Machine
+	rank int
+	// pending holds messages drained from the inbox while waiting for a
+	// specific (from, tag); keyed by sender and tag, FIFO per key.
+	pending map[[2]int][]([]float64)
+}
+
+// Rank returns this processor's id in 0..P-1.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns P.
+func (c *Comm) Size() int { return c.m.p }
+
+// Send transmits a copy of data to the destination rank with the given
+// tag, metering len(data) words. Sending to self is an error by panic —
+// local data never counts as communication in the model.
+func (c *Comm) Send(to, tag int, data []float64) {
+	if to == c.rank {
+		panic(fmt.Sprintf("machine: rank %d sending to itself", to))
+	}
+	if to < 0 || to >= c.m.p {
+		panic(fmt.Sprintf("machine: send to rank %d of %d", to, c.m.p))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.m.sent[c.rank].words += int64(len(data))
+	c.m.sent[c.rank].msgs++
+	if c.m.observer != nil {
+		c.m.observer(Event{From: c.rank, To: to, Tag: tag, Words: len(data)})
+	}
+	c.m.inbox[to] <- message{from: c.rank, tag: tag, data: cp}
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. Messages from the same (source, tag) are delivered
+// in send order.
+func (c *Comm) Recv(from, tag int) []float64 {
+	key := [2]int{from, tag}
+	if q := c.pending[key]; len(q) > 0 {
+		data := q[0]
+		c.pending[key] = q[1:]
+		c.meterRecv(data)
+		return data
+	}
+	for msg := range c.m.inbox[c.rank] {
+		if msg.from == from && msg.tag == tag {
+			c.meterRecv(msg.data)
+			return msg.data
+		}
+		k := [2]int{msg.from, msg.tag}
+		c.pending[k] = append(c.pending[k], msg.data)
+	}
+	panic("machine: inbox closed while receiving")
+}
+
+func (c *Comm) meterRecv(data []float64) {
+	c.m.recv[c.rank].words += int64(len(data))
+	c.m.recv[c.rank].msgs++
+}
+
+// Exchange sends data to peer and receives peer's message with the same
+// tag — the bidirectional-link primitive of the model (a processor can
+// send and receive one message at the same time).
+func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
+	c.Send(peer, tag, data)
+	return c.Recv(peer, tag)
+}
+
+// Barrier blocks until all P ranks have entered it.
+func (c *Comm) Barrier() { c.m.barrier.await() }
+
+// SentWords returns the words this rank has sent so far.
+func (c *Comm) SentWords() int64 { return c.m.sent[c.rank].words }
+
+// RecvWords returns the words this rank has received so far.
+func (c *Comm) RecvWords() int64 { return c.m.recv[c.rank].words }
+
+// SentMsgs returns the number of messages this rank has sent so far.
+func (c *Comm) SentMsgs() int64 { return c.m.sent[c.rank].msgs }
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	gen   int
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Report carries the per-rank communication meters of a completed run.
+type Report struct {
+	P         int
+	SentWords []int64
+	RecvWords []int64
+	SentMsgs  []int64
+	RecvMsgs  []int64
+}
+
+// MaxSentWords returns the maximum words sent by any rank.
+func (r *Report) MaxSentWords() int64 { return maxOf(r.SentWords) }
+
+// MaxRecvWords returns the maximum words received by any rank.
+func (r *Report) MaxRecvWords() int64 { return maxOf(r.RecvWords) }
+
+// MaxWords returns the bandwidth cost in the paper's sense: the maximum
+// over ranks of the larger of words sent and words received (sends and
+// receives overlap on bidirectional links).
+func (r *Report) MaxWords() int64 {
+	var m int64
+	for i := range r.SentWords {
+		v := r.SentWords[i]
+		if r.RecvWords[i] > v {
+			v = r.RecvWords[i]
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TotalSentWords returns the total words moved through the network.
+func (r *Report) TotalSentWords() int64 {
+	var s int64
+	for _, v := range r.SentWords {
+		s += v
+	}
+	return s
+}
+
+// MaxSentMsgs returns the maximum message count sent by any rank (the
+// latency cost proxy).
+func (r *Report) MaxSentMsgs() int64 { return maxOf(r.SentMsgs) }
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Run executes body on P simulated processors and returns the metered
+// report. It panics with the first rank's panic value if any rank panics
+// (after all ranks finish or deadlock-free teardown is impossible).
+func Run(p int, body func(c *Comm)) *Report {
+	r, err := RunTimeout(p, 0, body)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunTimeout is Run with a watchdog: when timeout > 0 and the run does not
+// complete in time (a deadlocked protocol, for example), it returns an
+// error instead of hanging forever. A zero timeout disables the watchdog.
+func RunTimeout(p int, timeout time.Duration, body func(c *Comm)) (*Report, error) {
+	return RunTraced(p, timeout, nil, body)
+}
+
+// RunTraced is RunTimeout with an observer invoked synchronously at every
+// Send, from the sending rank's goroutine — the observer must be safe for
+// concurrent use (see Trace for a ready-made collector). It is the hook
+// used to check that executed communication conforms to a planned
+// schedule.
+func RunTraced(p int, timeout time.Duration, observer func(Event), body func(c *Comm)) (*Report, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("machine: P = %d", p)
+	}
+	m := &Machine{
+		p:        p,
+		inbox:    make([]chan message, p),
+		sent:     make([]counter, p),
+		recv:     make([]counter, p),
+		barrier:  newBarrier(p),
+		observer: observer,
+	}
+	// Inbox capacity: the densest standard protocol (naive all-to-all)
+	// has at most P-1 undrained messages per receiver; 2P gives headroom
+	// so no correct protocol blocks on mailbox space.
+	for i := range m.inbox {
+		m.inbox[i] = make(chan message, 2*p)
+	}
+
+	panics := make([]interface{}, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[rank] = r
+				}
+			}()
+			body(&Comm{m: m, rank: rank, pending: make(map[[2]int][]([]float64))})
+		}(rank)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			return nil, fmt.Errorf("machine: run of %d ranks timed out after %v (deadlock?)", p, timeout)
+		}
+	} else {
+		<-done
+	}
+	for rank, pv := range panics {
+		if pv != nil {
+			return nil, fmt.Errorf("machine: rank %d panicked: %v", rank, pv)
+		}
+	}
+	rep := &Report{
+		P:         p,
+		SentWords: make([]int64, p),
+		RecvWords: make([]int64, p),
+		SentMsgs:  make([]int64, p),
+		RecvMsgs:  make([]int64, p),
+	}
+	for i := 0; i < p; i++ {
+		rep.SentWords[i] = m.sent[i].words
+		rep.RecvWords[i] = m.recv[i].words
+		rep.SentMsgs[i] = m.sent[i].msgs
+		rep.RecvMsgs[i] = m.recv[i].msgs
+	}
+	return rep, nil
+}
+
+// Trace is a thread-safe event collector for RunTraced.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Observer returns the callback to pass to RunTraced.
+func (t *Trace) Observer() func(Event) {
+	return func(e Event) {
+		t.mu.Lock()
+		t.events = append(t.events, e)
+		t.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the collected events (arbitrary interleaving
+// order across ranks; per-(sender, tag) order is send order).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}

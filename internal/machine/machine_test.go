@@ -1,0 +1,271 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPingPong(t *testing.T) {
+	rep := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3})
+			got := c.Recv(1, 0)
+			if len(got) != 2 || got[0] != 4 {
+				t.Errorf("rank 0 received %v", got)
+			}
+		} else {
+			got := c.Recv(0, 0)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("rank 1 received %v", got)
+			}
+			c.Send(0, 0, []float64{4, 5})
+		}
+	})
+	if rep.SentWords[0] != 3 || rep.SentWords[1] != 2 {
+		t.Errorf("sent words %v", rep.SentWords)
+	}
+	if rep.RecvWords[0] != 2 || rep.RecvWords[1] != 3 {
+		t.Errorf("recv words %v", rep.RecvWords)
+	}
+	if rep.SentMsgs[0] != 1 || rep.RecvMsgs[1] != 1 {
+		t.Errorf("msg counts %v %v", rep.SentMsgs, rep.RecvMsgs)
+	}
+}
+
+func TestMessageIsolation(t *testing.T) {
+	// Distributed memory: mutating the sent buffer after Send must not
+	// affect what the receiver sees.
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1
+		} else {
+			got := c.Recv(0, 0)
+			if got[0] != 42 {
+				t.Errorf("received %v after sender mutation", got)
+			}
+		}
+	})
+}
+
+func TestTagsDisambiguate(t *testing.T) {
+	// Receive tags out of arrival order.
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{7})
+			c.Send(1, 8, []float64{8})
+		} else {
+			if got := c.Recv(0, 8); got[0] != 8 {
+				t.Errorf("tag 8 got %v", got)
+			}
+			if got := c.Recv(0, 7); got[0] != 7 {
+				t.Errorf("tag 7 got %v", got)
+			}
+		}
+	})
+}
+
+func TestFIFOPerSenderTag(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 0, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := c.Recv(0, 0); got[0] != float64(i) {
+					t.Errorf("message %d got %v", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestExchange(t *testing.T) {
+	rep := Run(4, func(c *Comm) {
+		peer := c.Rank() ^ 1
+		got := c.Exchange(peer, 0, []float64{float64(c.Rank())})
+		if got[0] != float64(peer) {
+			t.Errorf("rank %d exchanged, got %v", c.Rank(), got)
+		}
+	})
+	if rep.MaxWords() != 1 {
+		t.Errorf("MaxWords = %d", rep.MaxWords())
+	}
+	if rep.TotalSentWords() != 4 {
+		t.Errorf("TotalSentWords = %d", rep.TotalSentWords())
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier, all pre-barrier sends from every rank are in
+	// flight; use phases to check no crosstalk between rounds.
+	const p = 8
+	Run(p, func(c *Comm) {
+		for round := 0; round < 5; round++ {
+			peer := (c.Rank() + 1 + round) % p
+			if peer != c.Rank() {
+				c.Send(peer, round, []float64{float64(round*100 + c.Rank())})
+				from := (c.Rank() - 1 - round + 2*p) % p
+				got := c.Recv(from, round)
+				if int(got[0]) != round*100+from {
+					t.Errorf("round %d rank %d got %v", round, c.Rank(), got)
+				}
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestConservation(t *testing.T) {
+	// Total sent must equal total received in any completed run.
+	rep := Run(6, func(c *Comm) {
+		for to := 0; to < c.Size(); to++ {
+			if to != c.Rank() {
+				c.Send(to, 0, make([]float64, c.Rank()+1))
+			}
+		}
+		for from := 0; from < c.Size(); from++ {
+			if from != c.Rank() {
+				c.Recv(from, 0)
+			}
+		}
+	})
+	var sent, recv int64
+	for i := 0; i < rep.P; i++ {
+		sent += rep.SentWords[i]
+		recv += rep.RecvWords[i]
+	}
+	if sent != recv {
+		t.Errorf("sent %d != received %d", sent, recv)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	_, err := RunTimeout(2, time.Second, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(0, 0, nil)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutOfRangeSendPanics(t *testing.T) {
+	_, err := RunTimeout(2, time.Second, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(5, 0, nil)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	_, err := RunTimeout(2, 100*time.Millisecond, func(c *Comm) {
+		c.Recv(1-c.Rank(), 0) // both wait forever
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadP(t *testing.T) {
+	if _, err := RunTimeout(0, 0, func(c *Comm) {}); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+}
+
+func TestCountersVisibleMidRun(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 5))
+			if c.SentWords() != 5 || c.SentMsgs() != 1 {
+				t.Errorf("mid-run counters: %d words %d msgs", c.SentWords(), c.SentMsgs())
+			}
+		} else {
+			c.Recv(0, 0)
+			if c.RecvWords() != 5 {
+				t.Errorf("mid-run recv words: %d", c.RecvWords())
+			}
+		}
+	})
+}
+
+func TestReportAggregates(t *testing.T) {
+	rep := &Report{
+		P:         3,
+		SentWords: []int64{5, 9, 2},
+		RecvWords: []int64{10, 1, 5},
+		SentMsgs:  []int64{1, 3, 2},
+		RecvMsgs:  []int64{2, 2, 2},
+	}
+	if rep.MaxSentWords() != 9 {
+		t.Errorf("MaxSentWords = %d", rep.MaxSentWords())
+	}
+	if rep.MaxRecvWords() != 10 {
+		t.Errorf("MaxRecvWords = %d", rep.MaxRecvWords())
+	}
+	if rep.MaxWords() != 10 {
+		t.Errorf("MaxWords = %d", rep.MaxWords())
+	}
+	if rep.TotalSentWords() != 16 {
+		t.Errorf("TotalSentWords = %d", rep.TotalSentWords())
+	}
+	if rep.MaxSentMsgs() != 3 {
+		t.Errorf("MaxSentMsgs = %d", rep.MaxSentMsgs())
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	// A ring reduction across 64 ranks; checks no lost or duplicated
+	// messages at scale.
+	const p = 64
+	Run(p, func(c *Comm) {
+		sum := float64(c.Rank())
+		for step := 0; step < p-1; step++ {
+			to := (c.Rank() + 1) % p
+			from := (c.Rank() - 1 + p) % p
+			c.Send(to, step, []float64{sum})
+			sum += c.Recv(from, step)[0] - float64(c.Rank()) // accumulate ring values
+			// simpler: track incoming value only
+		}
+	})
+	// The arithmetic above is intentionally loose; the real assertion is
+	// that the run completes without deadlock or loss. A strict ring
+	// all-reduce correctness test follows.
+	rep := Run(p, func(c *Comm) {
+		val := float64(c.Rank() + 1)
+		acc := val
+		cur := val
+		for step := 0; step < p-1; step++ {
+			to := (c.Rank() + 1) % p
+			from := (c.Rank() - 1 + p) % p
+			c.Send(to, step, []float64{cur})
+			cur = c.Recv(from, step)[0]
+			acc += cur
+		}
+		want := float64(p*(p+1)) / 2
+		if math.Abs(acc-want) > 1e-9 {
+			t.Errorf("rank %d: ring sum %g, want %g", c.Rank(), acc, want)
+		}
+	})
+	if rep.MaxSentMsgs() != p-1 {
+		t.Errorf("MaxSentMsgs = %d, want %d", rep.MaxSentMsgs(), p-1)
+	}
+}
+
+func BenchmarkExchange(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(8, func(c *Comm) {
+			peer := c.Rank() ^ 1
+			c.Exchange(peer, 0, make([]float64, 64))
+		})
+	}
+}

@@ -1,0 +1,240 @@
+// Package memsim provides a two-level memory simulator for studying the
+// *sequential* I/O behavior of the STTSV kernels — the setting of the
+// sequential communication lower bounds the paper builds on (§2: Hong &
+// Kung's red-blue pebble game; Beaumont et al.'s I/O-optimal symmetric
+// kernels). The parallel results of the paper are memory-independent, but
+// the blocked kernels that Algorithm 5 executes locally are exactly the
+// tiling that makes the sequential computation cache-efficient; this
+// package quantifies that.
+//
+// The model is a fully associative LRU cache of M words with line size L
+// words in front of an infinite slow memory. Kernels are replayed as
+// address traces (values are irrelevant to traffic), and the metric is
+// words moved between the levels.
+package memsim
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/intmath"
+)
+
+// Cache is a fully associative LRU cache. Addresses are word-granular;
+// lines group L consecutive words.
+type Cache struct {
+	lines    int // capacity in lines
+	lineSize int
+	lru      *list.List            // front = most recent; values are line ids
+	index    map[int]*list.Element // line id -> node
+	misses   int64
+	accesses int64
+}
+
+// NewCache returns a cache of capacityWords words with lineWords-word
+// lines. capacityWords must be a positive multiple of lineWords.
+func NewCache(capacityWords, lineWords int) *Cache {
+	if lineWords < 1 || capacityWords < lineWords || capacityWords%lineWords != 0 {
+		panic(fmt.Sprintf("memsim: NewCache(%d, %d)", capacityWords, lineWords))
+	}
+	return &Cache{
+		lines:    capacityWords / lineWords,
+		lineSize: lineWords,
+		lru:      list.New(),
+		index:    make(map[int]*list.Element),
+	}
+}
+
+// Access touches one word (read or write — the traffic model is
+// symmetric, with write-allocate and no write-back distinction).
+func (c *Cache) Access(addr int) {
+	c.accesses++
+	line := addr / c.lineSize
+	if el, ok := c.index[line]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.misses++
+	if c.lru.Len() == c.lines {
+		back := c.lru.Back()
+		delete(c.index, back.Value.(int))
+		c.lru.Remove(back)
+	}
+	c.index[line] = c.lru.PushFront(line)
+}
+
+// AccessRange touches words [addr, addr+n).
+func (c *Cache) AccessRange(addr, n int) {
+	for i := 0; i < n; i++ {
+		c.Access(addr + i)
+	}
+}
+
+// Misses returns the number of line misses so far.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// TrafficWords returns words moved from slow memory: misses × line size.
+func (c *Cache) TrafficWords() int64 { return c.misses * int64(c.lineSize) }
+
+// Accesses returns the number of word accesses replayed.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Arena assigns disjoint word-address ranges to arrays.
+type Arena struct{ next int }
+
+// Alloc reserves n words and returns the base address.
+func (a *Arena) Alloc(n int) int {
+	base := a.next
+	a.next += n
+	return base
+}
+
+// --- kernel address traces ---
+
+// layout bundles the base addresses of the STTSV operands.
+type layout struct {
+	a, x, y int // bases: packed tensor, input vector, output vector
+}
+
+func newLayout(n int) (*Arena, layout) {
+	var ar Arena
+	return &ar, layout{
+		a: ar.Alloc(intmath.Tetrahedral(n)),
+		x: ar.Alloc(n),
+		y: ar.Alloc(n),
+	}
+}
+
+// TracePacked replays Algorithm 4's access pattern (packed tensor,
+// element-wise updates of up to three y entries per element) and returns
+// the slow-memory traffic in words.
+func TracePacked(n int, c *Cache) int64 {
+	_, l := newLayout(n)
+	before := c.TrafficWords()
+	idx := 0
+	for i := 0; i < n; i++ {
+		c.Access(l.x + i)
+		for j := 0; j < i; j++ {
+			c.Access(l.x + j)
+			for k := 0; k < j; k++ {
+				c.Access(l.a + idx)
+				idx++
+				c.Access(l.x + k)
+				c.Access(l.y + i)
+				c.Access(l.y + j)
+				c.Access(l.y + k)
+			}
+			c.Access(l.a + idx) // k == j
+			idx++
+			c.Access(l.y + i)
+			c.Access(l.y + j)
+		}
+		for k := 0; k < i; k++ {
+			c.Access(l.a + idx)
+			idx++
+			c.Access(l.x + k)
+			c.Access(l.y + i)
+			c.Access(l.y + k)
+		}
+		c.Access(l.a + idx) // central
+		idx++
+		c.Access(l.y + i)
+	}
+	return c.TrafficWords() - before
+}
+
+// TraceBlocked replays the tetrahedral-blocked kernel schedule: blocks of
+// edge b are streamed one at a time, with the three x and three y row
+// blocks touched per tensor element of the block. The tensor is stored
+// block-contiguously (each block's packed data is consecutive), which is
+// what the partition layer provides.
+func TraceBlocked(n, b int, c *Cache) int64 {
+	if b < 1 || n%b != 0 {
+		panic(fmt.Sprintf("memsim: TraceBlocked(%d, %d)", n, b))
+	}
+	m := n / b
+	var ar Arena
+	xBase := ar.Alloc(n)
+	yBase := ar.Alloc(n)
+	before := c.TrafficWords()
+	// Enumerate blocks of the lower block tetrahedron; each block's data
+	// is a fresh contiguous range (streamed once).
+	for I := 0; I < m; I++ {
+		for J := 0; J <= I; J++ {
+			for K := 0; K <= J; K++ {
+				words := blockWords(I, J, K, b)
+				aBase := ar.Alloc(words)
+				traceBlock(c, aBase, xBase, yBase, I, J, K, b)
+			}
+		}
+	}
+	return c.TrafficWords() - before
+}
+
+func blockWords(I, J, K, b int) int {
+	switch {
+	case I > J && J > K:
+		return b * b * b
+	case I == J && J == K:
+		return intmath.Tetrahedral(b)
+	default:
+		return b * b * (b + 1) / 2
+	}
+}
+
+// traceBlock replays one block's element loop: tensor data streams
+// sequentially while x/y row blocks are reused heavily.
+func traceBlock(c *Cache, aBase, xBase, yBase, I, J, K, b int) {
+	idx := aBase
+	visit := func(di, dj, dk int) {
+		c.Access(idx)
+		idx++
+		c.Access(xBase + J*b + dj)
+		c.Access(xBase + K*b + dk)
+		c.Access(yBase + I*b + di)
+		// The off-diagonal update also reads x_I and writes y_J, y_K.
+		c.Access(xBase + I*b + di)
+		c.Access(yBase + J*b + dj)
+		c.Access(yBase + K*b + dk)
+	}
+	switch {
+	case I > J && J > K:
+		for di := 0; di < b; di++ {
+			for dj := 0; dj < b; dj++ {
+				for dk := 0; dk < b; dk++ {
+					visit(di, dj, dk)
+				}
+			}
+		}
+	case I == J && J > K:
+		for di := 0; di < b; di++ {
+			for dj := 0; dj <= di; dj++ {
+				for dk := 0; dk < b; dk++ {
+					visit(di, dj, dk)
+				}
+			}
+		}
+	case I > J && J == K:
+		for di := 0; di < b; di++ {
+			for dj := 0; dj < b; dj++ {
+				for dk := 0; dk <= dj; dk++ {
+					visit(di, dj, dk)
+				}
+			}
+		}
+	default:
+		for di := 0; di < b; di++ {
+			for dj := 0; dj <= di; dj++ {
+				for dk := 0; dk <= dj; dk++ {
+					visit(di, dj, dk)
+				}
+			}
+		}
+	}
+}
+
+// CompulsoryWords returns the unavoidable traffic: every operand word must
+// be loaded at least once — the tensor (n(n+1)(n+2)/6), x and y (n each).
+func CompulsoryWords(n int) int64 {
+	return int64(intmath.Tetrahedral(n)) + 2*int64(n)
+}

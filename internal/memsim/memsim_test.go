@@ -1,0 +1,157 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/intmath"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(4, 1) // 4 one-word lines
+	c.Access(0)
+	c.Access(1)
+	c.Access(0) // hit
+	if c.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", c.Misses())
+	}
+	if c.Accesses() != 3 {
+		t.Fatalf("accesses = %d", c.Accesses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Access(0)
+	c.Access(1)
+	c.Access(0) // 0 now most recent
+	c.Access(2) // evicts 1
+	c.Access(0) // hit
+	c.Access(1) // miss again
+	if c.Misses() != 4 {
+		t.Fatalf("misses = %d, want 4", c.Misses())
+	}
+}
+
+func TestCacheLineGranularity(t *testing.T) {
+	c := NewCache(8, 4)
+	c.AccessRange(0, 4) // one line: one miss
+	if c.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", c.Misses())
+	}
+	if c.TrafficWords() != 4 {
+		t.Fatalf("traffic = %d, want 4", c.TrafficWords())
+	}
+	c.Access(5) // second line
+	if c.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", c.Misses())
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {3, 4}, {10, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewCache(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestArena(t *testing.T) {
+	var a Arena
+	b1 := a.Alloc(10)
+	b2 := a.Alloc(5)
+	if b1 != 0 || b2 != 10 {
+		t.Fatalf("arena bases %d %d", b1, b2)
+	}
+}
+
+func TestTrafficAtLeastCompulsory(t *testing.T) {
+	n := 24
+	for _, mWords := range []int{64, 256, 4096} {
+		c := NewCache(mWords, 1)
+		got := TracePacked(n, c)
+		if got < CompulsoryWords(n) {
+			t.Fatalf("M=%d: traffic %d below compulsory %d", mWords, got, CompulsoryWords(n))
+		}
+	}
+}
+
+func TestInfiniteCacheIsCompulsoryOnly(t *testing.T) {
+	// With a cache larger than the whole footprint, traffic equals the
+	// operand sizes exactly (every word missed once).
+	n := 16
+	foot := intmath.Tetrahedral(n) + 2*n
+	c := NewCache(2*foot, 1)
+	got := TracePacked(n, c)
+	if got != CompulsoryWords(n) {
+		t.Fatalf("infinite cache traffic %d, want %d", got, CompulsoryWords(n))
+	}
+}
+
+func TestBlockedBeatsUnblockedWhenCacheIsSmall(t *testing.T) {
+	// The blocked schedule keeps six b-length row blocks hot; with a
+	// cache big enough for them but far smaller than the vectors, it
+	// approaches compulsory traffic while the i-j-k loop thrashes y and x.
+	n, b := 48, 8
+	mWords := 8 * b // fits the working set of one block, not the vectors
+	cu := NewCache(mWords, 1)
+	unblocked := TracePacked(n, cu)
+	cb := NewCache(mWords, 1)
+	blocked := TraceBlocked(n, b, cb)
+	if blocked >= unblocked {
+		t.Fatalf("blocked traffic %d not below unblocked %d", blocked, unblocked)
+	}
+	// Blocked should be within a small factor of compulsory.
+	if blocked > 3*CompulsoryWords(n) {
+		t.Fatalf("blocked traffic %d too far above compulsory %d", blocked, CompulsoryWords(n))
+	}
+}
+
+func TestBlockedTrafficDecreasesWithCache(t *testing.T) {
+	n, b := 36, 6
+	prev := int64(1 << 62)
+	for _, mWords := range []int{16, 64, 256, 4096} {
+		c := NewCache(mWords, 1)
+		got := TraceBlocked(n, b, c)
+		if got > prev {
+			t.Fatalf("M=%d: traffic %d increased from %d", mWords, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestTraceBlockedValidation(t *testing.T) {
+	c := NewCache(64, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TraceBlocked(10, 3, c) // 3 does not divide 10
+}
+
+func TestTraceAccessCountsMatchWork(t *testing.T) {
+	// Both traces perform accesses proportional to the lower-tetrahedron
+	// element count; the blocked trace touches the padded full-block
+	// elements. Sanity: the packed trace touches each tensor word exactly
+	// once.
+	n := 12
+	c := NewCache(1<<20, 1)
+	TracePacked(n, c)
+	// Tensor words + x reads + y updates: at minimum one access per
+	// tensor element.
+	if c.Accesses() < int64(intmath.Tetrahedral(n)) {
+		t.Fatalf("accesses %d below tensor size", c.Accesses())
+	}
+}
+
+func BenchmarkTracePacked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCache(1024, 8)
+		TracePacked(32, c)
+	}
+}

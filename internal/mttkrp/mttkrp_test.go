@@ -1,0 +1,121 @@
+package mttkrp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+const tol = 1e-10
+
+func randSetup(n, r int, seed int64) (*tensor.Symmetric, *la.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	a := tensor.Random(n, rng)
+	x := la.NewMatrix(n, r)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return a, x
+}
+
+func TestColumnwiseMatchesDefinition(t *testing.T) {
+	// Brute-force Y_il = Σ_jk a_ijk X_jl X_kl over the dense cube.
+	n, r := 7, 3
+	a, x := randSetup(n, r, 1)
+	d := a.Dense()
+	y := Columnwise(a, x, nil)
+	for i := 0; i < n; i++ {
+		for l := 0; l < r; l++ {
+			want := 0.0
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					want += d.At(i, j, k) * x.At(j, l) * x.At(k, l)
+				}
+			}
+			if math.Abs(y.At(i, l)-want) > tol {
+				t.Fatalf("Y[%d,%d] = %g, want %g", i, l, y.At(i, l), want)
+			}
+		}
+	}
+}
+
+func TestFusedMatchesColumnwise(t *testing.T) {
+	for _, c := range []struct{ n, r int }{{5, 1}, {9, 4}, {16, 7}, {1, 3}} {
+		a, x := randSetup(c.n, c.r, int64(c.n*10+c.r))
+		want := Columnwise(a, x, nil)
+		got := Fused(a, x, nil)
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > tol {
+				t.Fatalf("n=%d r=%d: Fused differs at %d: %g vs %g",
+					c.n, c.r, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestOperationCounts(t *testing.T) {
+	n, r := 10, 4
+	a, x := randSetup(n, r, 3)
+	var sc, sf sttsv.Stats
+	Columnwise(a, x, &sc)
+	Fused(a, x, &sf)
+	want := TernaryCount(n, r)
+	if sc.TernaryMults != want {
+		t.Errorf("Columnwise counted %d, want %d", sc.TernaryMults, want)
+	}
+	if sf.TernaryMults != want {
+		t.Errorf("Fused counted %d, want %d", sf.TernaryMults, want)
+	}
+}
+
+func TestSingleColumnIsSTTSV(t *testing.T) {
+	// §8: for fixed ℓ the computation is exactly an STTSV.
+	n := 11
+	a, x := randSetup(n, 1, 4)
+	y := Fused(a, x, nil)
+	want := sttsv.Packed(a, x.Col(0), nil)
+	for i := 0; i < n; i++ {
+		if math.Abs(y.At(i, 0)-want[i]) > tol {
+			t.Fatalf("column-0 mismatch at %d", i)
+		}
+	}
+}
+
+func TestPanicsOnMismatch(t *testing.T) {
+	a := tensor.NewSymmetric(4)
+	x := la.NewMatrix(5, 2)
+	for name, fn := range map[string]func(){
+		"Columnwise": func() { Columnwise(a, x, nil) },
+		"Fused":      func() { Fused(a, x, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkColumnwise(b *testing.B) {
+	a, x := randSetup(64, 8, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Columnwise(a, x, nil)
+	}
+}
+
+func BenchmarkFused(b *testing.B) {
+	// Ablation: one tensor pass for all 8 columns vs 8 passes.
+	a, x := randSetup(64, 8, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fused(a, x, nil)
+	}
+}

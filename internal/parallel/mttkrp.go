@@ -1,0 +1,235 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+// RunMTTKRP executes the symmetric MTTKRP Y_iℓ = Σ_jk a_ijk·X_jℓ·X_kℓ on
+// the simulated machine — the paper's §8 generalization target. The same
+// tetrahedral partition, vector distribution and communication schedule as
+// Algorithm 5 are reused with messages carrying all r factor columns at
+// once, so the per-processor bandwidth is exactly r times the single-
+// vector cost while the latency (message count) stays that of a single
+// STTSV — the amortization that makes the blocked layout attractive for
+// CP-decomposition workloads.
+//
+// The factor matrix may be nil for pure communication measurements
+// (rank r zero columns).
+func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matrix, *Result, error) {
+	part := opts.Part
+	if part == nil {
+		return nil, nil, fmt.Errorf("parallel: nil partition")
+	}
+	b := opts.B
+	if b < 1 {
+		return nil, nil, fmt.Errorf("parallel: block edge %d", b)
+	}
+	if x != nil {
+		r = x.Cols
+	}
+	if r < 1 {
+		return nil, nil, fmt.Errorf("parallel: rank %d", r)
+	}
+	var n int
+	switch {
+	case x != nil:
+		n = x.Rows
+	case a != nil:
+		n = a.N
+	default:
+		n = part.M * b
+	}
+	padded := part.M * b
+	if n > padded {
+		return nil, nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, padded)
+	}
+	if a != nil && a.N != n {
+		return nil, nil, fmt.Errorf("parallel: tensor dimension %d, factor rows %d", a.N, n)
+	}
+
+	sched := opts.Sched
+	if opts.Wiring == WiringP2P && sched == nil {
+		s, err := schedule.Build(part)
+		if err != nil {
+			return nil, nil, err
+		}
+		sched = s
+	}
+
+	// Host-side setup: padded columns and per-processor blocks.
+	cols := make([][]float64, r)
+	for l := 0; l < r; l++ {
+		col := make([]float64, padded)
+		if x != nil {
+			for i := 0; i < n; i++ {
+				col[i] = x.At(i, l)
+			}
+		}
+		cols[l] = col
+	}
+	blocks := make([][]*tensor.Block, part.P)
+	for p := 0; p < part.P; p++ {
+		for _, c := range part.Blocks(p) {
+			var blk *tensor.Block
+			if a != nil {
+				blk = tensor.ExtractBlock(a, c.I, c.J, c.K, b)
+			} else {
+				blk = tensor.NewBlock(c.I, c.J, c.K, b)
+			}
+			blocks[p] = append(blocks[p], blk)
+		}
+	}
+
+	var plans [][]plannedTransfer
+	steps := part.P - 1
+	if opts.Wiring == WiringP2P {
+		plans = buildPlans(part, sched)
+		steps = sched.NumSteps()
+	}
+
+	finalChunks := make([]map[int][][]float64, part.P) // rank -> row -> per-column chunk
+	gatherSent := make([]int64, part.P)
+	scatterSent := make([]int64, part.P)
+	ternary := make([]int64, part.P)
+
+	report, err := machine.RunTimeout(part.P, 0, func(c *machine.Comm) {
+		me := c.Rank()
+		myRows := part.Rp[me]
+
+		// xRows[row][l] is the full row block of column l; start with the
+		// owned chunk.
+		xRows := make(map[int][][]float64, len(myRows))
+		for _, i := range myRows {
+			perCol := make([][]float64, r)
+			lo, hi, _ := part.OwnedRange(me, i, b)
+			for l := 0; l < r; l++ {
+				row := make([]float64, b)
+				copy(row[lo:hi], cols[l][i*b+lo:i*b+hi])
+				perCol[l] = row
+			}
+			xRows[i] = perCol
+		}
+
+		gatherPack := func(peer int, rows []int) []float64 {
+			var payload []float64
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(me, row, b)
+				for l := 0; l < r; l++ {
+					payload = append(payload, xRows[row][l][lo:hi]...)
+				}
+			}
+			return payload
+		}
+		gatherUnpack := func(peer int, rows []int, payload []float64) {
+			pos := 0
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(peer, row, b)
+				for l := 0; l < r; l++ {
+					copy(xRows[row][l][lo:hi], payload[pos:pos+hi-lo])
+					pos += hi - lo
+				}
+			}
+		}
+		switch opts.Wiring {
+		case WiringP2P:
+			runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
+		case WiringAllToAll:
+			runAllToAllPhase(c, part, 1, widthAllToAll(part, b, r), gatherPack, gatherUnpack)
+		}
+		gatherSent[me] = c.SentWords()
+
+		// Local compute: one BlockContribute per (block, column).
+		yRows := make(map[int][][]float64, len(myRows))
+		for _, i := range myRows {
+			perCol := make([][]float64, r)
+			for l := 0; l < r; l++ {
+				perCol[l] = make([]float64, b)
+			}
+			yRows[i] = perCol
+		}
+		var st sttsv.Stats
+		for _, blk := range blocks[me] {
+			for l := 0; l < r; l++ {
+				sttsv.BlockContribute(blk,
+					xRows[blk.I][l], xRows[blk.J][l], xRows[blk.K][l],
+					yRows[blk.I][l], yRows[blk.J][l], yRows[blk.K][l], &st)
+			}
+		}
+		ternary[me] = st.TernaryMults
+
+		scatterPack := func(peer int, rows []int) []float64 {
+			var payload []float64
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(peer, row, b)
+				for l := 0; l < r; l++ {
+					payload = append(payload, yRows[row][l][lo:hi]...)
+				}
+			}
+			return payload
+		}
+		scatterUnpack := func(peer int, rows []int, payload []float64) {
+			pos := 0
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(me, row, b)
+				for l := 0; l < r; l++ {
+					dst := yRows[row][l]
+					for t := lo; t < hi; t++ {
+						dst[t] += payload[pos]
+						pos++
+					}
+				}
+			}
+		}
+		switch opts.Wiring {
+		case WiringP2P:
+			runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
+		case WiringAllToAll:
+			runAllToAllPhase(c, part, 2, widthAllToAll(part, b, r), scatterPack, scatterUnpack)
+		}
+		scatterSent[me] = c.SentWords() - gatherSent[me]
+
+		chunks := make(map[int][][]float64, len(myRows))
+		for _, i := range myRows {
+			lo, hi, _ := part.OwnedRange(me, i, b)
+			perCol := make([][]float64, r)
+			for l := 0; l < r; l++ {
+				perCol[l] = append([]float64(nil), yRows[i][l][lo:hi]...)
+			}
+			chunks[i] = perCol
+		}
+		finalChunks[me] = chunks
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	y := la.NewMatrix(n, r)
+	for i := 0; i < part.M; i++ {
+		for _, ch := range part.RowBlockChunks(i, b) {
+			perCol := finalChunks[ch.Proc][i]
+			for l := 0; l < r; l++ {
+				for t := ch.Lo; t < ch.Hi; t++ {
+					gi := i*b + t
+					if gi < n {
+						y.Set(gi, l, perCol[l][t-ch.Lo])
+					}
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		Report:           report,
+		GatherSentWords:  gatherSent,
+		ScatterSentWords: scatterSent,
+		Ternary:          ternary,
+		Steps:            steps,
+	}
+	return y, res, nil
+}

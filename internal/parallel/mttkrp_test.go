@@ -1,0 +1,163 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/mttkrp"
+	"repro/internal/partition"
+	"repro/internal/steiner"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+func TestParallelMTTKRPCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M * b
+	r := 3
+	a := tensor.Random(n, rng)
+	x := la.NewMatrix(n, r)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := mttkrp.Fused(a, x, nil)
+	for _, wiring := range []Wiring{WiringP2P, WiringAllToAll} {
+		y, _, err := RunMTTKRP(a, x, r, Options{Part: part, B: b, Wiring: wiring})
+		if err != nil {
+			t.Fatalf("wiring %v: %v", wiring, err)
+		}
+		for i := range want.Data {
+			if math.Abs(y.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("wiring %v: differs at %d: %g vs %g", wiring, i, y.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestParallelMTTKRPCommIsRTimesSTTSV(t *testing.T) {
+	// The multi-vector run must send exactly r times the single-vector
+	// words, with the same message count (latency amortization).
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M * b
+	r := 4
+	x := make([]float64, n)
+	single, err := Run(nil, x, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, multi, err := RunMTTKRP(nil, nil, r, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < part.P; rank++ {
+		if multi.Report.SentWords[rank] != int64(r)*single.Report.SentWords[rank] {
+			t.Fatalf("rank %d: multi sent %d, single sent %d (r=%d)",
+				rank, multi.Report.SentWords[rank], single.Report.SentWords[rank], r)
+		}
+		if multi.Report.SentMsgs[rank] != single.Report.SentMsgs[rank] {
+			t.Fatalf("rank %d: message counts differ: %d vs %d",
+				rank, multi.Report.SentMsgs[rank], single.Report.SentMsgs[rank])
+		}
+	}
+}
+
+func TestParallelMTTKRPTernaryTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M * b
+	r := 2
+	a := tensor.Random(n, rng)
+	x := la.NewMatrix(n, r)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	_, res, err := RunMTTKRP(a, x, r, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, tm := range res.Ternary {
+		total += tm
+	}
+	if want := mttkrp.TernaryCount(n, r); total != want {
+		t.Fatalf("total ternary %d, want %d", total, want)
+	}
+}
+
+func TestParallelMTTKRPValidation(t *testing.T) {
+	part := sphericalPart(t, 2)
+	if _, _, err := RunMTTKRP(nil, nil, 2, Options{Part: nil, B: 6}); err == nil {
+		t.Error("nil partition accepted")
+	}
+	if _, _, err := RunMTTKRP(nil, nil, 0, Options{Part: part, B: 6}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, _, err := RunMTTKRP(nil, la.NewMatrix(part.M*6+1, 2), 2, Options{Part: part, B: 6}); err == nil {
+		t.Error("oversized factors accepted")
+	}
+	a := tensor.NewSymmetric(3)
+	if _, _, err := RunMTTKRP(a, la.NewMatrix(5, 2), 2, Options{Part: part, B: 6}); err == nil {
+		t.Error("mismatched tensor accepted")
+	}
+}
+
+func TestParallelMTTKRPWithPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M*b - 5
+	r := 2
+	a := tensor.Random(n, rng)
+	x := la.NewMatrix(n, r)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := mttkrp.Fused(a, x, nil)
+	y, _, err := RunMTTKRP(a, x, r, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(y.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("padded MTTKRP differs at %d", i)
+		}
+	}
+}
+
+func TestAlg5OnDoubledSystem(t *testing.T) {
+	// End-to-end correctness on a partition from the doubled SQS(16)
+	// system: P=140 simulated processors, uneven vector chunks (b < |Qi|).
+	sys, err := steiner.SQSDoubled(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(63))
+	b := 7
+	n := part.M * b // 112
+	a := tensor.Random(n, rng)
+	x := randVec(n, rng)
+	want := sttsv.Packed(a, x, nil)
+	res, err := Run(a, x, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.Y, want); d > 1e-9 {
+		t.Fatalf("SQS(16) run differs by %g", d)
+	}
+	// Every pair of distinct SQS(16) blocks shares 0 or 2 points, so the
+	// schedule carries 2 rows per transfer; steps = peers = 2-sharing
+	// count.
+	if res.Steps >= part.P-1 {
+		t.Fatalf("schedule uses %d steps, all-to-all would use %d", res.Steps, part.P-1)
+	}
+}

@@ -1,0 +1,375 @@
+// Package parallel implements the communication-optimal parallel STTSV
+// computation of §7 (Algorithm 5) on the simulated α-β-γ machine, plus the
+// baselines it is compared against.
+//
+// Algorithm 5 in outline, per processor p:
+//
+//  1. Gather: p owns a 1/|Q_i| chunk of row block x[i] for each i ∈ R_p;
+//     it exchanges chunks with the other processors of Q_i until it holds
+//     the q+1 full row blocks x[R_p].
+//  2. Local compute: p applies its extended tetrahedral block set
+//     (TB₃(R_p) ∪ N_p ∪ D_p) to x[R_p], producing partial results for the
+//     full row blocks y[R_p].
+//  3. Reduce-scatter: the partial y chunks are exchanged over the same
+//     pattern and summed, leaving p with its final chunk of y[i] for each
+//     i ∈ R_p.
+//
+// Two wirings of the two communication phases are provided:
+//
+//   - WiringP2P: the direct point-to-point schedule of §7.2.2 (package
+//     schedule), whose measured bandwidth matches the Theorem 5.2 lower
+//     bound's leading term exactly;
+//   - WiringAllToAll: the fixed-width All-to-All collectives of the
+//     pseudocode (lines 10–21 and 38–50), which cost twice the leading
+//     term (§7.2.2, "Communication cost of our algorithm with All-to-All
+//     collectives").
+//
+// RunRowBaseline implements the natural 1D row partition (all-gather x,
+// reduce-scatter y): Θ(n) words per processor versus Θ(n/P^{1/3}) for
+// Algorithm 5.
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/intmath"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+// Wiring selects how the two vector exchanges are realized.
+type Wiring int
+
+const (
+	// WiringP2P uses the direct point-to-point schedule (communication
+	// optimal, q³/2+3q²/2−1 steps for the spherical family).
+	WiringP2P Wiring = iota
+	// WiringAllToAll uses fixed-width All-to-All collectives (P−1 steps,
+	// 2× the optimal bandwidth) as written in Algorithm 5's pseudocode.
+	WiringAllToAll
+)
+
+func (w Wiring) String() string {
+	switch w {
+	case WiringP2P:
+		return "p2p"
+	case WiringAllToAll:
+		return "all-to-all"
+	}
+	return fmt.Sprintf("Wiring(%d)", int(w))
+}
+
+// Options configures a parallel STTSV run.
+type Options struct {
+	// Part is the tetrahedral block partition (determines P and m).
+	Part *partition.Tetrahedral
+	// Sched is the point-to-point schedule; built on demand when nil and
+	// the wiring is WiringP2P.
+	Sched *schedule.Schedule
+	// B is the block edge length; the padded dimension is m·B, which must
+	// be at least len(x).
+	B int
+	// Wiring selects the communication realization.
+	Wiring Wiring
+}
+
+// Result reports the outcome of a simulated parallel STTSV.
+type Result struct {
+	// Y is the computed output vector (length n).
+	Y []float64
+	// Report carries the per-rank communication meters for the whole run.
+	Report *machine.Report
+	// GatherSentWords and ScatterSentWords split each rank's sent words
+	// between the two communication phases.
+	GatherSentWords  []int64
+	ScatterSentWords []int64
+	// Ternary counts ternary multiplications per rank.
+	Ternary []int64
+	// Steps is the number of communication steps per phase (schedule
+	// length for WiringP2P, P−1 for WiringAllToAll).
+	Steps int
+}
+
+// plannedTransfer is one rank's role in a schedule step.
+type plannedTransfer struct {
+	sendTo   int // -1 when idle
+	sendRows []int
+	recvFrom int // -1 when idle
+	recvRows []int
+}
+
+// Run executes Algorithm 5 for y = A ×₂ x ×₃ x. The tensor may be nil, in
+// which case all blocks are zero (useful for pure communication
+// measurements at sizes where materializing A would be wasteful).
+func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
+	part := opts.Part
+	if part == nil {
+		return nil, fmt.Errorf("parallel: nil partition")
+	}
+	b := opts.B
+	if b < 1 {
+		return nil, fmt.Errorf("parallel: block edge %d", b)
+	}
+	n := len(x)
+	padded := part.M * b
+	if n > padded {
+		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d (m=%d, b=%d)", n, padded, part.M, b)
+	}
+	if a != nil && a.N != n {
+		return nil, fmt.Errorf("parallel: tensor dimension %d, vector length %d", a.N, n)
+	}
+
+	sched := opts.Sched
+	if opts.Wiring == WiringP2P && sched == nil {
+		s, err := schedule.Build(part)
+		if err != nil {
+			return nil, err
+		}
+		sched = s
+	}
+
+	// Host-side setup (the "input distribution" that Algorithm 5 assumes;
+	// not metered, exactly as the paper's model assumes the data starts
+	// distributed).
+	xp := make([]float64, padded)
+	copy(xp, x)
+	blocks := make([][]*tensor.Block, part.P)
+	for p := 0; p < part.P; p++ {
+		for _, c := range part.Blocks(p) {
+			var blk *tensor.Block
+			if a != nil {
+				blk = tensor.ExtractBlock(a, c.I, c.J, c.K, b)
+			} else {
+				blk = tensor.NewBlock(c.I, c.J, c.K, b)
+			}
+			blocks[p] = append(blocks[p], blk)
+		}
+	}
+
+	var plans [][]plannedTransfer
+	steps := part.P - 1
+	if opts.Wiring == WiringP2P {
+		plans = buildPlans(part, sched)
+		steps = sched.NumSteps()
+	}
+
+	// Shared result buffers, one writer per slot.
+	finalChunks := make([]map[int][]float64, part.P) // per rank: row -> owned chunk values
+	gatherSent := make([]int64, part.P)
+	scatterSent := make([]int64, part.P)
+	ternary := make([]int64, part.P)
+
+	report, err := machine.RunTimeout(part.P, 0, func(c *machine.Comm) {
+		me := c.Rank()
+		myRows := part.Rp[me]
+
+		// Assemble full x row blocks, starting from the owned chunks.
+		xRows := make(map[int][]float64, len(myRows))
+		for _, i := range myRows {
+			row := make([]float64, b)
+			lo, hi, _ := part.OwnedRange(me, i, b)
+			copy(row[lo:hi], xp[i*b+lo:i*b+hi])
+			xRows[i] = row
+		}
+
+		// Phase 1: gather x chunks.
+		gatherPack := func(peer int, rows []int) []float64 {
+			var payload []float64
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(me, row, b)
+				payload = append(payload, xRows[row][lo:hi]...)
+			}
+			return payload
+		}
+		gatherUnpack := func(peer int, rows []int, payload []float64) {
+			pos := 0
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(peer, row, b)
+				copy(xRows[row][lo:hi], payload[pos:pos+hi-lo])
+				pos += hi - lo
+			}
+		}
+		switch opts.Wiring {
+		case WiringP2P:
+			runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
+		case WiringAllToAll:
+			runAllToAllPhase(c, part, 1, widthAllToAll(part, b, 1), gatherPack, gatherUnpack)
+		}
+
+		// Phase 2 boundary bookkeeping.
+		gatherSent[me] = c.SentWords()
+
+		// Local computation: partial contributions to full y row blocks.
+		yRows := make(map[int][]float64, len(myRows))
+		for _, i := range myRows {
+			yRows[i] = make([]float64, b)
+		}
+		var st sttsv.Stats
+		for _, blk := range blocks[me] {
+			sttsv.BlockContribute(blk,
+				xRows[blk.I], xRows[blk.J], xRows[blk.K],
+				yRows[blk.I], yRows[blk.J], yRows[blk.K], &st)
+		}
+		ternary[me] = st.TernaryMults
+
+		// Phase 2: exchange partial y chunks and reduce into the owned
+		// chunk. The sender transmits the *receiver's* chunk of its
+		// partial values.
+		scatterPack := func(peer int, rows []int) []float64 {
+			var payload []float64
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(peer, row, b)
+				payload = append(payload, yRows[row][lo:hi]...)
+			}
+			return payload
+		}
+		scatterUnpack := func(peer int, rows []int, payload []float64) {
+			pos := 0
+			for _, row := range rows {
+				lo, hi, _ := part.OwnedRange(me, row, b)
+				dst := yRows[row]
+				for t := lo; t < hi; t++ {
+					dst[t] += payload[pos]
+					pos++
+				}
+			}
+		}
+		switch opts.Wiring {
+		case WiringP2P:
+			runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
+		case WiringAllToAll:
+			runAllToAllPhase(c, part, 2, widthAllToAll(part, b, 1), scatterPack, scatterUnpack)
+		}
+		scatterSent[me] = c.SentWords() - gatherSent[me]
+
+		// Publish the final owned chunks.
+		chunks := make(map[int][]float64, len(myRows))
+		for _, i := range myRows {
+			lo, hi, _ := part.OwnedRange(me, i, b)
+			chunks[i] = append([]float64(nil), yRows[i][lo:hi]...)
+		}
+		finalChunks[me] = chunks
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Host-side assembly of y from the owned chunks.
+	yp := make([]float64, padded)
+	for i := 0; i < part.M; i++ {
+		for _, ch := range part.RowBlockChunks(i, b) {
+			vals := finalChunks[ch.Proc][i]
+			if len(vals) != ch.Hi-ch.Lo {
+				return nil, fmt.Errorf("parallel: rank %d published %d words for row %d, want %d",
+					ch.Proc, len(vals), i, ch.Hi-ch.Lo)
+			}
+			copy(yp[i*b+ch.Lo:i*b+ch.Hi], vals)
+		}
+	}
+
+	return &Result{
+		Y:                yp[:n],
+		Report:           report,
+		GatherSentWords:  gatherSent,
+		ScatterSentWords: scatterSent,
+		Ternary:          ternary,
+		Steps:            steps,
+	}, nil
+}
+
+// buildPlans converts a schedule into per-rank step plans.
+func buildPlans(part *partition.Tetrahedral, sched *schedule.Schedule) [][]plannedTransfer {
+	plans := make([][]plannedTransfer, part.P)
+	for p := range plans {
+		plans[p] = make([]plannedTransfer, sched.NumSteps())
+		for s := range plans[p] {
+			plans[p][s] = plannedTransfer{sendTo: -1, recvFrom: -1}
+		}
+	}
+	for si, step := range sched.Steps {
+		for _, tr := range step {
+			plans[tr.From][si].sendTo = tr.To
+			plans[tr.From][si].sendRows = tr.Rows
+			plans[tr.To][si].recvFrom = tr.From
+			plans[tr.To][si].recvRows = tr.Rows
+		}
+	}
+	return plans
+}
+
+// runScheduledPhase executes one phase of the point-to-point schedule.
+// pack builds the message for a destination (given the shared rows, in
+// sorted order); unpack consumes a received message from a source.
+func runScheduledPhase(c *machine.Comm, plan []plannedTransfer, tagBase int,
+	pack func(to int, rows []int) []float64,
+	unpack func(from int, rows []int, payload []float64),
+) {
+	for si, tr := range plan {
+		tag := tagBase + si
+		if tr.sendTo >= 0 {
+			c.Send(tr.sendTo, tag, pack(tr.sendTo, tr.sendRows))
+		}
+		if tr.recvFrom >= 0 {
+			unpack(tr.recvFrom, tr.recvRows, c.Recv(tr.recvFrom, tag))
+		}
+		c.Barrier() // enforce the stepwise semantics of §7.2
+	}
+}
+
+// runAllToAllPhase executes one phase with the fixed-width All-to-All
+// collective of the pseudocode: every ordered pair exchanges exactly
+// width words (§7.2.2's accounting), with pack/unpack handling the shared
+// rows of each peer.
+func runAllToAllPhase(c *machine.Comm, part *partition.Tetrahedral, tag, width int,
+	pack func(peer int, rows []int) []float64,
+	unpack func(peer int, rows []int, payload []float64),
+) {
+	me := c.Rank()
+	world := collective.World(c)
+	send := make([][]float64, part.P)
+	for peer := 0; peer < part.P; peer++ {
+		if peer == me {
+			continue
+		}
+		if rows := sharedRowsOf(part, me, peer); len(rows) > 0 {
+			send[peer] = pack(peer, rows)
+		}
+	}
+	recv := world.AllToAllFixed(tag, width, send)
+	for peer := 0; peer < part.P; peer++ {
+		if peer == me {
+			continue
+		}
+		if rows := sharedRowsOf(part, me, peer); len(rows) > 0 {
+			unpack(peer, rows, recv[peer])
+		}
+	}
+}
+
+// widthAllToAll returns the fixed message width for the All-to-All wiring
+// with cols vector columns: two maximal chunks per column per message —
+// 2·b/(q(q+1)) per column when chunks divide evenly.
+func widthAllToAll(part *partition.Tetrahedral, b, cols int) int {
+	maxChunk := 0
+	for i := 0; i < part.M; i++ {
+		if w := intmath.CeilDiv(b, len(part.Qi[i])); w > maxChunk {
+			maxChunk = w
+		}
+	}
+	return 2 * maxChunk * cols
+}
+
+// sharedRowsOf returns R_a ∩ R_b in ascending order.
+func sharedRowsOf(part *partition.Tetrahedral, a, b int) []int {
+	var rows []int
+	for _, i := range part.Rp[a] {
+		if part.Owns(b, i) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// This file holds the ablation machinery for the design choice at the
+// heart of §6: assigning off-diagonal blocks by Steiner blocks (so that a
+// processor's (q+1)q(q−1)/6 blocks touch only q+1 distinct row blocks)
+// versus any ad-hoc balanced assignment. The row-block *footprint* of a
+// processor — how many distinct row blocks its tensor blocks touch —
+// controls its vector communication: every touched row block must be
+// gathered (and the partial results returned), so per-vector words ≈
+// footprint·b − owned. Lemma 4.2 of the paper says a processor computing
+// W off-diagonal block-triples needs footprint ≥ (6W)^{1/3}; the Steiner
+// assignment meets that bound with equality.
+
+// Footprint returns the number of distinct row-block indices appearing in
+// a set of block coordinates.
+func Footprint(blocks []Coord) int {
+	seen := make(map[int]bool)
+	for _, c := range blocks {
+		seen[c.I] = true
+		seen[c.J] = true
+		seen[c.K] = true
+	}
+	return len(seen)
+}
+
+// FootprintLowerBound returns ⌈(6·W)^{1/3}⌉ rounded *down* conservatively:
+// the smallest f with f(f−1)(f−2)/6 >= W, i.e. the minimum footprint any
+// assignment of W off-diagonal blocks can achieve (the block-level
+// instance of Lemma 4.2).
+func FootprintLowerBound(w int) int {
+	f := 3
+	for f*(f-1)*(f-2)/6 < w {
+		f++
+	}
+	if w == 0 {
+		return 0
+	}
+	return f
+}
+
+// RoundRobinAssignment deals the off-diagonal blocks of an m×m×m block
+// tetrahedron to p processors in enumeration order — the "no structure"
+// baseline an implementer might reach for. It returns the per-processor
+// block lists.
+func RoundRobinAssignment(m, p int) [][]Coord {
+	if m < 1 || p < 1 {
+		panic(fmt.Sprintf("partition: RoundRobinAssignment(%d, %d)", m, p))
+	}
+	out := make([][]Coord, p)
+	next := 0
+	tensor.BlocksOfTetrahedron(m, func(I, J, K int) {
+		if tensor.KindOfBlock(I, J, K) != tensor.OffDiagonal {
+			return
+		}
+		out[next%p] = append(out[next%p], Coord{I, J, K})
+		next++
+	})
+	return out
+}
+
+// FootprintStats summarizes per-processor footprints of an assignment.
+type FootprintStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// AssignmentFootprints computes footprint statistics for a per-processor
+// block assignment.
+func AssignmentFootprints(assign [][]Coord) FootprintStats {
+	if len(assign) == 0 {
+		return FootprintStats{}
+	}
+	fs := make([]int, len(assign))
+	total := 0
+	for i, blocks := range assign {
+		fs[i] = Footprint(blocks)
+		total += fs[i]
+	}
+	sort.Ints(fs)
+	return FootprintStats{
+		Min:  fs[0],
+		Max:  fs[len(fs)-1],
+		Mean: float64(total) / float64(len(fs)),
+	}
+}
+
+// SteinerFootprints returns the footprint statistics of this partition's
+// off-diagonal assignment (all equal to q+1 for the spherical family).
+func (t *Tetrahedral) SteinerFootprints() FootprintStats {
+	assign := make([][]Coord, t.P)
+	for p := 0; p < t.P; p++ {
+		assign[p] = t.OffDiagonalBlocks(p)
+	}
+	return AssignmentFootprints(assign)
+}
+
+// VectorWordsForFootprint returns the per-vector communication a
+// footprint implies for block edge b on P processors over m row blocks:
+// the processor must assemble footprint·b words of x of which it owns
+// m·b/P, and symmetrically for y.
+func VectorWordsForFootprint(footprint, b, m, p int) int {
+	owned := m * b / p
+	words := footprint*b - owned
+	if words < 0 {
+		return 0
+	}
+	return words
+}

@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/intmath"
+)
+
+func TestFootprint(t *testing.T) {
+	if got := Footprint(nil); got != 0 {
+		t.Errorf("empty footprint = %d", got)
+	}
+	blocks := []Coord{{5, 3, 1}, {5, 4, 1}, {4, 3, 1}}
+	if got := Footprint(blocks); got != 4 { // distinct indices {1,3,4,5}
+		t.Errorf("footprint = %d, want 4", got)
+	}
+}
+
+func TestFootprintLowerBound(t *testing.T) {
+	if FootprintLowerBound(0) != 0 {
+		t.Error("W=0")
+	}
+	cases := []struct{ w, want int }{
+		{1, 3}, {2, 4}, {4, 4}, {5, 5}, {10, 5}, {11, 6}, {20, 6}, {21, 7},
+	}
+	for _, c := range cases {
+		if got := FootprintLowerBound(c.w); got != c.want {
+			t.Errorf("FootprintLowerBound(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+	// Consistency: bound f satisfies C(f,3) >= W > C(f-1,3).
+	for w := 1; w <= 200; w++ {
+		f := FootprintLowerBound(w)
+		if intmath.Binomial(f, 3) < w {
+			t.Fatalf("W=%d: C(%d,3) < W", w, f)
+		}
+		if f > 3 && intmath.Binomial(f-1, 3) >= w {
+			t.Fatalf("W=%d: bound %d not tight", w, f)
+		}
+	}
+}
+
+func TestSteinerMeetsFootprintBoundExactly(t *testing.T) {
+	// The design-choice claim: the Steiner assignment achieves the
+	// minimum possible row-block footprint for its per-processor work.
+	for _, q := range []int{2, 3, 4} {
+		part := mustSpherical(t, q)
+		stats := part.SteinerFootprints()
+		w := (q + 1) * q * (q - 1) / 6 // off-diagonal blocks per processor
+		bound := FootprintLowerBound(w)
+		if stats.Min != stats.Max || stats.Min != q+1 {
+			t.Fatalf("q=%d: Steiner footprints min=%d max=%d, want all %d",
+				q, stats.Min, stats.Max, q+1)
+		}
+		if stats.Min != bound {
+			t.Fatalf("q=%d: Steiner footprint %d != lower bound %d", q, stats.Min, bound)
+		}
+	}
+}
+
+func TestRoundRobinFootprintMuchWorse(t *testing.T) {
+	// Ablation: dealing blocks round-robin balances the work identically
+	// but inflates the footprint (and hence the vector communication).
+	// q=2 is degenerate — one block per processor, footprint 3 for any
+	// assignment — so the gap appears from q=3 on.
+	for _, q := range []int{3, 4} {
+		part := mustSpherical(t, q)
+		rr := RoundRobinAssignment(part.M, part.P)
+		// Same balance of work...
+		for p := 0; p < part.P; p++ {
+			if len(rr[p]) != len(part.OffDiagonalBlocks(p)) {
+				t.Fatalf("q=%d: round-robin gives processor %d %d blocks, Steiner %d",
+					q, p, len(rr[p]), len(part.OffDiagonalBlocks(p)))
+			}
+		}
+		// ...but a strictly larger footprint on average.
+		rrStats := AssignmentFootprints(rr)
+		stStats := part.SteinerFootprints()
+		if rrStats.Mean <= stStats.Mean {
+			t.Fatalf("q=%d: round-robin mean footprint %.2f not worse than Steiner %.2f",
+				q, rrStats.Mean, stStats.Mean)
+		}
+		// The implied vector communication gap at a representative block
+		// edge.
+		b := q * (q + 1)
+		st := VectorWordsForFootprint(stStats.Max, b, part.M, part.P)
+		rrw := VectorWordsForFootprint(rrStats.Max, b, part.M, part.P)
+		if rrw <= st {
+			t.Fatalf("q=%d: round-robin words %d not worse than Steiner %d", q, rrw, st)
+		}
+	}
+}
+
+func TestRoundRobinCoversAllOffDiagonal(t *testing.T) {
+	m, p := 10, 30
+	rr := RoundRobinAssignment(m, p)
+	total := 0
+	seen := make(map[Coord]bool)
+	for _, blocks := range rr {
+		for _, c := range blocks {
+			if seen[c] {
+				t.Fatalf("block %v assigned twice", c)
+			}
+			seen[c] = true
+			total++
+		}
+	}
+	if want := intmath.StrictTetrahedral(m); total != want {
+		t.Fatalf("round-robin covered %d blocks, want %d", total, want)
+	}
+}
+
+func TestVectorWordsForFootprint(t *testing.T) {
+	// footprint 4, b=12, m=10, P=30: 4·12 − 120/30 = 44.
+	if got := VectorWordsForFootprint(4, 12, 10, 30); got != 44 {
+		t.Errorf("got %d, want 44", got)
+	}
+	if got := VectorWordsForFootprint(0, 12, 10, 30); got != 0 {
+		t.Errorf("negative clamped: got %d", got)
+	}
+}
+
+func TestRoundRobinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RoundRobinAssignment(0, 3)
+}

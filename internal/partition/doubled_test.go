@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/steiner"
+)
+
+func TestSQS16Partition(t *testing.T) {
+	// The doubled system SQS(16) gives a P=140 machine; the non-central
+	// diagonal load (240 blocks) does not divide P, so processors carry
+	// 1 or 2 each.
+	sys, err := steiner.SQSDoubled(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.M != 16 || part.P != 140 {
+		t.Fatalf("m=%d P=%d", part.M, part.P)
+	}
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < part.P; p++ {
+		if l := len(part.Np[p]); l > 2 {
+			t.Fatalf("|N_%d| = %d exceeds ceil(240/140) = 2", p, l)
+		}
+		total += len(part.Np[p])
+	}
+	if total != 240 {
+		t.Fatalf("non-central total %d, want 240", total)
+	}
+	// Row-block demand: every row block needed by ElementCount = 35
+	// processors.
+	for i := 0; i < part.M; i++ {
+		if len(part.Qi[i]) != 35 {
+			t.Fatalf("|Q_%d| = %d, want 35", i, len(part.Qi[i]))
+		}
+	}
+}
+
+func TestSQS16Footprints(t *testing.T) {
+	sys, err := steiner.SQSDoubled(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := part.SteinerFootprints()
+	// Every processor's 4 off-diagonal blocks (C(4,3) = 4) touch exactly
+	// its 4 row blocks: minimum possible for 4 block-triples.
+	if stats.Min != 4 || stats.Max != 4 {
+		t.Fatalf("footprints min=%d max=%d, want 4", stats.Min, stats.Max)
+	}
+}

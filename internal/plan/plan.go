@@ -1,0 +1,153 @@
+// Package plan helps users pick a machine configuration. The tetrahedral
+// partition only exists for specific processor counts — P = q(q²+1) for
+// prime powers q (the spherical family) and the block counts of other
+// Steiner quadruple systems such as SQS(8·2^k) — so a user with "about a
+// hundred processors" needs the admissible configurations enumerated and
+// costed. The planner lists every configuration up to a budget with its
+// predicted communication (paper formulas), padding overhead for the
+// user's n, and memory per processor, and picks the cheapest.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/intmath"
+)
+
+// Family identifies how a configuration's Steiner system is constructed.
+type Family int
+
+const (
+	// Spherical is the Steiner (q²+1, q+1, 3) family, P = q(q²+1).
+	Spherical Family = iota
+	// DoubledSQS is the SQS(8·2^k) family from the doubling construction,
+	// P = m(m−1)(m−2)/24 with m = 8·2^k.
+	DoubledSQS
+)
+
+func (f Family) String() string {
+	switch f {
+	case Spherical:
+		return "spherical"
+	case DoubledSQS:
+		return "doubled-sqs"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// Config is one admissible machine configuration, costed for a specific
+// problem dimension n.
+type Config struct {
+	Family Family
+	// Q is the prime power (Spherical) or the doubling count k
+	// (DoubledSQS).
+	Q int
+	// M is the number of row blocks per mode and P the processor count.
+	M, P int
+	// BlockEdge is the block size b for the padded dimension.
+	BlockEdge int
+	// PaddedN is the smallest multiple of M at least n.
+	PaddedN int
+	// Words is the predicted per-processor communication (both vectors,
+	// point-to-point wiring) at the padded dimension.
+	Words float64
+	// LowerBound is the Theorem 5.2 bound at (n, P).
+	LowerBound float64
+	// Steps is the per-phase schedule length.
+	Steps int
+	// TensorWordsPerProc approximates the per-processor tensor storage
+	// n³/(6P).
+	TensorWordsPerProc float64
+}
+
+// Enumerate lists every configuration with P <= maxP, costed for
+// dimension n, sorted by increasing P. n must be positive.
+func Enumerate(n, maxP int) ([]Config, error) {
+	if n < 1 || maxP < 1 {
+		return nil, fmt.Errorf("plan: Enumerate(%d, %d)", n, maxP)
+	}
+	var out []Config
+	for q := 2; ; q++ {
+		p := costmodel.Processors(q)
+		if p > maxP {
+			break
+		}
+		if _, _, ok := intmath.PrimePower(q); !ok {
+			continue
+		}
+		out = append(out, makeConfig(Spherical, q, q*q+1, p, n))
+	}
+	for k, m := 0, 8; ; k, m = k+1, m*2 {
+		p := m * (m - 1) * (m - 2) / 24
+		if p > maxP {
+			break
+		}
+		out = append(out, makeConfig(DoubledSQS, k, m, p, n))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].Family < out[j].Family
+	})
+	return out, nil
+}
+
+func makeConfig(f Family, q, m, p, n int) Config {
+	padded := intmath.RoundUp(n, m)
+	b := padded / m
+	cfg := Config{
+		Family:             f,
+		Q:                  q,
+		M:                  m,
+		P:                  p,
+		BlockEdge:          b,
+		PaddedN:            padded,
+		LowerBound:         costmodel.LowerBoundWords(n, p),
+		TensorWordsPerProc: float64(padded) * float64(padded) * float64(padded) / (6 * float64(p)),
+	}
+	switch f {
+	case Spherical:
+		cfg.Words = costmodel.OptimalWords(padded, q)
+		cfg.Steps = q*q*(q+1)/2 + q*q - 1
+	case DoubledSQS:
+		// Blocks of a quadruple system intersect in 0, 1 or 2 points.
+		// A block's 6 pairs each lie in pairCount−1 = (m−2)/2 − 1 other
+		// blocks (all distinct: sharing two pairs would mean sharing 3
+		// points), giving the 2-row peers; each of its 4 points lies in
+		// elementCount−1 further blocks, of which 3·(pairCount−1) share a
+		// second point, leaving the 1-row peers. Total chunks exchanged
+		// per vector: Σ_{i∈Rp}(|Q_i|−1) = 4·(elementCount−1).
+		elementCount := (m - 1) * (m - 2) / 6
+		pairCount := (m - 2) / 2
+		twoPeers := 6 * (pairCount - 1)
+		onePeers := 4*(elementCount-1) - 2*twoPeers
+		cfg.Steps = twoPeers + onePeers
+		chunk := float64(b) / float64(elementCount)
+		cfg.Words = 2 * 4 * float64(elementCount-1) * chunk // both vectors
+	}
+	return cfg
+}
+
+// Best returns the configuration with the smallest predicted communication
+// among those with P <= maxP; ties break toward larger P (more
+// parallelism at equal cost).
+func Best(n, maxP int) (Config, error) {
+	cfgs, err := Enumerate(n, maxP)
+	if err != nil {
+		return Config{}, err
+	}
+	if len(cfgs) == 0 {
+		return Config{}, fmt.Errorf("plan: no admissible configuration with P <= %d", maxP)
+	}
+	best := cfgs[0]
+	for _, c := range cfgs[1:] {
+		if c.Words < best.Words-1e-9 || (math.Abs(c.Words-best.Words) <= 1e-9 && c.P > best.P) {
+			best = c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,212 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/steiner"
+)
+
+func TestEnumerate(t *testing.T) {
+	cfgs, err := Enumerate(100, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected machines with P <= 150: spherical q=2 (10), q=3 (30),
+	// q=4 (68), q=5 (130); doubled k=0 (14), k=1 (140).
+	wantP := map[int]bool{10: true, 30: true, 68: true, 130: true, 14: true, 140: true}
+	if len(cfgs) != len(wantP) {
+		t.Fatalf("enumerated %d configs: %+v", len(cfgs), cfgs)
+	}
+	for _, c := range cfgs {
+		if !wantP[c.P] {
+			t.Fatalf("unexpected P=%d", c.P)
+		}
+		if c.PaddedN < 100 || c.PaddedN%c.M != 0 || c.BlockEdge*c.M != c.PaddedN {
+			t.Fatalf("padding wrong: %+v", c)
+		}
+		if c.Words <= 0 || c.LowerBound <= 0 || c.Steps <= 0 {
+			t.Fatalf("costs missing: %+v", c)
+		}
+	}
+	// Sorted by P.
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].P < cfgs[i-1].P {
+			t.Fatal("not sorted by P")
+		}
+	}
+}
+
+func TestEnumerateSkipsNonPrimePowers(t *testing.T) {
+	// q=6 is not a prime power: P=222 must be absent, P=350 (q=7)
+	// present.
+	cfgs, err := Enumerate(50, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw350 := false
+	for _, c := range cfgs {
+		if c.P == 222 {
+			t.Fatal("q=6 configuration enumerated")
+		}
+		if c.P == 350 {
+			saw350 = true
+		}
+	}
+	if !saw350 {
+		t.Fatal("q=7 configuration missing")
+	}
+}
+
+func TestSphericalPredictionMatchesMeasurement(t *testing.T) {
+	// The planner's Words must equal the metered Algorithm 5 run when
+	// chunks divide evenly.
+	q := 3
+	m := q*q + 1
+	b := q * (q + 1)
+	n := m * b
+	cfgs, err := Enumerate(n, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg *Config
+	for i := range cfgs {
+		if cfgs[i].Family == Spherical && cfgs[i].Q == q {
+			cfg = &cfgs[i]
+		}
+	}
+	if cfg == nil {
+		t.Fatal("q=3 config missing")
+	}
+	part, err := partition.NewSpherical(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	res, err := parallel.Run(nil, x, parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Report.MaxSentWords()); math.Abs(got-cfg.Words) > 1e-9 {
+		t.Fatalf("predicted %g words, measured %g", cfg.Words, got)
+	}
+	if cfg.Steps != res.Steps {
+		t.Fatalf("predicted %d steps, measured %d", cfg.Steps, res.Steps)
+	}
+}
+
+func TestDoubledPredictionMatchesMeasurement(t *testing.T) {
+	// Same cross-validation for the SQS(8) machine with b divisible by
+	// |Qi| = 7.
+	sys := steiner.SQS8()
+	part, err := partition.New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 7
+	n := part.M * b // 56
+	cfgs, err := Enumerate(n, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg *Config
+	for i := range cfgs {
+		if cfgs[i].Family == DoubledSQS && cfgs[i].M == 8 {
+			cfg = &cfgs[i]
+		}
+	}
+	if cfg == nil {
+		t.Fatal("SQS(8) config missing")
+	}
+	x := make([]float64, n)
+	res, err := parallel.Run(nil, x, parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Report.MaxSentWords()); math.Abs(got-cfg.Words) > 1e-9 {
+		t.Fatalf("predicted %g words, measured %g", cfg.Words, got)
+	}
+	if cfg.Steps != 12 || res.Steps != 12 {
+		t.Fatalf("steps: predicted %d, measured %d, want 12", cfg.Steps, res.Steps)
+	}
+}
+
+func TestBestPrefersMoreParallelismAtLowerCost(t *testing.T) {
+	// With a large budget, the biggest machine wins (cost ~ n/P^{1/3}
+	// decreases in P).
+	best, err := Best(1000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.P != 350 {
+		t.Fatalf("best P = %d (family %v), want 350", best.P, best.Family)
+	}
+	// With a tiny budget, only q=2 or SQS(8) are available.
+	small, err := Best(1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.P != 10 && small.P != 14 {
+		t.Fatalf("small-budget best P = %d", small.P)
+	}
+}
+
+func TestBestErrors(t *testing.T) {
+	if _, err := Best(100, 5); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+	if _, err := Enumerate(0, 10); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Spherical.String() != "spherical" || DoubledSQS.String() != "doubled-sqs" {
+		t.Fatal("family names wrong")
+	}
+	if Family(9).String() != "Family(9)" {
+		t.Fatal("unknown family string")
+	}
+}
+
+func TestSQS16PredictionMatchesMeasurement(t *testing.T) {
+	// The corrected mixed 1-row/2-row peer accounting, cross-validated
+	// against the metered run on the P=140 machine (b divisible by
+	// |Qi| = 35).
+	sys, err := steiner.SQSDoubled(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 35
+	n := part.M * b // 560
+	cfgs, err := Enumerate(n, 140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg *Config
+	for i := range cfgs {
+		if cfgs[i].Family == DoubledSQS && cfgs[i].M == 16 {
+			cfg = &cfgs[i]
+		}
+	}
+	if cfg == nil {
+		t.Fatal("SQS(16) config missing")
+	}
+	x := make([]float64, n)
+	res, err := parallel.Run(nil, x, parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Report.MaxSentWords()); math.Abs(got-cfg.Words) > 1e-9 {
+		t.Fatalf("predicted %g words, measured %g", cfg.Words, got)
+	}
+	if cfg.Steps != res.Steps {
+		t.Fatalf("predicted %d steps, measured %d", cfg.Steps, res.Steps)
+	}
+}

@@ -1,0 +1,57 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// This file evaluates schedules under the full α-β cost model of §3.1:
+// a step in which some processor sends W words costs α + W·β (latency plus
+// bandwidth), and steps execute one after another. It lets the two wirings
+// of Algorithm 5 be compared as a single number instead of separate
+// latency/bandwidth columns.
+
+// StepWords returns, for each step, the largest message (in words) sent in
+// that step, for block edge b: a transfer of rows costs the sum of the
+// sender's owned chunk sizes of those rows.
+func (s *Schedule) StepWords(part *partition.Tetrahedral, b int) []int {
+	if part.P != s.P {
+		panic(fmt.Sprintf("schedule: partition has P=%d, schedule P=%d", part.P, s.P))
+	}
+	out := make([]int, len(s.Steps))
+	for si, step := range s.Steps {
+		maxW := 0
+		for _, tr := range step {
+			w := 0
+			for _, row := range tr.Rows {
+				lo, hi, ok := part.OwnedRange(tr.From, row, b)
+				if !ok {
+					panic(fmt.Sprintf("schedule: transfer %d->%d row %d not owned", tr.From, tr.To, row))
+				}
+				w += hi - lo
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		out[si] = maxW
+	}
+	return out
+}
+
+// Makespan returns the α-β execution time of one phase of the schedule:
+// Σ over steps of (α + maxWords·β).
+func (s *Schedule) Makespan(part *partition.Tetrahedral, b int, alpha, beta float64) float64 {
+	t := 0.0
+	for _, w := range s.StepWords(part, b) {
+		t += alpha + float64(w)*beta
+	}
+	return t
+}
+
+// AllToAllMakespan returns the α-β time of one phase realized as a
+// fixed-width All-to-All: (P−1) steps of width words each.
+func AllToAllMakespan(p, width int, alpha, beta float64) float64 {
+	return float64(p-1) * (alpha + float64(width)*beta)
+}

@@ -1,0 +1,89 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/intmath"
+)
+
+func TestStepWords(t *testing.T) {
+	q := 3
+	part := sphericalPartition(t, q)
+	s := buildFor(t, part)
+	b := q * (q + 1) // chunks divide evenly: every chunk is b/(q(q+1)) = 1 word
+	words := s.StepWords(part, b)
+	if len(words) != s.NumSteps() {
+		t.Fatalf("%d step words for %d steps", len(words), s.NumSteps())
+	}
+	chunk := b / (q * (q + 1))
+	twoSteps := q * q * (q + 1) / 2
+	for si, w := range words {
+		want := 2 * chunk
+		if si >= twoSteps {
+			want = chunk
+		}
+		if w != want {
+			t.Fatalf("step %d: %d words, want %d", si, w, want)
+		}
+	}
+	// Total across steps = per-vector sent words of §7.2.2.
+	total := 0
+	for _, w := range words {
+		total += w
+	}
+	n := part.M * b
+	if want := n*(q+1)/(q*q+1) - n/part.P; total != want {
+		t.Fatalf("summed step words %d, want %d", total, want)
+	}
+}
+
+func TestMakespanDominatesAllToAll(t *testing.T) {
+	// The direct schedule beats (or ties) the fixed-width All-to-All for
+	// every α, β >= 0: fewer (or equal) steps AND less data per step.
+	for _, q := range []int{2, 3} {
+		part := sphericalPartition(t, q)
+		s := buildFor(t, part)
+		b := q * (q + 1)
+		width := 2 * intmath.CeilDiv(b, q*(q+1))
+		for _, ab := range [][2]float64{{0, 1}, {1, 0}, {10, 1}, {1, 10}, {100, 0.01}} {
+			alpha, beta := ab[0], ab[1]
+			direct := s.Makespan(part, b, alpha, beta)
+			a2a := AllToAllMakespan(part.P, width, alpha, beta)
+			if direct > a2a+1e-9 {
+				t.Fatalf("q=%d α=%g β=%g: direct %g > all-to-all %g", q, alpha, beta, direct, a2a)
+			}
+		}
+	}
+}
+
+func TestMakespanComponents(t *testing.T) {
+	// With β=0 the makespan is α·steps; with α=0 it is β·(sent words).
+	q := 2
+	part := sphericalPartition(t, q)
+	s := buildFor(t, part)
+	b := q * (q + 1)
+	if got := s.Makespan(part, b, 1, 0); math.Abs(got-float64(s.NumSteps())) > 1e-12 {
+		t.Fatalf("latency-only makespan %g, want %d", got, s.NumSteps())
+	}
+	words := s.StepWords(part, b)
+	total := 0
+	for _, w := range words {
+		total += w
+	}
+	if got := s.Makespan(part, b, 0, 1); math.Abs(got-float64(total)) > 1e-12 {
+		t.Fatalf("bandwidth-only makespan %g, want %d", got, total)
+	}
+}
+
+func TestStepWordsPanicsOnMismatch(t *testing.T) {
+	part2 := sphericalPartition(t, 2)
+	part3 := sphericalPartition(t, 3)
+	s := buildFor(t, part2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.StepWords(part3, 12)
+}

@@ -1,0 +1,195 @@
+// Package schedule constructs the point-to-point communication schedule of
+// §7.2: a sequence of steps in which every processor sends at most one
+// message and receives at most one message (the bidirectional-link model of
+// §3.1), such that every pair of processors that shares row blocks
+// exchanges exactly one message pair.
+//
+// Processors sharing two row blocks (their Steiner blocks intersect in a
+// pair) exchange both blocks' chunks in a single message; processors
+// sharing one row block exchange one chunk. Theorem 7.2 turns each d-regular
+// communication class into d steps by decomposing its bipartite double
+// cover into d disjoint perfect matchings (Lemma 7.1). For the spherical
+// family the two classes have degrees q²(q+1)/2 and q²−1, giving the
+// paper's total of q³/2 + 3q²/2 − 1 steps; for SQS(8) there is a single
+// 12-step class (Figure 1).
+//
+// Irregular peer graphs (possible for exotic Steiner systems) fall back to
+// a maximal-matching decomposition, which remains a valid schedule but may
+// use more steps.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/partition"
+)
+
+// Transfer is one directed message: From sends its owned chunks of the
+// listed row blocks to To.
+type Transfer struct {
+	From, To int
+	// Rows lists the shared row blocks (sorted ascending) whose chunks
+	// ride in this message.
+	Rows []int
+}
+
+// Step is a set of transfers executable simultaneously: each processor
+// appears at most once as a sender and at most once as a receiver.
+type Step []Transfer
+
+// Schedule is the full point-to-point plan.
+type Schedule struct {
+	P     int
+	Steps []Step
+}
+
+// NumSteps returns the schedule length.
+func (s *Schedule) NumSteps() int { return len(s.Steps) }
+
+// Build constructs the schedule for a tetrahedral partition. Peers are
+// grouped by how many row blocks they share (2 or 1 — two distinct Steiner
+// blocks intersect in at most 2 points), and each class is decomposed into
+// matchings separately, mirroring the two-phase argument of §7.2.2.
+func Build(part *partition.Tetrahedral) (*Schedule, error) {
+	p := part.P
+	sched := &Schedule{P: p}
+	for _, class := range []int{2, 1} {
+		steps, err := classSteps(part, class)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: class %d: %w", class, err)
+		}
+		sched.Steps = append(sched.Steps, steps...)
+	}
+	return sched, nil
+}
+
+// classSteps schedules all exchanges between pairs sharing exactly `class`
+// row blocks.
+func classSteps(part *partition.Tetrahedral, class int) ([]Step, error) {
+	p := part.P
+	// Bipartite double cover: X = senders, Y = receivers. Each unordered
+	// pair in the class produces two directed edges, one per direction.
+	g := bipartite.NewGraph(p, p)
+	degree := make([]int, p)
+	for a := 0; a < p; a++ {
+		for b := a + 1; b < p; b++ {
+			if part.SharedRowBlocks(a, b) == class {
+				g.AddEdge(a, b)
+				g.AddEdge(b, a)
+				degree[a]++
+				degree[b]++
+			}
+		}
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil
+	}
+
+	regular := true
+	for _, d := range degree {
+		if d != degree[0] {
+			regular = false
+			break
+		}
+	}
+
+	var matchings []*bipartite.Matching
+	if regular {
+		ms, err := bipartite.DisjointPerfectMatchings(g)
+		if err != nil {
+			return nil, err
+		}
+		matchings = ms
+	} else {
+		matchings = bipartite.MaximalMatchingDecomposition(g)
+	}
+
+	steps := make([]Step, 0, len(matchings))
+	for _, m := range matchings {
+		var step Step
+		for from, to := range m.XtoY {
+			if to < 0 {
+				continue
+			}
+			step = append(step, Transfer{From: from, To: to, Rows: sharedRows(part, from, to)})
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// sharedRows returns R_a ∩ R_b sorted ascending.
+func sharedRows(part *partition.Tetrahedral, a, b int) []int {
+	var rows []int
+	for _, i := range part.Rp[a] { // Rp is sorted
+		if part.Owns(b, i) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// Validate checks that the schedule is executable and complete for the
+// partition: within each step every processor sends at most one message
+// and receives at most one; across the schedule every ordered pair that
+// shares at least one row block communicates exactly once, carrying
+// exactly the shared rows; no other pair communicates.
+func (s *Schedule) Validate(part *partition.Tetrahedral) error {
+	seen := make(map[[2]int][]int)
+	for si, step := range s.Steps {
+		sendBusy := make(map[int]bool)
+		recvBusy := make(map[int]bool)
+		for _, tr := range step {
+			if tr.From == tr.To {
+				return fmt.Errorf("schedule: step %d: self transfer at %d", si, tr.From)
+			}
+			if sendBusy[tr.From] {
+				return fmt.Errorf("schedule: step %d: processor %d sends twice", si, tr.From)
+			}
+			if recvBusy[tr.To] {
+				return fmt.Errorf("schedule: step %d: processor %d receives twice", si, tr.To)
+			}
+			sendBusy[tr.From] = true
+			recvBusy[tr.To] = true
+			key := [2]int{tr.From, tr.To}
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("schedule: pair %v communicates twice", key)
+			}
+			seen[key] = tr.Rows
+		}
+	}
+	for a := 0; a < part.P; a++ {
+		for b := 0; b < part.P; b++ {
+			if a == b {
+				continue
+			}
+			want := sharedRows(part, a, b)
+			got, ok := seen[[2]int{a, b}]
+			if len(want) == 0 {
+				if ok {
+					return fmt.Errorf("schedule: pair (%d,%d) shares nothing but communicates", a, b)
+				}
+				continue
+			}
+			if !ok {
+				return fmt.Errorf("schedule: pair (%d,%d) shares %v but never communicates", a, b, want)
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("schedule: pair (%d,%d) carries %v, want %v", a, b, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("schedule: pair (%d,%d) carries %v, want %v", a, b, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TheoreticalSteps returns the §7.2.2 step count q³/2 + 3q²/2 − 1 for the
+// spherical family with parameter q.
+func TheoreticalSteps(q int) int {
+	return q*q*(q+1)/2 + q*q - 1
+}

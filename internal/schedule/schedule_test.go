@@ -1,0 +1,200 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/steiner"
+)
+
+func buildFor(t testing.TB, part *partition.Tetrahedral) *Schedule {
+	t.Helper()
+	s, err := Build(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sphericalPartition(t testing.TB, q int) *partition.Tetrahedral {
+	t.Helper()
+	part, err := partition.NewSpherical(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part
+}
+
+func TestFigure1SQS8TwelveSteps(t *testing.T) {
+	// Appendix A / Figure 1: the SQS(8) partition with P=14 needs exactly
+	// 12 communication steps — fewer than P−1 = 13.
+	part, err := partition.New(steiner.SQS8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildFor(t, part)
+	if s.NumSteps() != 12 {
+		t.Fatalf("schedule has %d steps, want 12", s.NumSteps())
+	}
+	if s.NumSteps() >= part.P-1 {
+		t.Fatalf("schedule no better than all-to-all: %d steps", s.NumSteps())
+	}
+	if err := s.Validate(part); err != nil {
+		t.Fatal(err)
+	}
+	// In SQS(8) every peer pair shares exactly 2 row blocks; every step
+	// must be a perfect matching on all 14 processors.
+	for si, step := range s.Steps {
+		if len(step) != part.P {
+			t.Fatalf("step %d has %d transfers, want %d", si, len(step), part.P)
+		}
+		for _, tr := range step {
+			if len(tr.Rows) != 2 {
+				t.Fatalf("step %d transfer %d->%d carries %d rows", si, tr.From, tr.To, len(tr.Rows))
+			}
+		}
+	}
+}
+
+func TestSphericalStepCounts(t *testing.T) {
+	// §7.2.2: q³/2 + 3q²/2 − 1 steps: 9 for q=2, 26 for q=3.
+	for _, c := range []struct{ q, want int }{{2, 9}, {3, 26}, {4, 55}} {
+		if got := TheoreticalSteps(c.q); got != c.want {
+			t.Fatalf("TheoreticalSteps(%d) = %d, want %d", c.q, got, c.want)
+		}
+		part := sphericalPartition(t, c.q)
+		s := buildFor(t, part)
+		if got := s.NumSteps(); got != c.want {
+			t.Fatalf("q=%d: schedule has %d steps, want %d", c.q, got, c.want)
+		}
+		if err := s.Validate(part); err != nil {
+			t.Fatalf("q=%d: %v", c.q, err)
+		}
+	}
+}
+
+func TestScheduleBeatsAllToAllLatency(t *testing.T) {
+	// The direct schedule needs at most the P−1 steps of an all-to-all:
+	// q³/2 + 3q²/2 − 1 <= q³ + q − 1 = P − 1, with equality only at q=2
+	// and a strict win from q=3 on.
+	for _, q := range []int{2, 3, 4} {
+		part := sphericalPartition(t, q)
+		s := buildFor(t, part)
+		if s.NumSteps() > part.P-1 {
+			t.Fatalf("q=%d: %d steps > P-1 = %d", q, s.NumSteps(), part.P-1)
+		}
+		if q >= 3 && s.NumSteps() >= part.P-1 {
+			t.Fatalf("q=%d: expected strictly fewer than P-1 = %d steps, got %d", q, part.P-1, s.NumSteps())
+		}
+	}
+}
+
+func TestTwoClassStructure(t *testing.T) {
+	// For the spherical family the first q²(q+1)/2 steps carry 2-row
+	// messages and the remaining q²−1 carry 1-row messages.
+	for _, q := range []int{2, 3} {
+		part := sphericalPartition(t, q)
+		s := buildFor(t, part)
+		twoSteps := q * q * (q + 1) / 2
+		for si, step := range s.Steps {
+			wantRows := 2
+			if si >= twoSteps {
+				wantRows = 1
+			}
+			for _, tr := range step {
+				if len(tr.Rows) != wantRows {
+					t.Fatalf("q=%d step %d: transfer %d->%d carries %d rows, want %d",
+						q, si, tr.From, tr.To, len(tr.Rows), wantRows)
+				}
+			}
+		}
+	}
+}
+
+func TestPerProcessorMessageCounts(t *testing.T) {
+	// Each processor sends q²(q+1)/2 two-row messages and q²−1 one-row
+	// messages (§7.2.2) — the per-processor latency cost.
+	q := 3
+	part := sphericalPartition(t, q)
+	s := buildFor(t, part)
+	sent := make([]int, part.P)
+	recv := make([]int, part.P)
+	for _, step := range s.Steps {
+		for _, tr := range step {
+			sent[tr.From]++
+			recv[tr.To]++
+		}
+	}
+	want := q*q*(q+1)/2 + q*q - 1
+	for p := 0; p < part.P; p++ {
+		if sent[p] != want || recv[p] != want {
+			t.Fatalf("processor %d: sent %d recv %d, want %d", p, sent[p], recv[p], want)
+		}
+	}
+}
+
+func TestTransfersAreSymmetricWithinSchedule(t *testing.T) {
+	// If a sends to b, then b sends to a somewhere in the schedule with
+	// the same row set (exchange symmetry).
+	part := sphericalPartition(t, 2)
+	s := buildFor(t, part)
+	rows := make(map[[2]int][]int)
+	for _, step := range s.Steps {
+		for _, tr := range step {
+			rows[[2]int{tr.From, tr.To}] = tr.Rows
+		}
+	}
+	for key, r := range rows {
+		back, ok := rows[[2]int{key[1], key[0]}]
+		if !ok {
+			t.Fatalf("no reverse transfer for %v", key)
+		}
+		if len(back) != len(r) {
+			t.Fatalf("asymmetric rows for %v: %v vs %v", key, r, back)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	part := sphericalPartition(t, 2)
+	s := buildFor(t, part)
+
+	// Duplicate send in one step.
+	broken := &Schedule{P: s.P, Steps: append([]Step(nil), s.Steps...)}
+	step0 := append(Step(nil), s.Steps[0]...)
+	step0 = append(step0, Transfer{From: step0[0].From, To: step0[1].To, Rows: []int{0}})
+	broken.Steps[0] = step0
+	if err := broken.Validate(part); err == nil {
+		t.Fatal("duplicate sender accepted")
+	}
+
+	// Missing step.
+	broken2 := &Schedule{P: s.P, Steps: s.Steps[1:]}
+	if err := broken2.Validate(part); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+
+	// Wrong rows.
+	broken3 := &Schedule{P: s.P}
+	for _, step := range s.Steps {
+		cp := make(Step, len(step))
+		copy(cp, step)
+		broken3.Steps = append(broken3.Steps, cp)
+	}
+	tr := &broken3.Steps[0][0]
+	tr.Rows = append([]int(nil), tr.Rows...)
+	tr.Rows[0] = (tr.Rows[0] + 1) % part.M
+	if err := broken3.Validate(part); err == nil {
+		t.Fatal("wrong rows accepted")
+	}
+}
+
+func BenchmarkBuildQ3(b *testing.B) {
+	part := sphericalPartition(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package steiner
+
+import "fmt"
+
+// This file implements the classical doubling construction for Steiner
+// quadruple systems: from an SQS(n) one obtains an SQS(2n) by taking two
+// disjoint copies and joining them with matched one-factors of the two
+// complete graphs (Colbourn & Dinitz, Handbook of Combinatorial Designs).
+// Together with SQS(8) this yields the infinite family SQS(8·2^k) —
+// machine sizes P = 14, 140, 1240, … beyond the spherical family's
+// q(q²+1), enlarging the set of processor counts the tetrahedral
+// partition supports (the paper's §6 notes that "there are many more
+// Steiner (n, r, 3) systems which can be used to generate tetrahedral
+// block partitions").
+
+// OneFactorization returns a partition of the edges of K_n (even n >= 2)
+// into n−1 perfect matchings, via the round-robin "circle" method: vertex
+// n−1 is fixed and the others rotate. Factor r pairs vertex n−1 with r,
+// and i+r with r−i (mod n−1) otherwise.
+func OneFactorization(n int) ([][][2]int, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("steiner: one-factorization needs even n >= 2, got %d", n)
+	}
+	m := n - 1
+	factors := make([][][2]int, m)
+	for r := 0; r < m; r++ {
+		pairs := make([][2]int, 0, n/2)
+		pairs = append(pairs, [2]int{m, r})
+		for i := 1; i <= (n-2)/2; i++ {
+			a := (r + i) % m
+			b := (r - i + m) % m
+			pairs = append(pairs, [2]int{a, b})
+		}
+		factors[r] = pairs
+	}
+	return factors, nil
+}
+
+// Double builds an SQS(2n) from an SQS(n) by the doubling construction.
+// With X = {1..n} and Y = {n+1..2n}:
+//
+//   - every block of the input system on X and its shifted copy on Y;
+//   - for each r in 0..n−2, every quadruple {x₁, x₂, y₁, y₂} with
+//     {x₁, x₂} in the r-th one-factor of K_X and {y₁, y₂} in the r-th
+//     one-factor of K_Y.
+//
+// The result has 2·n(n−1)(n−2)/24 + (n−1)·(n/2)² blocks = 2n(2n−1)(2n−2)/24,
+// and is verified before being returned.
+func Double(s *System) (*System, error) {
+	if s.R != 4 {
+		return nil, fmt.Errorf("steiner: doubling needs a quadruple system (r=4), got r=%d", s.R)
+	}
+	n := s.N
+	factors, err := OneFactorization(n)
+	if err != nil {
+		return nil, err
+	}
+
+	blocks := make([][]int, 0, 2*len(s.Blocks)+(n-1)*(n/2)*(n/2))
+	for _, blk := range s.Blocks {
+		blocks = append(blocks, append([]int(nil), blk...))
+		shifted := make([]int, len(blk))
+		for i, p := range blk {
+			shifted[i] = p + n
+		}
+		blocks = append(blocks, shifted)
+	}
+	for r := 0; r < n-1; r++ {
+		for _, xp := range factors[r] {
+			for _, yp := range factors[r] {
+				// Points are 0-based in the factorization; the system is
+				// 1-based with Y offset by n.
+				blocks = append(blocks, []int{xp[0] + 1, xp[1] + 1, yp[0] + 1 + n, yp[1] + 1 + n})
+			}
+		}
+	}
+	return FromBlocks(2*n, 4, blocks)
+}
+
+// SQSDoubled returns the SQS(8·2^k) obtained by doubling SQS(8) k times
+// (k = 0 gives SQS(8) itself).
+func SQSDoubled(k int) (*System, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("steiner: SQSDoubled(%d)", k)
+	}
+	s := SQS8()
+	for i := 0; i < k; i++ {
+		d, err := Double(s)
+		if err != nil {
+			return nil, fmt.Errorf("steiner: doubling step %d: %w", i+1, err)
+		}
+		s = d
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package steiner
+
+import (
+	"testing"
+)
+
+func TestOneFactorization(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10, 16} {
+		factors, err := OneFactorization(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(factors) != n-1 {
+			t.Fatalf("n=%d: %d factors, want %d", n, len(factors), n-1)
+		}
+		// Every edge of K_n appears exactly once across factors, and each
+		// factor is a perfect matching.
+		seen := make(map[[2]int]bool)
+		for fi, f := range factors {
+			if len(f) != n/2 {
+				t.Fatalf("n=%d factor %d: %d pairs, want %d", n, fi, len(f), n/2)
+			}
+			used := make(map[int]bool)
+			for _, p := range f {
+				a, b := p[0], p[1]
+				if a == b || a < 0 || b < 0 || a >= n || b >= n {
+					t.Fatalf("n=%d factor %d: bad pair %v", n, fi, p)
+				}
+				if used[a] || used[b] {
+					t.Fatalf("n=%d factor %d: vertex reused in %v", n, fi, p)
+				}
+				used[a], used[b] = true, true
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if seen[key] {
+					t.Fatalf("n=%d: edge %v in two factors", n, key)
+				}
+				seen[key] = true
+			}
+		}
+		if len(seen) != n*(n-1)/2 {
+			t.Fatalf("n=%d: covered %d edges, want %d", n, len(seen), n*(n-1)/2)
+		}
+	}
+}
+
+func TestOneFactorizationRejectsOdd(t *testing.T) {
+	if _, err := OneFactorization(7); err == nil {
+		t.Fatal("odd n accepted")
+	}
+	if _, err := OneFactorization(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestDoubleSQS8(t *testing.T) {
+	s16, err := Double(SQS8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s16.N != 16 || s16.R != 4 {
+		t.Fatalf("doubled system: n=%d r=%d", s16.N, s16.R)
+	}
+	if want := 16 * 15 * 14 / 24; s16.NumBlocks() != want {
+		t.Fatalf("SQS(16) has %d blocks, want %d", s16.NumBlocks(), want)
+	}
+	// FromBlocks already verified it, but assert explicitly.
+	if err := s16.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Counting lemmas for (16,4,3): pair count 14/2 = 7, element count
+	// 15·14/6 = 35.
+	if s16.PairCount() != 7 || s16.ElementCount() != 35 {
+		t.Fatalf("counts: pair %d element %d", s16.PairCount(), s16.ElementCount())
+	}
+}
+
+func TestDoubleTwice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SQS(32) verification enumerates C(32,3) triples")
+	}
+	s32, err := SQSDoubled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s32.N != 32 {
+		t.Fatalf("n = %d", s32.N)
+	}
+	if want := 32 * 31 * 30 / 24; s32.NumBlocks() != want {
+		t.Fatalf("SQS(32) has %d blocks, want %d", s32.NumBlocks(), want)
+	}
+}
+
+func TestSQSDoubledBase(t *testing.T) {
+	s, err := SQSDoubled(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Fatalf("k=0 should be SQS(8), got n=%d", s.N)
+	}
+	if _, err := SQSDoubled(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestDoubleRejectsNonQuadruple(t *testing.T) {
+	s, err := Spherical(2) // r = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Double(s); err == nil {
+		t.Fatal("r=3 system accepted for doubling")
+	}
+}

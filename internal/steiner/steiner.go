@@ -1,0 +1,302 @@
+// Package steiner constructs and verifies the Steiner (n, r, 3) systems
+// that generate tetrahedral block partitions (§6 of the paper).
+//
+// A Steiner (n, r, s)-system is a collection Σ of size-r subsets of
+// {1, …, n} such that every size-s subset is contained in exactly one
+// member of Σ (Definition 6.1). Two families are provided:
+//
+//   - Spherical(q): the Steiner (q²+1, q+1, 3) system realized as the orbit
+//     of the projective line PG(1,q) ⊂ PG(1,q²) under PGL₂(q²)
+//     (Theorem 6.5). This is the family Algorithm 5 uses, giving
+//     P = q(q²+1) processors.
+//
+//   - SQS8(): the unique Steiner (8, 4, 3) quadruple system (the planes of
+//     AG(3,2)), used by the paper's Appendix A example with P = 14.
+//
+// The package also exposes the incidence counts of Lemmas 6.3 and 6.4: a
+// pair of points lies in (n−2)/(r−2) blocks and a single point in
+// (n−1)(n−2)/((r−1)(r−2)) blocks.
+package steiner
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gf"
+	"repro/internal/intmath"
+)
+
+// System is a verified Steiner (N, R, 3) system over points 1..N.
+type System struct {
+	N, R int
+	// Blocks holds each block as a strictly increasing slice of points in
+	// 1..N. Block order is deterministic for a given construction.
+	Blocks [][]int
+
+	// pairIndex maps each unordered pair (encoded lo*(N+1)+hi) to the
+	// indices of the blocks containing it; built lazily by index().
+	pairIndex map[int][]int
+	elemIndex [][]int
+}
+
+// NumBlocks returns |Σ|.
+func (s *System) NumBlocks() int { return len(s.Blocks) }
+
+// PairCount returns the number of blocks containing any fixed pair of
+// distinct points: (n−2)/(r−2) (Lemma 6.3).
+func (s *System) PairCount() int { return (s.N - 2) / (s.R - 2) }
+
+// ElementCount returns the number of blocks containing any fixed point:
+// (n−1)(n−2)/((r−1)(r−2)) (Lemma 6.4).
+func (s *System) ElementCount() int {
+	return (s.N - 1) * (s.N - 2) / ((s.R - 1) * (s.R - 2))
+}
+
+func (s *System) index() {
+	if s.pairIndex != nil {
+		return
+	}
+	s.pairIndex = make(map[int][]int)
+	s.elemIndex = make([][]int, s.N+1)
+	for bi, blk := range s.Blocks {
+		for x := 0; x < len(blk); x++ {
+			s.elemIndex[blk[x]] = append(s.elemIndex[blk[x]], bi)
+			for y := x + 1; y < len(blk); y++ {
+				k := blk[x]*(s.N+1) + blk[y]
+				s.pairIndex[k] = append(s.pairIndex[k], bi)
+			}
+		}
+	}
+}
+
+// BlocksWithPair returns the indices of blocks containing both points a and
+// b (a != b). The result aliases internal state and must not be modified.
+func (s *System) BlocksWithPair(a, b int) []int {
+	if a == b {
+		panic("steiner: BlocksWithPair with equal points")
+	}
+	if a > b {
+		a, b = b, a
+	}
+	s.index()
+	return s.pairIndex[a*(s.N+1)+b]
+}
+
+// BlocksWithElement returns the indices of blocks containing point a. The
+// result aliases internal state and must not be modified.
+func (s *System) BlocksWithElement(a int) []int {
+	s.index()
+	return s.elemIndex[a]
+}
+
+// Verify checks the Steiner property exhaustively: every block is a
+// strictly increasing size-R subset of 1..N and every 3-subset of 1..N
+// appears in exactly one block. It returns a descriptive error on the first
+// violation found.
+func (s *System) Verify() error {
+	if s.R < 3 || s.N < s.R {
+		return fmt.Errorf("steiner: invalid parameters n=%d r=%d", s.N, s.R)
+	}
+	for bi, blk := range s.Blocks {
+		if len(blk) != s.R {
+			return fmt.Errorf("steiner: block %d has size %d, want %d", bi, len(blk), s.R)
+		}
+		for i, p := range blk {
+			if p < 1 || p > s.N {
+				return fmt.Errorf("steiner: block %d contains out-of-range point %d", bi, p)
+			}
+			if i > 0 && blk[i-1] >= p {
+				return fmt.Errorf("steiner: block %d is not strictly increasing", bi)
+			}
+		}
+	}
+	seen := make(map[[3]int]int)
+	for bi, blk := range s.Blocks {
+		for x := 0; x < len(blk); x++ {
+			for y := x + 1; y < len(blk); y++ {
+				for z := y + 1; z < len(blk); z++ {
+					key := [3]int{blk[x], blk[y], blk[z]}
+					if prev, dup := seen[key]; dup {
+						return fmt.Errorf("steiner: triple %v in blocks %d and %d", key, prev, bi)
+					}
+					seen[key] = bi
+				}
+			}
+		}
+	}
+	want := intmath.Binomial(s.N, 3)
+	if len(seen) != want {
+		return fmt.Errorf("steiner: %d distinct triples covered, want %d", len(seen), want)
+	}
+	return nil
+}
+
+// FromBlocks builds a System from explicit blocks (each a set of distinct
+// points of 1..n) and verifies it. Input blocks are copied and sorted.
+func FromBlocks(n, r int, blocks [][]int) (*System, error) {
+	s := &System{N: n, R: r, Blocks: make([][]int, len(blocks))}
+	for i, b := range blocks {
+		cp := append([]int(nil), b...)
+		sort.Ints(cp)
+		s.Blocks[i] = cp
+	}
+	if err := s.Verify(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Spherical constructs the Steiner (q²+1, q+1, 3) system for a prime power
+// q as the PGL₂(q²)-orbit of PG(1,q) inside PG(1,q²). The projective line
+// over GF(q²) has q²+1 points — the field elements plus ∞ — which are
+// numbered 1..q²+1 with ∞ last and field elements in increasing integer
+// encoding.
+func Spherical(q int) (*System, error) {
+	if _, _, ok := intmath.PrimePower(q); !ok {
+		return nil, fmt.Errorf("steiner: q=%d is not a prime power", q)
+	}
+	bigQ := q * q
+	f, err := gf.New(bigQ)
+	if err != nil {
+		return nil, fmt.Errorf("steiner: building GF(%d): %w", bigQ, err)
+	}
+	sub, err := f.Subfield(q)
+	if err != nil {
+		return nil, fmt.Errorf("steiner: embedding GF(%d) in GF(%d): %w", q, bigQ, err)
+	}
+
+	// Points: field element e -> e+1, infinity -> bigQ+1.
+	const offset = 1
+	infinity := bigQ + offset
+	base := make([]int, 0, q+1)
+	for _, e := range sub {
+		base = append(base, e+offset)
+	}
+	base = append(base, infinity)
+
+	// Möbius image of a point under z -> (az+b)/(cz+d).
+	moebius := func(a, b, c, d, pt int) int {
+		if pt == infinity {
+			if c == 0 {
+				return infinity
+			}
+			return f.Div(a, c) + offset
+		}
+		z := pt - offset
+		den := f.Add(f.Mul(c, z), d)
+		if den == 0 {
+			return infinity
+		}
+		num := f.Add(f.Mul(a, z), b)
+		return f.Div(num, den) + offset
+	}
+
+	// Enumerate PGL₂(q²): invertible matrices up to scalar, canonicalized
+	// by requiring the first nonzero of (a, b, c, d) to be 1.
+	seen := make(map[string]struct{})
+	var blocks [][]int
+	img := make([]int, 0, q+1)
+	var sb strings.Builder
+	for a := 0; a < bigQ; a++ {
+		for b := 0; b < bigQ; b++ {
+			for c := 0; c < bigQ; c++ {
+				for d := 0; d < bigQ; d++ {
+					if f.Sub(f.Mul(a, d), f.Mul(b, c)) == 0 {
+						continue
+					}
+					switch {
+					case a != 0:
+						if a != 1 {
+							continue
+						}
+					case b != 0:
+						if b != 1 {
+							continue
+						}
+					case c != 0:
+						if c != 1 {
+							continue
+						}
+					default:
+						if d != 1 {
+							continue
+						}
+					}
+					img = img[:0]
+					for _, pt := range base {
+						img = append(img, moebius(a, b, c, d, pt))
+					}
+					sort.Ints(img)
+					sb.Reset()
+					for _, p := range img {
+						sb.WriteString(strconv.Itoa(p))
+						sb.WriteByte(',')
+					}
+					key := sb.String()
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					blocks = append(blocks, append([]int(nil), img...))
+				}
+			}
+		}
+	}
+
+	wantBlocks := q * (bigQ + 1)
+	if len(blocks) != wantBlocks {
+		return nil, fmt.Errorf("steiner: spherical geometry for q=%d produced %d blocks, want %d",
+			q, len(blocks), wantBlocks)
+	}
+	sortBlocks(blocks)
+	s := &System{N: bigQ + 1, R: q + 1, Blocks: blocks}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("steiner: spherical geometry for q=%d failed verification: %w", q, err)
+	}
+	return s, nil
+}
+
+// SQS8 constructs the Steiner (8, 4, 3) quadruple system used in the
+// paper's Appendix A (Table 3): the 14 planes of the affine geometry
+// AG(3,2). A quadruple {a,b,c,d} of points 1..8 is a block exactly when
+// (a−1) ⊕ (b−1) ⊕ (c−1) ⊕ (d−1) = 0.
+func SQS8() *System {
+	var blocks [][]int
+	for a := 1; a <= 8; a++ {
+		for b := a + 1; b <= 8; b++ {
+			for c := b + 1; c <= 8; c++ {
+				x := (a - 1) ^ (b - 1) ^ (c - 1)
+				d := x + 1
+				if d > c { // each block discovered once, from its 3 smallest
+					blocks = append(blocks, []int{a, b, c, d})
+				}
+			}
+		}
+	}
+	sortBlocks(blocks)
+	s := &System{N: 8, R: 4, Blocks: blocks}
+	if err := s.Verify(); err != nil {
+		panic("steiner: SQS(8) construction is wrong: " + err.Error())
+	}
+	return s
+}
+
+// sortBlocks orders blocks lexicographically for deterministic output.
+func sortBlocks(blocks [][]int) {
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i], blocks[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// String summarizes the system parameters.
+func (s *System) String() string {
+	return fmt.Sprintf("Steiner(%d, %d, 3) with %d blocks", s.N, s.R, len(s.Blocks))
+}

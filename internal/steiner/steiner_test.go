@@ -1,0 +1,269 @@
+package steiner
+
+import (
+	"testing"
+
+	"repro/internal/intmath"
+)
+
+func TestSQS8(t *testing.T) {
+	s := SQS8()
+	if s.N != 8 || s.R != 4 {
+		t.Fatalf("SQS8 parameters: n=%d r=%d", s.N, s.R)
+	}
+	if got := s.NumBlocks(); got != 14 {
+		t.Fatalf("SQS8 has %d blocks, want 14", got)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 6.3: pair count (8-2)/(4-2) = 3; Lemma 6.4: element count
+	// 7*6/(3*2) = 7.
+	if got := s.PairCount(); got != 3 {
+		t.Errorf("PairCount = %d, want 3", got)
+	}
+	if got := s.ElementCount(); got != 7 {
+		t.Errorf("ElementCount = %d, want 7", got)
+	}
+}
+
+func TestSQS8BlockIntersections(t *testing.T) {
+	// In SQS(8), two distinct blocks meet in 0 or 2 points. This is the
+	// structural fact behind Figure 1's 12-step schedule.
+	s := SQS8()
+	for i := 0; i < len(s.Blocks); i++ {
+		for j := i + 1; j < len(s.Blocks); j++ {
+			n := intersectSize(s.Blocks[i], s.Blocks[j])
+			if n != 0 && n != 2 {
+				t.Fatalf("blocks %v and %v intersect in %d points", s.Blocks[i], s.Blocks[j], n)
+			}
+		}
+	}
+}
+
+func intersectSize(a, b []int) int {
+	in := make(map[int]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if in[x] {
+			n++
+		}
+	}
+	return n
+}
+
+// sphericalCases lists the prime powers exercised; q=2 gives the paper's
+// smallest admissible machine (P=10) and q=3 gives the worked example
+// (Table 1, P=30).
+var sphericalCases = []struct {
+	q, n, r, blocks int
+}{
+	{2, 5, 3, 10},
+	{3, 10, 4, 30},
+	{4, 17, 5, 68},
+	{5, 26, 6, 130},
+}
+
+func TestSpherical(t *testing.T) {
+	for _, c := range sphericalCases {
+		s, err := Spherical(c.q)
+		if err != nil {
+			t.Fatalf("Spherical(%d): %v", c.q, err)
+		}
+		if s.N != c.n || s.R != c.r {
+			t.Fatalf("Spherical(%d): n=%d r=%d, want n=%d r=%d", c.q, s.N, s.R, c.n, c.r)
+		}
+		if got := s.NumBlocks(); got != c.blocks {
+			t.Fatalf("Spherical(%d): %d blocks, want %d", c.q, got, c.blocks)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("Spherical(%d): %v", c.q, err)
+		}
+	}
+}
+
+func TestSphericalCountingLemmas(t *testing.T) {
+	for _, c := range sphericalCases {
+		s, err := Spherical(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := c.q
+		// Paper §6: any index appears in q(q+1) blocks; two indices
+		// together appear in q+1 blocks.
+		if got, want := s.ElementCount(), q*(q+1); got != want {
+			t.Errorf("q=%d: ElementCount = %d, want %d", q, got, want)
+		}
+		if got, want := s.PairCount(), q+1; got != want {
+			t.Errorf("q=%d: PairCount = %d, want %d", q, got, want)
+		}
+		// Verify the formulas against the actual incidence structure.
+		for a := 1; a <= s.N; a++ {
+			if got := len(s.BlocksWithElement(a)); got != s.ElementCount() {
+				t.Fatalf("q=%d: element %d in %d blocks, want %d", q, a, got, s.ElementCount())
+			}
+			for b := a + 1; b <= s.N; b++ {
+				if got := len(s.BlocksWithPair(a, b)); got != s.PairCount() {
+					t.Fatalf("q=%d: pair (%d,%d) in %d blocks, want %d", q, a, b, got, s.PairCount())
+				}
+			}
+		}
+	}
+}
+
+func TestSphericalPrimePowerQ(t *testing.T) {
+	// q=4 = 2² exercises the non-prime prime-power path (GF(16) with
+	// GF(4) subfield detection via Frobenius fixed points).
+	s, err := Spherical(4)
+	if err != nil {
+		t.Fatalf("Spherical(4): %v", err)
+	}
+	if s.N != 17 || s.R != 5 || s.NumBlocks() != 68 {
+		t.Fatalf("Spherical(4): got (%d,%d,%d)", s.N, s.R, s.NumBlocks())
+	}
+}
+
+func TestSphericalRejectsNonPrimePower(t *testing.T) {
+	if _, err := Spherical(6); err == nil {
+		t.Error("Spherical(6) should fail")
+	}
+	if _, err := Spherical(0); err == nil {
+		t.Error("Spherical(0) should fail")
+	}
+}
+
+func TestSphericalDeterministic(t *testing.T) {
+	a, err := Spherical(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Spherical(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatal("nondeterministic block count")
+	}
+	for i := range a.Blocks {
+		for j := range a.Blocks[i] {
+			if a.Blocks[i][j] != b.Blocks[i][j] {
+				t.Fatalf("nondeterministic block %d", i)
+			}
+		}
+	}
+}
+
+func TestFromBlocks(t *testing.T) {
+	// The trivial Steiner (r, r, 3) system: one block containing all
+	// points.
+	s, err := FromBlocks(4, 4, [][]int{{4, 2, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks[0][0] != 1 || s.Blocks[0][3] != 4 {
+		t.Errorf("FromBlocks did not sort: %v", s.Blocks[0])
+	}
+}
+
+func TestFromBlocksRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		n, r   int
+		blocks [][]int
+	}{
+		{"missing triple", 5, 3, [][]int{{1, 2, 3}}},
+		{"duplicate triple", 4, 3, [][]int{{1, 2, 3}, {1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}}},
+		{"wrong size", 4, 4, [][]int{{1, 2, 3}}},
+		{"out of range", 4, 4, [][]int{{1, 2, 3, 5}}},
+		{"repeated point", 4, 4, [][]int{{1, 2, 3, 3}}},
+		{"bad params", 2, 3, nil},
+	}
+	for _, c := range cases {
+		if _, err := FromBlocks(c.n, c.r, c.blocks); err == nil {
+			t.Errorf("%s: FromBlocks succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestWilsonDivisibilityConditions(t *testing.T) {
+	// Theorem 6.2 necessary conditions hold for the spherical family:
+	// r−2 | n−2, (r−1)(r−2) | (n−1)(n−2), r(r−1)(r−2) | n(n−1)(n−2).
+	for _, c := range sphericalCases {
+		n, r := c.n, c.r
+		if (n-2)%(r-2) != 0 {
+			t.Errorf("q=%d: (r-2) does not divide (n-2)", c.q)
+		}
+		if (n-1)*(n-2)%((r-1)*(r-2)) != 0 {
+			t.Errorf("q=%d: (r-1)(r-2) does not divide (n-1)(n-2)", c.q)
+		}
+		if n*(n-1)*(n-2)%(r*(r-1)*(r-2)) != 0 {
+			t.Errorf("q=%d: r(r-1)(r-2) does not divide n(n-1)(n-2)", c.q)
+		}
+	}
+}
+
+func TestBlockCountIdentity(t *testing.T) {
+	// |Σ| = C(n,3)/C(r,3) for any Steiner (n,r,3) system.
+	for _, c := range sphericalCases {
+		s, err := Spherical(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := intmath.Binomial(s.N, 3) / intmath.Binomial(s.R, 3)
+		if got := s.NumBlocks(); got != want {
+			t.Errorf("q=%d: %d blocks, identity says %d", c.q, got, want)
+		}
+	}
+}
+
+func TestBlocksWithPairPanicsOnEqual(t *testing.T) {
+	s := SQS8()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlocksWithPair(2,2) did not panic")
+		}
+	}()
+	s.BlocksWithPair(2, 2)
+}
+
+func TestString(t *testing.T) {
+	s := SQS8()
+	if got := s.String(); got != "Steiner(8, 4, 3) with 14 blocks" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func BenchmarkSphericalQ3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Spherical(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSphericalLargerPrimePowers(t *testing.T) {
+	// q=7 (prime) and q=8 = 2³ (prime power) exercise the PGL₂ orbit
+	// construction at scale: GF(49)/GF(64) with 100k–260k Möbius maps.
+	if testing.Short() {
+		t.Skip("large spherical constructions")
+	}
+	for _, c := range []struct{ q, n, blocks int }{
+		{7, 50, 350},
+		{8, 65, 520},
+	} {
+		s, err := Spherical(c.q)
+		if err != nil {
+			t.Fatalf("Spherical(%d): %v", c.q, err)
+		}
+		if s.N != c.n || s.NumBlocks() != c.blocks {
+			t.Fatalf("Spherical(%d): n=%d blocks=%d, want n=%d blocks=%d",
+				c.q, s.N, s.NumBlocks(), c.n, c.blocks)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("Spherical(%d): %v", c.q, err)
+		}
+	}
+}

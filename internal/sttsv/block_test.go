@@ -1,0 +1,235 @@
+package sttsv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/intmath"
+	"repro/internal/tensor"
+)
+
+func TestBlockedMatchesPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, c := range []struct{ n, m int }{
+		{12, 4}, {12, 3}, {12, 1}, {9, 3}, {16, 2}, {7, 7},
+	} {
+		a := tensor.Random(c.n, rng)
+		x := randVec(c.n, rng)
+		want := Packed(a, x, nil)
+		got := Blocked(a, x, c.m, nil)
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Fatalf("n=%d m=%d: Blocked differs by %g", c.n, c.m, d)
+		}
+	}
+}
+
+func TestBlockedWithPadding(t *testing.T) {
+	// n not divisible by m: the padded region must not change the result.
+	rng := rand.New(rand.NewSource(31))
+	for _, c := range []struct{ n, m int }{
+		{10, 4}, {10, 3}, {11, 5}, {5, 4}, {1, 3},
+	} {
+		a := tensor.Random(c.n, rng)
+		x := randVec(c.n, rng)
+		want := Packed(a, x, nil)
+		got := Blocked(a, x, c.m, nil)
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Fatalf("n=%d m=%d: padded Blocked differs by %g", c.n, c.m, d)
+		}
+	}
+}
+
+func TestBlockContributePerKind(t *testing.T) {
+	// Each block kind in isolation: build a tensor that is zero outside
+	// one block and compare block contribution against Packed on the full
+	// tensor.
+	rng := rand.New(rand.NewSource(32))
+	b, m := 3, 4
+	n := b * m
+	for _, coords := range [][3]int{{3, 2, 1}, {2, 2, 1}, {2, 1, 1}, {1, 1, 1}} {
+		I, J, K := coords[0], coords[1], coords[2]
+		a := tensor.NewSymmetric(n)
+		// Fill only the chosen block's lower-tetra entries.
+		probe := tensor.NewBlock(I, J, K, b)
+		probe.ForEach(func(di, dj, dk int, _ float64) {
+			gi, gj, gk := probe.GlobalIndices(di, dj, dk)
+			a.Set(gi, gj, gk, rng.NormFloat64())
+		})
+		x := randVec(n, rng)
+		want := Packed(a, x, nil)
+
+		blk := tensor.ExtractBlock(a, I, J, K, b)
+		y := make([]float64, n)
+		BlockContribute(blk,
+			x[I*b:(I+1)*b], x[J*b:(J+1)*b], x[K*b:(K+1)*b],
+			y[I*b:(I+1)*b], y[J*b:(J+1)*b], y[K*b:(K+1)*b], nil)
+		if d := maxAbsDiff(y, want); d > tol {
+			t.Fatalf("block (%d,%d,%d) kind %v: differs by %g", I, J, K, blk.Kind, d)
+		}
+	}
+}
+
+func TestBlockTernaryCount(t *testing.T) {
+	// Exact per-kind counts from §7.1.
+	for b := 1; b <= 6; b++ {
+		bb := int64(b)
+		if got, want := BlockTernaryCount(tensor.OffDiagonal, b), 3*bb*bb*bb; got != want {
+			t.Errorf("off-diag b=%d: %d want %d", b, got, want)
+		}
+		if got, want := BlockTernaryCount(tensor.DiagPairHigh, b), 3*bb*bb*(bb-1)/2+2*bb*bb; got != want {
+			t.Errorf("pair-high b=%d: %d want %d", b, got, want)
+		}
+		if got, want := BlockTernaryCount(tensor.Central, b), bb*(bb-1)*(bb-2)/2+2*bb*(bb-1)+bb; got != want {
+			t.Errorf("central b=%d: %d want %d", b, got, want)
+		}
+	}
+}
+
+func TestBlockTernaryCountsSumToPackedCount(t *testing.T) {
+	// Summing block counts over the whole block tetrahedron must give
+	// Algorithm 4's total n²(n+1)/2 on the padded dimension.
+	for _, c := range []struct{ m, b int }{{4, 3}, {3, 5}, {5, 2}, {2, 7}} {
+		var total int64
+		tensor.BlocksOfTetrahedron(c.m, func(I, J, K int) {
+			total += BlockTernaryCount(tensor.KindOfBlock(I, J, K), c.b)
+		})
+		n := c.m * c.b
+		if want := PackedTernaryCount(n); total != want {
+			t.Errorf("m=%d b=%d: block sum %d, want %d", c.m, c.b, total, want)
+		}
+	}
+}
+
+func TestBlockedStatsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n, m := 12, 4
+	a := tensor.Random(n, rng)
+	x := randVec(n, rng)
+	var st Stats
+	Blocked(a, x, m, &st)
+	if want := PackedTernaryCount(n); st.TernaryMults != want {
+		t.Fatalf("Blocked counted %d, want %d", st.TernaryMults, want)
+	}
+}
+
+func TestBlockContributeAliasedSlices(t *testing.T) {
+	// For a central block the caller passes the same slices three times;
+	// verify explicitly that accumulation under aliasing is correct.
+	rng := rand.New(rand.NewSource(34))
+	b := 4
+	a := tensor.Random(b, rng) // dimension b tensor = single central block
+	x := randVec(b, rng)
+	want := Packed(a, x, nil)
+	blk := tensor.ExtractBlock(a, 0, 0, 0, b)
+	y := make([]float64, b)
+	BlockContribute(blk, x, x, x, y, y, y, nil)
+	if d := maxAbsDiff(y, want); d > tol {
+		t.Fatalf("aliased central block differs by %g", d)
+	}
+}
+
+func TestBlockContributePanicsOnBadLengths(t *testing.T) {
+	blk := tensor.NewBlock(2, 1, 0, 3)
+	good := make([]float64, 3)
+	bad := make([]float64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BlockContribute(blk, good, good, bad, good, good, good, nil)
+}
+
+func TestBlockedPanics(t *testing.T) {
+	a := tensor.NewSymmetric(4)
+	for name, fn := range map[string]func(){
+		"bad m":      func() { Blocked(a, make([]float64, 4), 0, nil) },
+		"bad vector": func() { Blocked(a, make([]float64, 3), 2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBlockedTotalWorkWithPadding(t *testing.T) {
+	// Work counted by Blocked equals the padded Algorithm 4 total.
+	rng := rand.New(rand.NewSource(35))
+	n, m := 10, 4 // pads to 12
+	a := tensor.Random(n, rng)
+	x := randVec(n, rng)
+	var st Stats
+	Blocked(a, x, m, &st)
+	padded := intmath.RoundUp(n, m) // b = ceil(10/4) = 3, padded = 12
+	if padded != 12 {
+		t.Fatalf("test setup wrong: padded = %d", padded)
+	}
+	if want := PackedTernaryCount(12); st.TernaryMults != want {
+		t.Fatalf("padded Blocked counted %d, want %d", st.TernaryMults, want)
+	}
+}
+
+func BenchmarkBlockContributeOffDiagonal(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	size := 16
+	blk := tensor.NewBlock(3, 2, 1, size)
+	for i := range blk.Data {
+		blk.Data[i] = rng.NormFloat64()
+	}
+	x := randVec(size, rng)
+	y := make([]float64, size)
+	b.SetBytes(int64(8 * len(blk.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BlockContribute(blk, x, x, x, y, y, y, nil)
+	}
+}
+
+func BenchmarkBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 96, 4
+	a := tensor.Random(n, rng)
+	x := randVec(n, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Blocked(a, x, m, nil)
+	}
+}
+
+func TestBlockContributeZeroPaddedEquivalence(t *testing.T) {
+	// Property: kernels on a zero block contribute nothing.
+	for _, coords := range [][3]int{{3, 2, 1}, {2, 2, 1}, {2, 1, 1}, {1, 1, 1}} {
+		blk := tensor.NewBlock(coords[0], coords[1], coords[2], 3)
+		x := []float64{1, 2, 3}
+		y := make([]float64, 3)
+		BlockContribute(blk, x, x, x, y, y, y, nil)
+		for i, v := range y {
+			if v != 0 {
+				t.Fatalf("zero block %v contributed y[%d]=%g", blk.Kind, i, v)
+			}
+		}
+	}
+}
+
+func TestMathSanity(t *testing.T) {
+	// Guard against NaN leaks from kernels on adversarial values.
+	b := 3
+	blk := tensor.NewBlock(2, 1, 0, b)
+	for i := range blk.Data {
+		blk.Data[i] = math.MaxFloat64 / 1e10
+	}
+	x := []float64{1e-200, 1e-200, 1e-200}
+	y := make([]float64, b)
+	BlockContribute(blk, x, x, x, y, y, y, nil)
+	for _, v := range y {
+		if math.IsNaN(v) {
+			t.Fatal("NaN from finite inputs")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package tensor provides storage for 3-dimensional fully symmetric
+// tensors, the objects the STTSV computation acts on (§3 of the paper).
+//
+// A fully symmetric tensor A satisfies a_ijk = a_ikj = a_jik = a_jki =
+// a_kij = a_kji, so only the lower tetrahedron i >= j >= k needs to be
+// stored: n(n+1)(n+2)/6 values instead of n³. The package offers
+//
+//   - Symmetric: packed lower-tetrahedron storage with O(1) indexing;
+//   - Dense: a full n×n×n cube, used by the naive Algorithm 3 and as a
+//     cross-check oracle;
+//   - Block: packed storage for the b×b×b blocks of the tetrahedral block
+//     partition (§6.1.3), with one layout per block type so that a
+//     processor stores exactly its ≈ n³/6P share;
+//   - generators for the workloads of the paper's motivating applications:
+//     random symmetric tensors, symmetric CP (low-rank) tensors, and
+//     3-uniform hypergraph adjacency tensors.
+//
+// All indices are 0-based. (The paper's math is 1-based; translation is
+// mechanical.)
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/intmath"
+)
+
+// Symmetric is a fully symmetric n×n×n tensor in packed lower-tetrahedron
+// storage.
+type Symmetric struct {
+	N int
+	// Data holds the lower tetrahedron: Data[PackedIndex(i,j,k)] = a_ijk
+	// for n > i >= j >= k >= 0; length n(n+1)(n+2)/6.
+	Data []float64
+}
+
+// NewSymmetric returns a zero symmetric tensor of dimension n.
+func NewSymmetric(n int) *Symmetric {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: NewSymmetric(%d)", n))
+	}
+	return &Symmetric{N: n, Data: make([]float64, intmath.Tetrahedral(n))}
+}
+
+// PackedIndex maps a sorted triple i >= j >= k (0-based) to its offset in
+// packed lower-tetrahedron storage: tet(i) + tri(j) + k.
+func PackedIndex(i, j, k int) int {
+	if i < j || j < k || k < 0 {
+		panic(fmt.Sprintf("tensor: PackedIndex(%d, %d, %d) not sorted", i, j, k))
+	}
+	return i*(i+1)*(i+2)/6 + j*(j+1)/2 + k
+}
+
+// At returns a_ijk for any ordering of the indices.
+func (t *Symmetric) At(i, j, k int) float64 {
+	i, j, k = intmath.SortTriple(i, j, k)
+	return t.Data[PackedIndex(i, j, k)]
+}
+
+// Set assigns a_ijk (and by symmetry all permutations).
+func (t *Symmetric) Set(i, j, k int, v float64) {
+	i, j, k = intmath.SortTriple(i, j, k)
+	t.Data[PackedIndex(i, j, k)] = v
+}
+
+// Add accumulates v into a_ijk.
+func (t *Symmetric) Add(i, j, k int, v float64) {
+	i, j, k = intmath.SortTriple(i, j, k)
+	t.Data[PackedIndex(i, j, k)] += v
+}
+
+// Clone returns a deep copy.
+func (t *Symmetric) Clone() *Symmetric {
+	c := &Symmetric{N: t.N, Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// ForEach visits every stored lower-tetrahedron entry in packed order,
+// passing the sorted indices i >= j >= k and the value.
+func (t *Symmetric) ForEach(f func(i, j, k int, v float64)) {
+	idx := 0
+	for i := 0; i < t.N; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= j; k++ {
+				f(i, j, k, t.Data[idx])
+				idx++
+			}
+		}
+	}
+}
+
+// FrobeniusNorm returns ‖A‖_F over the full cube, computed from packed
+// storage using permutation multiplicities.
+func (t *Symmetric) FrobeniusNorm() float64 {
+	sum := 0.0
+	t.ForEach(func(i, j, k int, v float64) {
+		sum += float64(intmath.Multiplicity(i+1, j+1, k+1)) * v * v
+	})
+	return math.Sqrt(sum)
+}
+
+// Dense expands the tensor to a full cube.
+func (t *Symmetric) Dense() *Dense {
+	d := NewDense(t.N)
+	t.ForEach(func(i, j, k int, v float64) {
+		d.setAll(i, j, k, v)
+	})
+	return d
+}
+
+// Dense is a full (not necessarily symmetric) n×n×n tensor in row-major
+// storage, Data[(i*n+j)*n+k] = a_ijk.
+type Dense struct {
+	N    int
+	Data []float64
+}
+
+// NewDense returns a zero cube of dimension n.
+func NewDense(n int) *Dense {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: NewDense(%d)", n))
+	}
+	return &Dense{N: n, Data: make([]float64, n*n*n)}
+}
+
+// At returns a_ijk.
+func (d *Dense) At(i, j, k int) float64 { return d.Data[(i*d.N+j)*d.N+k] }
+
+// Set assigns a_ijk (this index only; Dense is not implicitly symmetric).
+func (d *Dense) Set(i, j, k int, v float64) { d.Data[(i*d.N+j)*d.N+k] = v }
+
+// setAll writes v at every permutation of (i, j, k).
+func (d *Dense) setAll(i, j, k int, v float64) {
+	d.Set(i, j, k, v)
+	d.Set(i, k, j, v)
+	d.Set(j, i, k, v)
+	d.Set(j, k, i, v)
+	d.Set(k, i, j, v)
+	d.Set(k, j, i, v)
+}
+
+// IsSymmetric reports whether the cube is invariant under all index
+// permutations, within tolerance tol.
+func (d *Dense) IsSymmetric(tol float64) bool {
+	n := d.N
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= j; k++ {
+				v := d.At(i, j, k)
+				for _, p := range [][3]int{{i, k, j}, {j, i, k}, {j, k, i}, {k, i, j}, {k, j, i}} {
+					if math.Abs(d.At(p[0], p[1], p[2])-v) > tol {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FromDense packs a symmetric cube, verifying symmetry within tol.
+func FromDense(d *Dense, tol float64) (*Symmetric, error) {
+	if !d.IsSymmetric(tol) {
+		return nil, fmt.Errorf("tensor: cube is not symmetric within %g", tol)
+	}
+	t := NewSymmetric(d.N)
+	t.ForEach(func(i, j, k int, _ float64) {}) // no-op keeps shape obvious
+	for i := 0; i < d.N; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= j; k++ {
+				t.Data[PackedIndex(i, j, k)] = d.At(i, j, k)
+			}
+		}
+	}
+	return t, nil
+}
+
+// --- generators ---
+
+// Random returns a symmetric tensor with i.i.d. uniform(-1,1) entries on
+// the lower tetrahedron, drawn from rng.
+func Random(n int, rng *rand.Rand) *Symmetric {
+	t := NewSymmetric(n)
+	for i := range t.Data {
+		t.Data[i] = 2*rng.Float64() - 1
+	}
+	return t
+}
+
+// RankOne returns w · x∘x∘x.
+func RankOne(w float64, x []float64) *Symmetric {
+	n := len(x)
+	t := NewSymmetric(n)
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			xij := x[i] * x[j]
+			for k := 0; k <= j; k++ {
+				t.Data[idx] = w * xij * x[k]
+				idx++
+			}
+		}
+	}
+	return t
+}
+
+// CP returns the symmetric CP tensor Σ_ℓ w_ℓ · x_ℓ∘x_ℓ∘x_ℓ for columns
+// vectors[ℓ] (§1, the model behind Algorithm 2). All vectors must share a
+// common length.
+func CP(weights []float64, vectors [][]float64) (*Symmetric, error) {
+	if len(weights) != len(vectors) {
+		return nil, fmt.Errorf("tensor: %d weights for %d vectors", len(weights), len(vectors))
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("tensor: empty CP decomposition")
+	}
+	n := len(vectors[0])
+	t := NewSymmetric(n)
+	for l, x := range vectors {
+		if len(x) != n {
+			return nil, fmt.Errorf("tensor: vector %d has length %d, want %d", l, len(x), n)
+		}
+		w := weights[l]
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				wxij := w * x[i] * x[j]
+				for k := 0; k <= j; k++ {
+					t.Data[idx] += wxij * x[k]
+					idx++
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// HypergraphAdjacency returns the adjacency tensor of a 3-uniform
+// hypergraph on n vertices: for each hyperedge {u, v, w} of three distinct
+// vertices, every permutation entry a_uvw is set to 1/2, so that
+// (A ×₂ x ×₃ x)_u = Σ_{ {u,v,w} ∋ u } x_v x_w — the standard normalization
+// for hypergraph eigenvector centrality (cf. the Tensor Times Same Vector
+// hypergraph literature cited in §1). Duplicate edges are an error.
+func HypergraphAdjacency(n int, edges [][3]int) (*Symmetric, error) {
+	t := NewSymmetric(n)
+	for ei, e := range edges {
+		i, j, k := intmath.SortTriple(e[0], e[1], e[2])
+		if k < 0 || i >= n {
+			return nil, fmt.Errorf("tensor: edge %d = %v out of range [0,%d)", ei, e, n)
+		}
+		if i == j || j == k {
+			return nil, fmt.Errorf("tensor: edge %d = %v has repeated vertices", ei, e)
+		}
+		p := PackedIndex(i, j, k)
+		if t.Data[p] != 0 {
+			return nil, fmt.Errorf("tensor: duplicate edge %v", e)
+		}
+		t.Data[p] = 0.5
+	}
+	return t, nil
+}
+
+// RandomHypergraph samples m distinct hyperedges on n vertices uniformly
+// without replacement and returns the adjacency tensor.
+func RandomHypergraph(n, m int, rng *rand.Rand) (*Symmetric, error) {
+	max := intmath.Binomial(n, 3)
+	if m > max {
+		return nil, fmt.Errorf("tensor: %d edges requested of %d possible", m, max)
+	}
+	seen := make(map[[3]int]bool, m)
+	edges := make([][3]int, 0, m)
+	for len(edges) < m {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		k := rng.Intn(n)
+		a, b, c := intmath.SortTriple(i, j, k)
+		if a == b || b == c {
+			continue
+		}
+		key := [3]int{a, b, c}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, key)
+	}
+	return HypergraphAdjacency(n, edges)
+}

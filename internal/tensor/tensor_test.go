@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/intmath"
+)
+
+func TestPackedIndexBijective(t *testing.T) {
+	// PackedIndex must enumerate 0..Tetrahedral(n)-1 exactly once in the
+	// canonical iteration order.
+	n := 12
+	next := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= j; k++ {
+				if got := PackedIndex(i, j, k); got != next {
+					t.Fatalf("PackedIndex(%d,%d,%d) = %d, want %d", i, j, k, got, next)
+				}
+				next++
+			}
+		}
+	}
+	if next != intmath.Tetrahedral(n) {
+		t.Fatalf("enumerated %d, want %d", next, intmath.Tetrahedral(n))
+	}
+}
+
+func TestPackedIndexPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PackedIndex(1, 2, 0)
+}
+
+func TestAtIsPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Random(7, rng)
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			for k := 0; k < 7; k++ {
+				idx := [3]int{i, j, k}
+				v := a.At(i, j, k)
+				for _, p := range perms {
+					if got := a.At(idx[p[0]], idx[p[1]], idx[p[2]]); got != v {
+						t.Fatalf("At not invariant at (%d,%d,%d) perm %v", i, j, k, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSetAddClone(t *testing.T) {
+	a := NewSymmetric(4)
+	a.Set(1, 3, 2, 5) // unsorted input
+	if a.At(3, 2, 1) != 5 {
+		t.Fatal("Set/At disagree")
+	}
+	a.Add(2, 3, 1, 2)
+	if a.At(3, 2, 1) != 7 {
+		t.Fatal("Add did not accumulate")
+	}
+	c := a.Clone()
+	c.Set(0, 0, 0, 9)
+	if a.At(0, 0, 0) == 9 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Random(6, rng)
+	d := a.Dense()
+	if !d.IsSymmetric(0) {
+		t.Fatal("Dense() not symmetric")
+	}
+	back, err := FromDense(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range a.Data {
+		if a.Data[idx] != back.Data[idx] {
+			t.Fatalf("round trip differs at %d", idx)
+		}
+	}
+}
+
+func TestFromDenseRejectsAsymmetric(t *testing.T) {
+	d := NewDense(3)
+	d.Set(2, 1, 0, 1)
+	if _, err := FromDense(d, 1e-12); err == nil {
+		t.Fatal("asymmetric cube accepted")
+	}
+}
+
+func TestFrobeniusNormMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 9} {
+		a := Random(n, rng)
+		d := a.Dense()
+		sum := 0.0
+		for _, v := range d.Data {
+			sum += v * v
+		}
+		want := math.Sqrt(sum)
+		if got := a.FrobeniusNorm(); math.Abs(got-want) > 1e-10*(1+want) {
+			t.Fatalf("n=%d: packed norm %g, dense norm %g", n, got, want)
+		}
+	}
+}
+
+func TestRankOne(t *testing.T) {
+	x := []float64{1, 2, -1}
+	a := RankOne(2, x)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				want := 2 * x[i] * x[j] * x[k]
+				if got := a.At(i, j, k); math.Abs(got-want) > 1e-14 {
+					t.Fatalf("RankOne at (%d,%d,%d): %g want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCPMatchesSumOfRankOnes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, r := 5, 3
+	weights := make([]float64, r)
+	vectors := make([][]float64, r)
+	for l := range vectors {
+		weights[l] = rng.NormFloat64()
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		vectors[l] = v
+	}
+	got, err := CP(weights, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewSymmetric(n)
+	for l := range vectors {
+		r1 := RankOne(weights[l], vectors[l])
+		for idx := range want.Data {
+			want.Data[idx] += r1.Data[idx]
+		}
+	}
+	for idx := range want.Data {
+		if math.Abs(got.Data[idx]-want.Data[idx]) > 1e-12 {
+			t.Fatalf("CP differs at %d", idx)
+		}
+	}
+}
+
+func TestCPValidation(t *testing.T) {
+	if _, err := CP([]float64{1}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := CP(nil, nil); err == nil {
+		t.Fatal("empty CP accepted")
+	}
+	if _, err := CP([]float64{1, 1}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+}
+
+func TestHypergraphAdjacency(t *testing.T) {
+	a, err := HypergraphAdjacency(4, [][3]int{{0, 1, 2}, {1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(2, 1, 0) != 0.5 || a.At(0, 2, 1) != 0.5 || a.At(3, 1, 2) != 0.5 {
+		t.Fatal("edge entries wrong")
+	}
+	if a.At(3, 1, 0) != 0 {
+		t.Fatal("non-edge entry nonzero")
+	}
+}
+
+func TestHypergraphAdjacencyErrors(t *testing.T) {
+	if _, err := HypergraphAdjacency(3, [][3]int{{0, 1, 3}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := HypergraphAdjacency(3, [][3]int{{0, 1, 1}}); err == nil {
+		t.Fatal("degenerate edge accepted")
+	}
+	if _, err := HypergraphAdjacency(4, [][3]int{{0, 1, 2}, {2, 1, 0}}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestRandomHypergraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := RandomHypergraph(10, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	a.ForEach(func(i, j, k int, v float64) {
+		if v != 0 {
+			if v != 0.5 {
+				t.Fatalf("entry (%d,%d,%d) = %g", i, j, k, v)
+			}
+			if i == j || j == k {
+				t.Fatalf("diagonal entry (%d,%d,%d) set", i, j, k)
+			}
+			count++
+		}
+	})
+	if count != 30 {
+		t.Fatalf("hypergraph has %d edges, want 30", count)
+	}
+	if _, err := RandomHypergraph(4, 100, rng); err == nil {
+		t.Fatal("too many edges accepted")
+	}
+}
+
+func TestForEachOrderMatchesPackedIndex(t *testing.T) {
+	a := NewSymmetric(6)
+	for idx := range a.Data {
+		a.Data[idx] = float64(idx)
+	}
+	a.ForEach(func(i, j, k int, v float64) {
+		if int(v) != PackedIndex(i, j, k) {
+			t.Fatalf("ForEach order mismatch at (%d,%d,%d)", i, j, k)
+		}
+	})
+}
+
+func TestSymmetryPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Random(8, rng)
+	f := func(i, j, k uint8) bool {
+		x, y, z := int(i)%8, int(j)%8, int(k)%8
+		return a.At(x, y, z) == a.At(z, x, y) && a.At(x, y, z) == a.At(y, z, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package sttsv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeSparse(t *testing.T) {
+	edges := [][3]int{{0, 1, 2}, {1, 2, 3}, {0, 3, 4}}
+	sp, err := SparseFromHypergraph(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", sp.NNZ())
+	}
+	dense, err := HypergraphTensor(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -1, 2, 0.5, 3}
+	var st Stats
+	ys := SparseCompute(sp, x, &st)
+	yd := Compute(dense, x, nil)
+	for i := range ys {
+		if math.Abs(ys[i]-yd[i]) > 1e-12 {
+			t.Fatalf("sparse and dense disagree at %d", i)
+		}
+	}
+	if st.TernaryMults != 9 { // 3 strict entries × 3 ops
+		t.Fatalf("ternary count %d, want 9", st.TernaryMults)
+	}
+	// Sparsify round trip.
+	sp2 := SparseFromTensor(dense, 0)
+	if sp2.NNZ() != 3 {
+		t.Fatalf("SparseFromTensor NNZ = %d", sp2.NNZ())
+	}
+	// Power method parity.
+	p1, err := SparsePowerMethod(sp, EigenOptions{Seed: 1, MaxIter: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PowerMethod(dense, EigenOptions{Seed: 1, MaxIter: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1.Lambda-p2.Lambda) > 1e-9 {
+		t.Fatalf("sparse λ %g vs dense %g", p1.Lambda, p2.Lambda)
+	}
+}
+
+func TestFacadeHEigen(t *testing.T) {
+	n := 6
+	a := NewTensor(n)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	pair, err := HEigenPowerMethod(a, 1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Converged || math.Abs(pair.Lambda-float64(n*n)) > 1e-8 {
+		t.Fatalf("H-eigen of all-ones: λ=%g converged=%v, want %d", pair.Lambda, pair.Converged, n*n)
+	}
+}
+
+func TestFacadeAdaptiveAndEnumerate(t *testing.T) {
+	v1 := make([]float64, 8)
+	v1[0] = 1
+	v2 := make([]float64, 8)
+	v2[4] = 1
+	a, err := CPTensor([]float64{5, 2}, [][]float64{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := AdaptivePowerMethod(a, SuggestedShift(a), EigenOptions{Seed: 2, MaxIter: 20000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Converged {
+		t.Fatal("adaptive did not converge")
+	}
+	pairs, err := EnumerateEigenpairs(a, 30, EigenOptions{Seed: 3, MaxIter: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) < 2 || math.Abs(pairs[0].Lambda-5) > 1e-6 {
+		t.Fatalf("enumerate found %d pairs, dominant %g", len(pairs), pairs[0].Lambda)
+	}
+}
+
+func TestFacadeSequenceBaseline(t *testing.T) {
+	n := 20
+	a := RandomTensor(n, 12)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%3) - 1
+	}
+	want := Compute(a, x, nil)
+	res, err := SequenceBaselineCompute(a, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.Y[i]-want[i]) > 1e-9 {
+			t.Fatalf("sequence baseline differs at %d", i)
+		}
+	}
+}
+
+func TestFacadeSQSDoubled(t *testing.T) {
+	s, err := SQSDoubled(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 16 || s.NumBlocks() != 140 {
+		t.Fatalf("SQS(16): n=%d blocks=%d", s.N, s.NumBlocks())
+	}
+	part, err := NewPartitionFromSteiner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.P != 140 {
+		t.Fatalf("P = %d", part.P)
+	}
+}
