@@ -7,6 +7,13 @@
 //	sttsvrun -n 120 -q 3            # also run the simulated parallel Algorithm 5
 //	sttsvrun -n 64 -hopm            # find a Z-eigenpair with (SS-)HOPM
 //	sttsvrun -n 64 -hopm -shift 10  # shifted power method
+//
+// With -q, a fault schedule can be injected into the simulated machine;
+// the run then repeats Algorithm 5 over the reliable transport and checks
+// that results and logical communication meters match the fault-free run,
+// reporting the wire-level recovery overhead:
+//
+//	sttsvrun -n 120 -q 3 -faults seed=7,drop=0.2,reorder=0.1
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/fault"
 	"repro/internal/hopm"
+	"repro/internal/machine"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/sttsv"
@@ -28,9 +37,16 @@ func main() {
 	n := flag.Int("n", 128, "tensor dimension")
 	seed := flag.Int64("seed", 1, "random seed")
 	q := flag.Int("q", 0, "also run parallel Algorithm 5 with this prime power (0 = skip)")
+	faults := flag.String("faults", "", "fault schedule for the simulated machine (with -q), e.g. seed=7,drop=0.2,dup=0.1,reorder=0.1,corrupt=0.05,stall=0.01,crash=2@40")
 	runHopm := flag.Bool("hopm", false, "run the higher-order power method")
 	shift := flag.Float64("shift", 0, "SS-HOPM shift (with -hopm)")
 	flag.Parse()
+
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttsvrun: -faults:", err)
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	fmt.Printf("building random symmetric tensor, n=%d (%d packed entries)\n",
@@ -60,7 +76,10 @@ func main() {
 	fmt.Printf("agreement: max |Δy| = %.3g\n", maxDiff)
 
 	if *q > 0 {
-		runParallel(a, x, yp, *q)
+		runParallel(a, x, yp, *q, plan)
+	} else if plan.Active() {
+		fmt.Fprintln(os.Stderr, "sttsvrun: -faults requires -q (faults apply to the simulated machine)")
+		os.Exit(2)
 	}
 	if *runHopm {
 		pair, err := hopm.PowerMethod(hopm.PackedSTTSV(a), *n, hopm.Options{Seed: *seed, Shift: *shift, MaxIter: 10000})
@@ -73,7 +92,7 @@ func main() {
 	}
 }
 
-func runParallel(a *tensor.Symmetric, x, want []float64, q int) {
+func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan) {
 	part, err := partition.NewSpherical(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sttsvrun:", err)
@@ -98,7 +117,50 @@ func runParallel(a *tensor.Symmetric, x, want []float64, q int) {
 		fmt.Printf("  %-11s steps/phase=%-3d max words sent=%-6d (lower bound %.1f)  max |Δy| = %.3g\n",
 			wiring, res.Steps, res.Report.MaxSentWords(),
 			costmodel.LowerBoundWords(n, part.P), maxDiff)
+		fmt.Printf("              %s\n", res.Report)
+		if plan.Active() {
+			runFaulted(a, x, wiring, part, b, plan, res)
+		}
 	}
+}
+
+// runFaulted repeats one Algorithm 5 configuration over the reliable
+// transport with the plan's faults injected and compares it against the
+// fault-free run just completed.
+func runFaulted(a *tensor.Symmetric, x []float64, wiring parallel.Wiring,
+	part *partition.Tetrahedral, b int, plan fault.Plan, clean *parallel.Result) {
+	fmt.Printf("  %-11s faults: %s\n", wiring, plan)
+	// A retry budget far beyond the watchdog window: a crashed rank is
+	// then reported by the progress monitor as one structured deadlock
+	// (naming the crashed rank and every blocked peer) instead of a slow
+	// cascade of per-sender retry exhaustions.
+	res, err := parallel.Run(a, x, parallel.Options{
+		Part: part, B: b, Wiring: wiring,
+		Machine: machine.RunConfig{
+			Transport: fault.TransportOpts(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
+			Timeout:   5 * time.Second,
+		},
+	})
+	if err != nil {
+		fmt.Printf("              failed: %v\n", err)
+		return
+	}
+	exact := true
+	for i := range clean.Y {
+		if res.Y[i] != clean.Y[i] {
+			exact = false
+			break
+		}
+	}
+	metersMatch := res.Report.MaxSentWords() == clean.Report.MaxSentWords() &&
+		res.Report.MaxSentMsgs() == clean.Report.MaxSentMsgs() &&
+		res.Report.MaxRecvWords() == clean.Report.MaxRecvWords() &&
+		res.Report.MaxRecvMsgs() == clean.Report.MaxRecvMsgs()
+	fmt.Printf("              result bit-identical=%v, logical meters preserved=%v\n", exact, metersMatch)
+	fmt.Printf("              %s\n", res.Report)
+	fmt.Printf("              recovery overhead: %d words, %d packets beyond the %d logical messages\n",
+		res.Report.OverheadWords(),
+		res.Report.MaxWireSentMsgs()-res.Report.MaxSentMsgs(), res.Report.MaxSentMsgs())
 }
 
 func abs(v float64) float64 {

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Inject wraps a rank's raw wire endpoint with the plan's fault
+// injectors. Faults fire on the delivery path (the sender's side of the
+// wire), which keeps them deterministic: each rank's deliveries happen in
+// its own program order, and each rank draws from its own PRNG seeded by
+// (Seed, rank). Acks and retransmissions pass through the same injector
+// as first transmissions — recovery traffic is not privileged.
+//
+// An injected wire violates the delivery guarantees the direct transport
+// assumes; pair it with the reliable transport (see Transport) unless the
+// plan is stall-only, the one fault class that preserves delivery.
+func Inject(w machine.Wire, plan Plan) machine.Wire {
+	if !plan.Active() {
+		return w
+	}
+	return &injector{
+		Wire: w,
+		plan: plan,
+		rng:  rand.New(rand.NewSource(plan.Seed ^ (0x9e3779b97f4a7c * int64(w.Rank()+1)))),
+	}
+}
+
+type injector struct {
+	machine.Wire
+	plan   Plan
+	rng    *rand.Rand
+	ops    int // Deliver calls so far (crash clock)
+	faults int // injected faults so far (MaxFaults budget)
+	held   *machine.Packet
+}
+
+// budget consumes one fault from the per-rank allowance.
+func (i *injector) budget() bool {
+	if i.plan.MaxFaults > 0 && i.faults >= i.plan.MaxFaults {
+		return false
+	}
+	i.faults++
+	return true
+}
+
+func (i *injector) Deliver(pkt machine.Packet) {
+	i.ops++
+	if at, ok := i.plan.Crash[i.Rank()]; ok && i.ops >= at {
+		panic(machine.CrashError{Rank: i.Rank(), Op: i.ops})
+	}
+	// Draw every decision up front so the random stream advances the
+	// same way regardless of which faults fire.
+	rDrop := i.rng.Float64()
+	rDup := i.rng.Float64()
+	rReorder := i.rng.Float64()
+	rCorrupt := i.rng.Float64()
+	rStall := i.rng.Float64()
+
+	if rStall < i.plan.Stall && i.budget() {
+		d := i.plan.StallDelay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+
+	var out []machine.Packet
+	if rDrop < i.plan.Drop && i.budget() {
+		// Dropped: the packet vanishes before reaching the wire.
+	} else {
+		if rCorrupt < i.plan.Corrupt && pkt.Kind == machine.PacketData && len(pkt.Data) > 0 && i.budget() {
+			pkt.Data = corrupt(pkt.Data, i.ops)
+		}
+		out = append(out, pkt)
+		if rDup < i.plan.Dup && i.budget() {
+			out = append(out, pkt)
+		}
+	}
+	if i.held != nil {
+		// Deliver the held packet after the current one: the swap is the
+		// reordering. Flushing on every call bounds the delay to one
+		// delivery, so a held packet can never be lost outright.
+		out = append(out, *i.held)
+		i.held = nil
+	} else if len(out) == 1 && rReorder < i.plan.Reorder && i.budget() {
+		held := out[0]
+		i.held = &held
+		out = nil
+	}
+	for _, p := range out {
+		i.Wire.Deliver(p)
+	}
+}
+
+// corrupt returns a copy of data with one element bit-flipped (sign and
+// low mantissa bit), leaving the caller's buffer — which a reliable
+// transport may retransmit — intact.
+func corrupt(data []float64, salt int) []float64 {
+	cp := append([]float64(nil), data...)
+	idx := salt % len(cp)
+	cp[idx] = math.Float64frombits(math.Float64bits(cp[idx]) ^ 0x8000000000000001)
+	return cp
+}
+
+// Unreliable is a transport factory that runs the plain direct transport
+// over an injected wire: faults hit the algorithm unrepaired. Useful for
+// stall-only plans (delay never violates delivery, so results stay
+// exact) and for demonstrating why the reliable transport exists.
+func Unreliable(plan Plan) machine.TransportFactory {
+	return func(w machine.Wire) machine.Transport {
+		return machine.NewDirectTransport(Inject(w, plan))
+	}
+}

@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// ReliableOptions tunes the recovery protocol.
+type ReliableOptions struct {
+	// MaxAttempts bounds transmissions of one message (first send
+	// included); exhausting it panics with machine.UnreachableError.
+	// Default 40.
+	MaxAttempts int
+	// AckTimeout is the initial retransmission timeout; it doubles per
+	// retry (exponential backoff). Default 500µs.
+	AckTimeout time.Duration
+	// MaxAckTimeout caps the backoff. Default 50ms.
+	MaxAckTimeout time.Duration
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 40
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 500 * time.Microsecond
+	}
+	if o.MaxAckTimeout <= 0 {
+		o.MaxAckTimeout = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Transport returns a machine.TransportFactory that runs the reliable
+// transport over a wire perturbed by plan — the standard way to wire
+// fault injection into a simulated run:
+//
+//	machine.RunWith(p, machine.RunConfig{Transport: fault.Transport(plan)}, body)
+//
+// Logical results and logical communication meters are identical to the
+// fault-free run for any benign plan (no crash); recovery traffic shows
+// up only in the wire meters.
+func Transport(plan Plan) machine.TransportFactory {
+	return TransportOpts(plan, ReliableOptions{})
+}
+
+// TransportOpts is Transport with explicit protocol tuning.
+func TransportOpts(plan Plan, opt ReliableOptions) machine.TransportFactory {
+	return func(w machine.Wire) machine.Transport {
+		return NewReliable(Inject(w, plan), opt)
+	}
+}
+
+// NewReliable builds the reliable transport over an arbitrary wire. The
+// protocol: every data packet carries a per-(sender→receiver) sequence
+// number and a payload checksum; the receiver acknowledges every intact
+// data packet (including duplicates), drops corrupt ones silently,
+// de-duplicates by sequence number, and releases payloads strictly in
+// sequence order, parking out-of-order arrivals until the gap fills. The
+// sender blocks until its packet is acknowledged, retransmitting with
+// exponential backoff, and services incoming data packets while it waits
+// so that two ranks sending to each other cannot deadlock.
+func NewReliable(w machine.Wire, opt ReliableOptions) machine.Transport {
+	p := w.Size()
+	r := &reliable{w: w, opt: opt.withDefaults(),
+		nextSeq: make([]int, p),
+		expect:  make([]int, p),
+		parked:  make([]map[int]machine.Packet, p),
+		pending: make(map[[2]int][][]float64),
+	}
+	for i := 0; i < p; i++ {
+		r.nextSeq[i] = 1
+		r.expect[i] = 1
+	}
+	return r
+}
+
+type reliable struct {
+	w   machine.Wire
+	opt ReliableOptions
+	// nextSeq[to] is the sequence number for the next message to rank to.
+	nextSeq []int
+	// expect[from] is the next in-order sequence number from rank from.
+	expect []int
+	// parked[from] holds intact packets that arrived ahead of sequence.
+	parked []map[int]machine.Packet
+	// pending holds released payloads not yet consumed by Recv, keyed by
+	// [2]int{from, tag}, FIFO per key.
+	pending map[[2]int][][]float64
+}
+
+func (r *reliable) Send(to, tag int, data []float64) {
+	seq := r.nextSeq[to]
+	r.nextSeq[to]++
+	pkt := machine.Packet{
+		From: r.w.Rank(), To: to, Tag: tag, Seq: seq,
+		Kind: machine.PacketData, Data: data, Check: checksum(data),
+	}
+	r.w.Deliver(pkt)
+	attempts := 1
+	timeout := r.opt.AckTimeout
+	for {
+		in, ok := r.w.PullTimeout(timeout)
+		if !ok {
+			if attempts >= r.opt.MaxAttempts {
+				panic(machine.UnreachableError{Rank: r.w.Rank(), Peer: to, Tag: tag, Attempts: attempts})
+			}
+			attempts++
+			r.w.Deliver(pkt)
+			if timeout *= 2; timeout > r.opt.MaxAckTimeout {
+				timeout = r.opt.MaxAckTimeout
+			}
+			continue
+		}
+		switch in.Kind {
+		case machine.PacketAck:
+			if in.From == to && in.Seq == seq {
+				return // acknowledged
+			}
+			// Stale ack of an already-completed send (a duplicate, or the
+			// ack of a retransmission that raced the original): ignore.
+		case machine.PacketData:
+			r.handleData(in)
+		}
+	}
+}
+
+func (r *reliable) Recv(from, tag int) []float64 {
+	key := [2]int{from, tag}
+	for {
+		if q := r.pending[key]; len(q) > 0 {
+			data := q[0]
+			r.pending[key] = q[1:]
+			r.w.Pending(machine.SummarizePending(r.pending))
+			return data
+		}
+		in := r.w.Pull()
+		if in.Kind == machine.PacketData {
+			r.handleData(in)
+		}
+		// Stray acks while not sending are duplicates; drop them.
+	}
+}
+
+// handleData acknowledges, de-duplicates, order-restores and releases an
+// incoming data packet.
+func (r *reliable) handleData(pkt machine.Packet) {
+	if pkt.Check != checksum(pkt.Data) {
+		return // corrupted in flight: no ack, the sender will retransmit
+	}
+	r.w.Deliver(machine.Packet{
+		From: r.w.Rank(), To: pkt.From, Tag: pkt.Tag, Seq: pkt.Seq,
+		Kind: machine.PacketAck,
+	})
+	from := pkt.From
+	switch {
+	case pkt.Seq < r.expect[from]:
+		// Duplicate of an already-released packet; the re-ack above is
+		// all it needed.
+	case pkt.Seq > r.expect[from]:
+		if r.parked[from] == nil {
+			r.parked[from] = make(map[int]machine.Packet)
+		}
+		r.parked[from][pkt.Seq] = pkt // idempotent for duplicates
+	default:
+		r.release(pkt)
+		r.expect[from]++
+		for {
+			next, ok := r.parked[from][r.expect[from]]
+			if !ok {
+				break
+			}
+			delete(r.parked[from], r.expect[from])
+			r.release(next)
+			r.expect[from]++
+		}
+	}
+}
+
+// Idle services the wire in full while the rank waits at a barrier:
+// intact data packets are acknowledged, de-duplicated and buffered for
+// later Recvs, exactly as during Send's ack-wait.
+func (r *reliable) Idle(stop <-chan struct{}) { r.service(stop, false) }
+
+// Linger answers retransmissions after the rank's body has returned: only
+// duplicates of already-released packets are re-acked. A genuinely new
+// message is left unacknowledged — its sender is entitled to an
+// UnreachableError, because the receiving body really did exit without
+// consuming it.
+func (r *reliable) Linger(stop <-chan struct{}) { r.service(stop, true) }
+
+var _ machine.Idler = (*reliable)(nil)
+
+func (r *reliable) service(stop <-chan struct{}, dupOnly bool) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		in, ok := r.w.PullTimeout(200 * time.Microsecond)
+		if !ok || in.Kind != machine.PacketData {
+			continue
+		}
+		if dupOnly && in.Seq >= r.expect[in.From] {
+			continue
+		}
+		r.handleData(in)
+	}
+}
+
+func (r *reliable) release(pkt machine.Packet) {
+	key := [2]int{pkt.From, pkt.Tag}
+	r.pending[key] = append(r.pending[key], pkt.Data)
+	r.w.Pending(machine.SummarizePending(r.pending))
+}
+
+// checksum is FNV-1a over the payload's IEEE-754 bit patterns.
+func checksum(data []float64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, v := range data {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= 0x100000001b3
+		}
+	}
+	return h
+}

@@ -10,34 +10,39 @@
 // no sharing), delivered through per-rank mailboxes, and metered at both
 // endpoints.
 //
-// The package is deliberately small: point-to-point Send/Recv with tags,
-// a combined Exchange, barriers, and per-rank counters. Collectives are
-// layered on top in package collective.
+// The package is layered: logical point-to-point Send/Recv with tags (plus
+// a combined Exchange, barriers, and per-rank counters) ride on a pluggable
+// Transport over a raw packet Wire. The default direct transport maps one
+// logical message to one packet on the perfect simulated network; package
+// fault perturbs the wire (drop/duplicate/reorder/corrupt/stall/crash) and
+// provides a reliable transport that restores logical semantics on top.
+// Logical and wire traffic are metered separately, so recovery overhead
+// never contaminates the communication counts the theory is compared
+// against. Collectives are layered on top in package collective.
 package machine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
-
-// message is an in-flight transfer.
-type message struct {
-	from, tag int
-	data      []float64
-}
 
 // Machine is the shared state of one simulated run.
 type Machine struct {
 	p        int
-	inbox    []chan message
-	sent     []counter
-	recv     []counter
+	boxes    []*mailbox
+	sent     []counter // logical, metered at Send
+	recv     []counter // logical, metered at Recv
+	wireSent []counter // raw packets pushed, retransmits and acks included
+	wireRecv []counter // raw packets pulled
 	barrier  *barrier
 	observer func(Event)
+	diags    []rankDiag
+	progress atomic.Int64 // bumped on every completed logical operation
 }
 
-// Event records one message at send time.
+// Event records one logical message at send time.
 type Event struct {
 	From, To, Tag int
 	Words         int
@@ -53,9 +58,8 @@ type counter struct {
 type Comm struct {
 	m    *Machine
 	rank int
-	// pending holds messages drained from the inbox while waiting for a
-	// specific (from, tag); keyed by sender and tag, FIFO per key.
-	pending map[[2]int][]([]float64)
+	t    Transport
+	diag *rankDiag
 }
 
 // Rank returns this processor's id in 0..P-1.
@@ -66,7 +70,9 @@ func (c *Comm) Size() int { return c.m.p }
 
 // Send transmits a copy of data to the destination rank with the given
 // tag, metering len(data) words. Sending to self is an error by panic —
-// local data never counts as communication in the model.
+// local data never counts as communication in the model. Under the direct
+// transport Send does not block; a reliable transport blocks until the
+// message is acknowledged.
 func (c *Comm) Send(to, tag int, data []float64) {
 	if to == c.rank {
 		panic(fmt.Sprintf("machine: rank %d sending to itself", to))
@@ -81,34 +87,23 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	if c.m.observer != nil {
 		c.m.observer(Event{From: c.rank, To: to, Tag: tag, Words: len(data)})
 	}
-	c.m.inbox[to] <- message{from: c.rank, tag: tag, data: cp}
+	c.diag.setBlocked(BlockSend, to, tag)
+	c.t.Send(to, tag, cp)
+	c.diag.setRunning()
+	c.m.progress.Add(1)
 }
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns its payload. Messages from the same (source, tag) are delivered
 // in send order.
 func (c *Comm) Recv(from, tag int) []float64 {
-	key := [2]int{from, tag}
-	if q := c.pending[key]; len(q) > 0 {
-		data := q[0]
-		c.pending[key] = q[1:]
-		c.meterRecv(data)
-		return data
-	}
-	for msg := range c.m.inbox[c.rank] {
-		if msg.from == from && msg.tag == tag {
-			c.meterRecv(msg.data)
-			return msg.data
-		}
-		k := [2]int{msg.from, msg.tag}
-		c.pending[k] = append(c.pending[k], msg.data)
-	}
-	panic("machine: inbox closed while receiving")
-}
-
-func (c *Comm) meterRecv(data []float64) {
+	c.diag.setBlocked(BlockRecv, from, tag)
+	data := c.t.Recv(from, tag)
+	c.diag.setRunning()
 	c.m.recv[c.rank].words += int64(len(data))
 	c.m.recv[c.rank].msgs++
+	c.m.progress.Add(1)
+	return data
 }
 
 // Exchange sends data to peer and receives peer's message with the same
@@ -119,8 +114,20 @@ func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
 	return c.Recv(peer, tag)
 }
 
-// Barrier blocks until all P ranks have entered it.
-func (c *Comm) Barrier() { c.m.barrier.await() }
+// Barrier blocks until all P ranks have entered it. A transport that
+// implements Idler keeps servicing the wire while waiting, so peers
+// retransmitting a message whose ack was lost are still answered.
+func (c *Comm) Barrier() {
+	c.diag.setBlocked(BlockBarrier, -1, -1)
+	ch := c.m.barrier.arrive()
+	if idler, ok := c.t.(Idler); ok {
+		idler.Idle(ch)
+	} else {
+		<-ch
+	}
+	c.diag.setRunning()
+	c.m.progress.Add(1)
+}
 
 // SentWords returns the words this rank has sent so far.
 func (c *Comm) SentWords() int64 { return c.m.sent[c.rank].words }
@@ -131,95 +138,63 @@ func (c *Comm) RecvWords() int64 { return c.m.recv[c.rank].words }
 // SentMsgs returns the number of messages this rank has sent so far.
 func (c *Comm) SentMsgs() int64 { return c.m.sent[c.rank].msgs }
 
-// barrier is a reusable counting barrier.
+// WireSentWords returns the raw words this rank has pushed onto the wire
+// so far, retransmissions included.
+func (c *Comm) WireSentWords() int64 { return c.m.wireSent[c.rank].words }
+
+// barrier is a reusable counting barrier. Arrival hands back the current
+// generation's release channel — closed when the last rank arrives — so a
+// waiting rank can select on it while doing other work (see Comm.Barrier).
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	p     int
-	count int
-	gen   int
+	mu      sync.Mutex
+	p       int
+	count   int
+	release chan struct{}
 }
 
 func newBarrier(p int) *barrier {
-	b := &barrier{p: p}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &barrier{p: p, release: make(chan struct{})}
 }
 
-func (b *barrier) await() {
+// arrive registers the caller at the barrier and returns the channel that
+// closes once all P ranks have arrived at this generation.
+func (b *barrier) arrive() <-chan struct{} {
 	b.mu.Lock()
-	gen := b.gen
+	defer b.mu.Unlock()
+	ch := b.release
 	b.count++
 	if b.count == b.p {
 		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
+		close(ch)
+		b.release = make(chan struct{})
 	}
-	b.mu.Unlock()
+	return ch
 }
 
-// Report carries the per-rank communication meters of a completed run.
-type Report struct {
-	P         int
-	SentWords []int64
-	RecvWords []int64
-	SentMsgs  []int64
-	RecvMsgs  []int64
-}
-
-// MaxSentWords returns the maximum words sent by any rank.
-func (r *Report) MaxSentWords() int64 { return maxOf(r.SentWords) }
-
-// MaxRecvWords returns the maximum words received by any rank.
-func (r *Report) MaxRecvWords() int64 { return maxOf(r.RecvWords) }
-
-// MaxWords returns the bandwidth cost in the paper's sense: the maximum
-// over ranks of the larger of words sent and words received (sends and
-// receives overlap on bidirectional links).
-func (r *Report) MaxWords() int64 {
-	var m int64
-	for i := range r.SentWords {
-		v := r.SentWords[i]
-		if r.RecvWords[i] > v {
-			v = r.RecvWords[i]
-		}
-		if v > m {
-			m = v
-		}
-	}
-	return m
-}
-
-// TotalSentWords returns the total words moved through the network.
-func (r *Report) TotalSentWords() int64 {
-	var s int64
-	for _, v := range r.SentWords {
-		s += v
-	}
-	return s
-}
-
-// MaxSentMsgs returns the maximum message count sent by any rank (the
-// latency cost proxy).
-func (r *Report) MaxSentMsgs() int64 { return maxOf(r.SentMsgs) }
-
-func maxOf(xs []int64) int64 {
-	var m int64
-	for _, v := range xs {
-		if v > m {
-			m = v
-		}
-	}
-	return m
+// RunConfig bundles the optional knobs of a simulated run.
+type RunConfig struct {
+	// Timeout arms the stall watchdog: when positive and no rank
+	// completes a logical operation for this long, the run aborts with a
+	// *DeadlockError naming each blocked rank. Zero disables the
+	// watchdog. (Unlike a global wall-clock limit, a run that keeps
+	// making progress is never killed.)
+	Timeout time.Duration
+	// Observer is invoked synchronously at every logical Send, from the
+	// sending rank's goroutine; it must be safe for concurrent use (see
+	// Trace). Retransmissions are not logical sends and are not observed.
+	Observer func(Event)
+	// Transport builds each rank's transport; nil selects the direct
+	// transport (exact in-order delivery, no protocol overhead).
+	Transport TransportFactory
+	// InboxCap caps each rank's mailbox; a sender delivering to a full
+	// mailbox blocks until the receiver drains it. Zero or negative
+	// means unbounded (the default) — no correct protocol can deadlock
+	// on mailbox space.
+	InboxCap int
 }
 
 // Run executes body on P simulated processors and returns the metered
-// report. It panics with the first rank's panic value if any rank panics
-// (after all ranks finish or deadlock-free teardown is impossible).
+// report. It panics with the run error if any rank panics.
 func Run(p int, body func(c *Comm)) *Report {
 	r, err := RunTimeout(p, 0, body)
 	if err != nil {
@@ -228,11 +203,10 @@ func Run(p int, body func(c *Comm)) *Report {
 	return r
 }
 
-// RunTimeout is Run with a watchdog: when timeout > 0 and the run does not
-// complete in time (a deadlocked protocol, for example), it returns an
-// error instead of hanging forever. A zero timeout disables the watchdog.
+// RunTimeout is Run with the stall watchdog armed (see RunConfig.Timeout).
+// A zero timeout disables the watchdog.
 func RunTimeout(p int, timeout time.Duration, body func(c *Comm)) (*Report, error) {
-	return RunTraced(p, timeout, nil, body)
+	return RunWith(p, RunConfig{Timeout: timeout}, body)
 }
 
 // RunTraced is RunTimeout with an observer invoked synchronously at every
@@ -241,72 +215,208 @@ func RunTimeout(p int, timeout time.Duration, body func(c *Comm)) (*Report, erro
 // used to check that executed communication conforms to a planned
 // schedule.
 func RunTraced(p int, timeout time.Duration, observer func(Event), body func(c *Comm)) (*Report, error) {
+	return RunWith(p, RunConfig{Timeout: timeout, Observer: observer}, body)
+}
+
+// RunWith is the fully configurable entry point: transport selection,
+// stall watchdog, send observer, and mailbox capacity.
+func RunWith(p int, cfg RunConfig, body func(c *Comm)) (*Report, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("machine: P = %d", p)
 	}
 	m := &Machine{
 		p:        p,
-		inbox:    make([]chan message, p),
+		boxes:    make([]*mailbox, p),
 		sent:     make([]counter, p),
 		recv:     make([]counter, p),
+		wireSent: make([]counter, p),
+		wireRecv: make([]counter, p),
 		barrier:  newBarrier(p),
-		observer: observer,
+		observer: cfg.Observer,
+		diags:    make([]rankDiag, p),
 	}
-	// Inbox capacity: the densest standard protocol (naive all-to-all)
-	// has at most P-1 undrained messages per receiver; 2P gives headroom
-	// so no correct protocol blocks on mailbox space.
-	for i := range m.inbox {
-		m.inbox[i] = make(chan message, 2*p)
+	for i := range m.boxes {
+		m.boxes[i] = newMailbox(cfg.InboxCap)
+	}
+	factory := cfg.Transport
+	if factory == nil {
+		factory = NewDirectTransport
 	}
 
-	panics := make([]interface{}, p)
-	var wg sync.WaitGroup
+	// Two completion stages: bodies counts returned (or panicked) rank
+	// bodies; wg counts fully exited goroutines. Between the two, a rank
+	// whose transport implements Idler lingers — answering peers'
+	// retransmissions — until every body has returned, so a lost final
+	// ack cannot strand a still-running sender. Crashed ranks do not
+	// linger: their silence is the fault being modelled.
+	var bodies, wg sync.WaitGroup
+	stopLinger := make(chan struct{})
+	var stopOnce sync.Once
+	endLinger := func() { stopOnce.Do(func() { close(stopLinger) }) }
+	bodies.Add(p)
 	wg.Add(p)
 	for rank := 0; rank < p; rank++ {
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[rank] = r
-				}
+			d := &m.diags[rank]
+			tp := factory(&link{m: m, rank: rank})
+			panicked := func() (panicked bool) {
+				defer bodies.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						d.setPanic(r)
+						panicked = true
+					}
+				}()
+				body(&Comm{m: m, rank: rank, t: tp, diag: d})
+				return false
 			}()
-			body(&Comm{m: m, rank: rank, pending: make(map[[2]int][]([]float64))})
+			if panicked {
+				return
+			}
+			d.setDone()
+			if idler, ok := tp.(Idler); ok {
+				idler.Linger(stopLinger)
+			}
 		}(rank)
 	}
+	go func() {
+		bodies.Wait()
+		endLinger()
+	}()
 
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
 		close(done)
 	}()
-	if timeout > 0 {
-		select {
-		case <-done:
-		case <-time.After(timeout):
-			return nil, fmt.Errorf("machine: run of %d ranks timed out after %v (deadlock?)", p, timeout)
+	if cfg.Timeout > 0 {
+		if err := m.watch(done, cfg.Timeout); err != nil {
+			endLinger() // release finished ranks still answering retransmits
+			return nil, err
 		}
 	} else {
 		<-done
 	}
-	for rank, pv := range panics {
-		if pv != nil {
-			return nil, fmt.Errorf("machine: rank %d panicked: %v", rank, pv)
-		}
+
+	if err := m.panicError(); err != nil {
+		return nil, err
 	}
 	rep := &Report{
-		P:         p,
-		SentWords: make([]int64, p),
-		RecvWords: make([]int64, p),
-		SentMsgs:  make([]int64, p),
-		RecvMsgs:  make([]int64, p),
+		P:             p,
+		SentWords:     make([]int64, p),
+		RecvWords:     make([]int64, p),
+		SentMsgs:      make([]int64, p),
+		RecvMsgs:      make([]int64, p),
+		WireSentWords: make([]int64, p),
+		WireRecvWords: make([]int64, p),
+		WireSentMsgs:  make([]int64, p),
+		WireRecvMsgs:  make([]int64, p),
 	}
 	for i := 0; i < p; i++ {
 		rep.SentWords[i] = m.sent[i].words
 		rep.RecvWords[i] = m.recv[i].words
 		rep.SentMsgs[i] = m.sent[i].msgs
 		rep.RecvMsgs[i] = m.recv[i].msgs
+		rep.WireSentWords[i] = m.wireSent[i].words
+		rep.WireRecvWords[i] = m.wireRecv[i].words
+		rep.WireSentMsgs[i] = m.wireSent[i].msgs
+		rep.WireRecvMsgs[i] = m.wireRecv[i].msgs
 	}
 	return rep, nil
+}
+
+// watch is the per-rank progress monitor: it polls the global progress
+// counter and declares deadlock only after a full window with no logical
+// operation completing anywhere.
+func (m *Machine) watch(done <-chan struct{}, timeout time.Duration) error {
+	poll := timeout / 8
+	if poll < 500*time.Microsecond {
+		poll = 500 * time.Microsecond
+	}
+	if poll > 100*time.Millisecond {
+		poll = 100 * time.Millisecond
+	}
+	last := m.progress.Load()
+	lastChange := time.Now()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-ticker.C:
+			if cur := m.progress.Load(); cur != last {
+				last = cur
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= timeout {
+				return m.deadlockError(timeout)
+			}
+		}
+	}
+}
+
+// deadlockError snapshots every unfinished rank's diagnostic state.
+func (m *Machine) deadlockError(timeout time.Duration) *DeadlockError {
+	e := &DeadlockError{P: m.p, Timeout: timeout}
+	for r := 0; r < m.p; r++ {
+		kind, peer, tag, pending := m.diags[r].snapshot()
+		switch kind {
+		case BlockDone:
+			continue
+		case BlockCrashed:
+			e.Crashed = append(e.Crashed, r)
+			continue
+		}
+		e.Waits = append(e.Waits, RankWait{
+			Rank:         r,
+			Kind:         kind,
+			Peer:         peer,
+			Tag:          tag,
+			InboxPackets: m.boxes[r].depth(),
+			Pending:      pending,
+		})
+	}
+	return e
+}
+
+// panicError converts recorded rank panics into the run error, giving
+// fault-typed panics (injected crashes, exhausted retransmission budgets)
+// structured error values.
+func (m *Machine) panicError() error {
+	var generic error
+	var unreach *UnreachableError
+	var crash *CrashError
+	for rank := 0; rank < m.p; rank++ {
+		pv := m.diags[rank].panicValue()
+		switch v := pv.(type) {
+		case nil:
+		case CrashError:
+			if crash == nil {
+				c := v
+				crash = &c
+			}
+		case UnreachableError:
+			if unreach == nil {
+				u := v
+				unreach = &u
+			}
+		default:
+			if generic == nil {
+				generic = fmt.Errorf("machine: rank %d panicked: %v", rank, v)
+			}
+		}
+	}
+	switch {
+	case crash != nil:
+		return *crash
+	case unreach != nil:
+		return *unreach
+	default:
+		return generic
+	}
 }
 
 // Trace is a thread-safe event collector for RunTraced.

@@ -1,0 +1,273 @@
+package machine
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInboxFloodUnbounded(t *testing.T) {
+	// Regression: a fixed-capacity inbox (historically 2P packets)
+	// deadlocks any protocol whose in-flight message count exceeds it.
+	// The default mailbox is unbounded, so flooding one rank with far
+	// more than 2P messages before it receives a single one must
+	// complete.
+	const p = 4
+	const perSender = 5 * p // 15 msgs/sender, 45 total into rank 0 > 2P = 8
+	_, err := RunTimeout(p, 5*time.Second, func(c *Comm) {
+		if c.Rank() != 0 {
+			for i := 0; i < perSender; i++ {
+				c.Send(0, i, []float64{float64(c.Rank()), float64(i)})
+			}
+			c.Barrier()
+			return
+		}
+		c.Barrier() // every sender has finished before rank 0 drains
+		for from := 1; from < p; from++ {
+			for i := 0; i < perSender; i++ {
+				got := c.Recv(from, i)
+				if int(got[0]) != from || int(got[1]) != i {
+					t.Errorf("from %d tag %d: got %v", from, i, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInboxCapThrottlesButCompletes(t *testing.T) {
+	// With a finite InboxCap senders block on a full mailbox, but as long
+	// as the receiver drains, the run completes with identical meters.
+	rep, err := RunWith(3, RunConfig{InboxCap: 1, Timeout: 5 * time.Second}, func(c *Comm) {
+		if c.Rank() != 0 {
+			for i := 0; i < 20; i++ {
+				c.Send(0, 0, []float64{float64(i)})
+			}
+			return
+		}
+		for from := 1; from < 3; from++ {
+			for i := 0; i < 20; i++ {
+				if got := c.Recv(from, 0); int(got[0]) != i {
+					t.Errorf("from %d msg %d: got %v", from, i, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecvMsgs[0] != 40 {
+		t.Errorf("rank 0 received %d messages, want 40", rep.RecvMsgs[0])
+	}
+}
+
+func TestInboxCapDeadlockIsDiagnosed(t *testing.T) {
+	// A receiver that never drains while its peer delivers into a capped
+	// mailbox stalls the machine; the watchdog must name both ranks.
+	_, err := RunWith(2, RunConfig{InboxCap: 2, Timeout: 50 * time.Millisecond}, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 0, []float64{1})
+			}
+		} else {
+			c.Recv(0, 99) // tag never sent; rank 1 buffers nothing
+		}
+	})
+	var dead *DeadlockError
+	if !errors.As(err, &dead) {
+		t.Fatalf("err %T (%v), want *DeadlockError", err, err)
+	}
+}
+
+func TestDeadlockErrorStructure(t *testing.T) {
+	// Mutual receive: each rank waits on the other. The error must name
+	// each blocked rank with the (peer, tag) it waits on.
+	_, err := RunTimeout(3, 50*time.Millisecond, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Recv(1, 5)
+		case 1:
+			c.Recv(0, 6)
+		case 2:
+			// completes immediately
+		}
+	})
+	var dead *DeadlockError
+	if !errors.As(err, &dead) {
+		t.Fatalf("err %T (%v), want *DeadlockError", err, err)
+	}
+	if dead.P != 3 || len(dead.Crashed) != 0 {
+		t.Errorf("P=%d crashed=%v", dead.P, dead.Crashed)
+	}
+	if len(dead.Waits) != 2 {
+		t.Fatalf("waits = %+v, want 2 entries", dead.Waits)
+	}
+	sort.Slice(dead.Waits, func(i, j int) bool { return dead.Waits[i].Rank < dead.Waits[j].Rank })
+	for i, want := range []RankWait{
+		{Rank: 0, Kind: BlockRecv, Peer: 1, Tag: 5},
+		{Rank: 1, Kind: BlockRecv, Peer: 0, Tag: 6},
+	} {
+		got := dead.Waits[i]
+		if got.Rank != want.Rank || got.Kind != want.Kind || got.Peer != want.Peer || got.Tag != want.Tag {
+			t.Errorf("wait[%d] = %+v, want %+v", i, got, want)
+		}
+	}
+	msg := dead.Error()
+	for _, frag := range []string{"timed out", "rank 0", "rank 1", "tag 5", "tag 6"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error text %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestDeadlockErrorReportsPendingMessages(t *testing.T) {
+	// A message delivered but never matched shows up in the blocked
+	// receiver's pending-queue diagnostics.
+	_, err := RunTimeout(2, 50*time.Millisecond, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{1, 2, 3, 4})
+			c.Recv(1, 0) // never sent
+		} else {
+			c.Recv(0, 9) // wrong tag: buffers the tag-3 message, waits forever
+		}
+	})
+	var dead *DeadlockError
+	if !errors.As(err, &dead) {
+		t.Fatalf("err %T (%v), want *DeadlockError", err, err)
+	}
+	var rank1 *RankWait
+	for i := range dead.Waits {
+		if dead.Waits[i].Rank == 1 {
+			rank1 = &dead.Waits[i]
+		}
+	}
+	if rank1 == nil {
+		t.Fatalf("rank 1 not in waits: %+v", dead.Waits)
+	}
+	if len(rank1.Pending) != 1 || rank1.Pending[0].From != 0 || rank1.Pending[0].Tag != 3 ||
+		rank1.Pending[0].Msgs != 1 || rank1.Pending[0].Words != 4 {
+		t.Errorf("rank 1 pending = %+v, want one 4-word message from 0 tag 3", rank1.Pending)
+	}
+}
+
+func TestTraceConcurrentSenders(t *testing.T) {
+	// Every rank sends to every other rank concurrently; the trace must
+	// capture each logical send exactly once (run under -race in CI).
+	const p = 8
+	var tr Trace
+	rep, err := RunTraced(p, 5*time.Second, tr.Observer(), func(c *Comm) {
+		for to := 0; to < p; to++ {
+			if to != c.Rank() {
+				c.Send(to, c.Rank(), []float64{float64(c.Rank())})
+			}
+		}
+		for from := 0; from < p; from++ {
+			if from != c.Rank() {
+				c.Recv(from, from)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != p*(p-1) {
+		t.Fatalf("traced %d events, want %d", len(events), p*(p-1))
+	}
+	seen := make(map[[2]int]int)
+	for _, e := range events {
+		if e.Tag != e.From || e.Words != 1 {
+			t.Errorf("event %+v has wrong tag or size", e)
+		}
+		seen[[2]int{e.From, e.To}]++
+	}
+	for from := 0; from < p; from++ {
+		for to := 0; to < p; to++ {
+			if from == to {
+				continue
+			}
+			if seen[[2]int{from, to}] != 1 {
+				t.Errorf("pair %d→%d traced %d times", from, to, seen[[2]int{from, to}])
+			}
+		}
+	}
+	if rep.MaxSentMsgs() != p-1 || rep.MaxRecvMsgs() != p-1 {
+		t.Errorf("meters: sent %d recv %d msgs, want %d", rep.MaxSentMsgs(), rep.MaxRecvMsgs(), p-1)
+	}
+}
+
+func TestExchangeMultiTagOrdering(t *testing.T) {
+	// Interleaved Exchange streams on several tags between both peers:
+	// per-(sender, tag) FIFO must hold for each direction independently.
+	const rounds = 30
+	_, err := RunTimeout(2, 5*time.Second, func(c *Comm) {
+		next := map[int]int{0: 0, 1: 0, 2: 0}
+		for i := 0; i < rounds; i++ {
+			tag := i % 3
+			got := c.Exchange(1-c.Rank(), tag, []float64{float64(tag), float64(next[tag])})
+			if int(got[0]) != tag || int(got[1]) != next[tag] {
+				t.Errorf("rank %d round %d tag %d: got %v, want seq %d",
+					c.Rank(), i, tag, got, next[tag])
+			}
+			next[tag]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireMetersMatchLogicalOnDirectTransport(t *testing.T) {
+	// On the perfect wire with the direct transport, every logical
+	// message is exactly one packet: wire and logical meters coincide and
+	// overhead is zero.
+	rep := Run(4, func(c *Comm) {
+		peer := c.Rank() ^ 1
+		c.Exchange(peer, 0, make([]float64, 3+c.Rank()))
+	})
+	for i := 0; i < rep.P; i++ {
+		if rep.WireSentWords[i] != rep.SentWords[i] || rep.WireSentMsgs[i] != rep.SentMsgs[i] ||
+			rep.WireRecvWords[i] != rep.RecvWords[i] || rep.WireRecvMsgs[i] != rep.RecvMsgs[i] {
+			t.Errorf("rank %d: wire meters diverge from logical on the direct transport", i)
+		}
+	}
+	if rep.OverheadWords() != 0 {
+		t.Errorf("OverheadWords = %d on a perfect wire", rep.OverheadWords())
+	}
+}
+
+func TestReportStringAndMaxRecvMsgs(t *testing.T) {
+	rep := &Report{
+		P:         2,
+		SentWords: []int64{10, 4},
+		RecvWords: []int64{4, 10},
+		SentMsgs:  []int64{2, 1},
+		RecvMsgs:  []int64{1, 2},
+	}
+	if rep.MaxRecvMsgs() != 2 {
+		t.Errorf("MaxRecvMsgs = %d", rep.MaxRecvMsgs())
+	}
+	s := rep.String()
+	for _, frag := range []string{"P=2", "max sent 10w/2m", "max recv 10w/2m", "total 14w"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "wire") {
+		t.Errorf("String() = %q mentions wire meters that were not collected", s)
+	}
+	rep.WireSentWords = []int64{13, 4}
+	rep.WireSentMsgs = []int64{4, 2}
+	rep.WireRecvWords = []int64{4, 13}
+	rep.WireRecvMsgs = []int64{2, 4}
+	s = rep.String()
+	for _, frag := range []string{"wire 17w", "+3w overhead", "6 packets"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PacketKind distinguishes raw wire datagrams.
+type PacketKind int
+
+const (
+	// PacketData carries a logical message payload (or a transport's
+	// retransmission of one).
+	PacketData PacketKind = iota
+	// PacketAck carries a transport acknowledgement. Acks move no logical
+	// payload and are metered as zero-word wire messages.
+	PacketAck
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case PacketData:
+		return "data"
+	case PacketAck:
+		return "ack"
+	}
+	return fmt.Sprintf("PacketKind(%d)", int(k))
+}
+
+// Packet is one raw wire datagram. The logical Send/Recv API never sees
+// packets; transports do, and fault injectors perturb them.
+type Packet struct {
+	From, To, Tag int
+	// Seq is a transport-assigned per-(sender→receiver) sequence number
+	// (0 under the direct transport, which needs none).
+	Seq  int
+	Kind PacketKind
+	Data []float64
+	// Check is a payload checksum set and verified by transports that
+	// detect corruption; the direct transport ignores it.
+	Check uint64
+}
+
+// Wire is a rank's raw endpoint on the simulated network: push a packet
+// into any destination mailbox, pull the next packet addressed to this
+// rank. Wire traffic is metered separately from the logical meters, so
+// retransmissions and acks never perturb the communication counts the
+// paper's theory bounds. Exactly one goroutine (the owning rank) may call
+// Pull/PullTimeout on a given Wire.
+type Wire interface {
+	// Rank returns the owning processor's id in 0..P-1.
+	Rank() int
+	// Size returns P.
+	Size() int
+	// Deliver pushes pkt into the mailbox of pkt.To, metering wire words
+	// and messages at the sender. It blocks while the destination mailbox
+	// is at capacity (only possible with a finite InboxCap).
+	Deliver(pkt Packet)
+	// Pull blocks until a packet addressed to this rank arrives and
+	// returns it, metering wire words at the receiver.
+	Pull() Packet
+	// PullTimeout is Pull with a deadline; ok is false on timeout.
+	PullTimeout(d time.Duration) (Packet, bool)
+	// Pending publishes a snapshot of the transport's buffered-but-
+	// undelivered messages for the deadlock monitor's diagnostics.
+	Pending(entries []PendingEntry)
+}
+
+// Transport mediates a rank's logical Send/Recv over the raw wire. The
+// direct transport maps them 1:1 onto packets; package fault provides a
+// reliable transport (acks, retransmission, dedup, reordering repair)
+// that preserves logical semantics over a faulty wire.
+type Transport interface {
+	Send(to, tag int, data []float64)
+	Recv(from, tag int) []float64
+}
+
+// TransportFactory builds one rank's transport around its raw wire
+// endpoint. It is called once per rank, from that rank's goroutine.
+type TransportFactory func(w Wire) Transport
+
+// Idler is an optional Transport extension for protocols that must keep
+// servicing the wire while their rank is blocked outside Send/Recv. A
+// reliable (ack-based) transport needs both hooks: without them, a lost
+// acknowledgement strands the sender once the receiver stops pulling its
+// mailbox — at a barrier, or after its body returns.
+type Idler interface {
+	Transport
+	// Idle services incoming packets in full until stop is closed; the
+	// machine calls it while the rank waits at a barrier.
+	Idle(stop <-chan struct{})
+	// Linger services protocol echoes only (e.g. re-acking duplicates of
+	// already-delivered messages) until stop is closed; the machine calls
+	// it after the rank's body returns, so peers retransmitting into this
+	// rank's mailbox can still complete. A message the body never
+	// received must NOT be acknowledged here — its sender is entitled to
+	// an UnreachableError.
+	Linger(stop <-chan struct{})
+}
+
+// link is the concrete Wire implementation over the machine's mailboxes.
+type link struct {
+	m    *Machine
+	rank int
+}
+
+func (l *link) Rank() int { return l.rank }
+func (l *link) Size() int { return l.m.p }
+
+func (l *link) Deliver(pkt Packet) {
+	if pkt.To < 0 || pkt.To >= l.m.p {
+		panic(fmt.Sprintf("machine: deliver to rank %d of %d", pkt.To, l.m.p))
+	}
+	l.m.wireSent[l.rank].words += int64(len(pkt.Data))
+	l.m.wireSent[l.rank].msgs++
+	l.m.boxes[pkt.To].push(pkt)
+}
+
+func (l *link) Pull() Packet {
+	pkt, _ := l.m.boxes[l.rank].pull(0)
+	l.m.wireRecv[l.rank].words += int64(len(pkt.Data))
+	l.m.wireRecv[l.rank].msgs++
+	return pkt
+}
+
+func (l *link) PullTimeout(d time.Duration) (Packet, bool) {
+	pkt, ok := l.m.boxes[l.rank].pull(d)
+	if ok {
+		l.m.wireRecv[l.rank].words += int64(len(pkt.Data))
+		l.m.wireRecv[l.rank].msgs++
+	}
+	return pkt, ok
+}
+
+func (l *link) Pending(entries []PendingEntry) {
+	l.m.diags[l.rank].setPending(entries)
+}
+
+// mailbox is an unbounded (or capacity-capped) FIFO packet queue with a
+// single consumer and many producers. Unlike a fixed-capacity channel it
+// cannot silently deadlock a protocol whose in-flight message count
+// exceeds a preset buffer size.
+type mailbox struct {
+	mu     sync.Mutex
+	space  *sync.Cond // producers wait here when capped and full
+	q      []Packet
+	cap    int           // <= 0 means unbounded
+	notify chan struct{} // best-effort consumer wakeup
+}
+
+func newMailbox(capacity int) *mailbox {
+	b := &mailbox{cap: capacity, notify: make(chan struct{}, 1)}
+	b.space = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(p Packet) {
+	b.mu.Lock()
+	for b.cap > 0 && len(b.q) >= b.cap {
+		b.space.Wait()
+	}
+	b.q = append(b.q, p)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pull removes the oldest packet, blocking indefinitely when d == 0 and
+// giving up after d otherwise.
+func (b *mailbox) pull(d time.Duration) (Packet, bool) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	for {
+		b.mu.Lock()
+		if len(b.q) > 0 {
+			p := b.q[0]
+			b.q[0] = Packet{}
+			b.q = b.q[1:]
+			if len(b.q) == 0 {
+				b.q = nil
+			}
+			b.space.Signal()
+			b.mu.Unlock()
+			return p, true
+		}
+		b.mu.Unlock()
+		if d == 0 {
+			<-b.notify
+			continue
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Packet{}, false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-b.notify:
+			t.Stop()
+		case <-t.C:
+			return Packet{}, false
+		}
+	}
+}
+
+func (b *mailbox) depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q)
+}
+
+// directTransport is the default transport: a logical message is exactly
+// one packet, delivery is exact and in order (the simulated network is
+// perfect), so no acks, sequence numbers, or retransmission are needed.
+// Messages pulled while waiting for a specific (from, tag) are buffered
+// per key, FIFO, preserving the per-(sender, tag) ordering guarantee.
+type directTransport struct {
+	w       Wire
+	pending map[[2]int][][]float64
+}
+
+// NewDirectTransport returns the default transport over w. It is exported
+// so fault injectors can compose it over a perturbed wire.
+func NewDirectTransport(w Wire) Transport {
+	return &directTransport{w: w, pending: make(map[[2]int][][]float64)}
+}
+
+func (t *directTransport) Send(to, tag int, data []float64) {
+	t.w.Deliver(Packet{From: t.w.Rank(), To: to, Tag: tag, Kind: PacketData, Data: data})
+}
+
+func (t *directTransport) Recv(from, tag int) []float64 {
+	key := [2]int{from, tag}
+	if q := t.pending[key]; len(q) > 0 {
+		data := q[0]
+		t.pending[key] = q[1:]
+		t.w.Pending(SummarizePending(t.pending))
+		return data
+	}
+	for {
+		pkt := t.w.Pull()
+		if pkt.From == from && pkt.Tag == tag {
+			return pkt.Data
+		}
+		k := [2]int{pkt.From, pkt.Tag}
+		t.pending[k] = append(t.pending[k], pkt.Data)
+		t.w.Pending(SummarizePending(t.pending))
+	}
+}
+
+// SummarizePending condenses a transport's pending map (keyed by
+// [2]int{from, tag}) into sorted diagnostic entries for Wire.Pending.
+func SummarizePending(pending map[[2]int][][]float64) []PendingEntry {
+	var out []PendingEntry
+	for key, msgs := range pending {
+		if len(msgs) == 0 {
+			continue
+		}
+		words := 0
+		for _, m := range msgs {
+			words += len(m)
+		}
+		out = append(out, PendingEntry{From: key[0], Tag: key[1], Msgs: len(msgs), Words: words})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}

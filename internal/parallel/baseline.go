@@ -20,6 +20,12 @@ import (
 // independent of P. This is the baseline Algorithm 5's Θ(n/P^{1/3})
 // improves upon (experiment E6).
 func RunRowBaseline(a *tensor.Symmetric, x []float64, p int) (*Result, error) {
+	return RunRowBaselineWith(a, x, p, machine.RunConfig{})
+}
+
+// RunRowBaselineWith is RunRowBaseline on a configured machine (fault
+// transport, watchdog, observer).
+func RunRowBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.RunConfig) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("parallel: row baseline requires a tensor")
 	}
@@ -40,7 +46,7 @@ func RunRowBaseline(a *tensor.Symmetric, x []float64, p int) (*Result, error) {
 	ternary := make([]int64, p)
 	finalY := make([][]float64, p)
 
-	report, err := machine.RunTimeout(p, 0, func(c *machine.Comm) {
+	report, err := machine.RunWith(p, cfg, func(c *machine.Comm) {
 		me := c.Rank()
 		lo, hi := bounds[me], bounds[me+1]
 
@@ -118,6 +124,11 @@ func RunRowBaseline(a *tensor.Symmetric, x []float64, p int) (*Result, error) {
 // symmetry reuse — twice Algorithm 5's work) and Ω(n) bandwidth when
 // P <= n, versus Algorithm 5's n³ operations and Θ(n/P^{1/3}) words.
 func RunSequenceBaseline(a *tensor.Symmetric, x []float64, p int) (*Result, error) {
+	return RunSequenceBaselineWith(a, x, p, machine.RunConfig{})
+}
+
+// RunSequenceBaselineWith is RunSequenceBaseline on a configured machine.
+func RunSequenceBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.RunConfig) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("parallel: sequence baseline requires a tensor")
 	}
@@ -134,7 +145,7 @@ func RunSequenceBaseline(a *tensor.Symmetric, x []float64, p int) (*Result, erro
 	}
 
 	finalY := make([][]float64, p)
-	report, err := machine.RunTimeout(p, 0, func(c *machine.Comm) {
+	report, err := machine.RunWith(p, cfg, func(c *machine.Comm) {
 		me := c.Rank()
 		lo, hi := bounds[me], bounds[me+1]
 

@@ -104,7 +104,7 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 	converged := make([]bool, part.P)
 	finalChunks := make([]map[int][]float64, part.P)
 
-	report, err := machine.RunTimeout(part.P, 0, func(c *machine.Comm) {
+	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
 		me := c.Rank()
 		myRows := part.Rp[me]
 		world := collective.World(c)

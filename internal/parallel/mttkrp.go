@@ -98,7 +98,7 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 	scatterSent := make([]int64, part.P)
 	ternary := make([]int64, part.P)
 
-	report, err := machine.RunTimeout(part.P, 0, func(c *machine.Comm) {
+	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
 		me := c.Rank()
 		myRows := part.Rp[me]
 

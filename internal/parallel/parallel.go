@@ -75,6 +75,11 @@ type Options struct {
 	B int
 	// Wiring selects the communication realization.
 	Wiring Wiring
+	// Machine configures the simulated run: stall watchdog, transport
+	// factory (fault injection / reliable transport — see package
+	// fault), observer, and mailbox capacity. The zero value is the
+	// perfect direct-wire machine with no watchdog.
+	Machine machine.RunConfig
 }
 
 // Result reports the outcome of a simulated parallel STTSV.
@@ -163,7 +168,7 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 	scatterSent := make([]int64, part.P)
 	ternary := make([]int64, part.P)
 
-	report, err := machine.RunTimeout(part.P, 0, func(c *machine.Comm) {
+	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
 		me := c.Rank()
 		myRows := part.Rp[me]
 
