@@ -7,7 +7,6 @@ import (
 	"repro/internal/collective"
 	"repro/internal/machine"
 	"repro/internal/schedule"
-	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
 
@@ -92,12 +91,14 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 		x0[i] /= norm
 	}
 
-	blocks := make([][]*tensor.Block, part.P)
-	for p := 0; p < part.P; p++ {
-		for _, c := range part.Blocks(p) {
-			blocks[p] = append(blocks[p], tensor.ExtractBlock(a, c.I, c.J, c.K, b))
-		}
+	// The rank block sets are packed once for the whole run — every power
+	// iteration reuses them (and a caller-supplied cache survives across
+	// RunPowerMethod calls too).
+	blocks, err := rankBlocksFor(&opts, a, part, b)
+	if err != nil {
+		return nil, err
 	}
+	exec := opts.executor()
 
 	lambdas := make([]float64, part.P)
 	iters := make([]int, part.P)
@@ -148,11 +149,9 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 			for _, i := range myRows {
 				yRows[i] = make([]float64, b)
 			}
-			for _, blk := range blocks[me] {
-				sttsv.BlockContribute(blk,
-					xRows[blk.I], xRows[blk.J], xRows[blk.K],
-					yRows[blk.I], yRows[blk.J], yRows[blk.K], nil)
-			}
+			exec.Contribute(blocks.Rank(me), b,
+				func(i int) []float64 { return xRows[i] },
+				func(i int) []float64 { return yRows[i] }, nil)
 
 			// Reduce partial y into owned chunks.
 			runScheduledPhase(c, plans[me], 200, func(peer int, rows []int) []float64 {

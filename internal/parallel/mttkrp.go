@@ -73,18 +73,11 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 		}
 		cols[l] = col
 	}
-	blocks := make([][]*tensor.Block, part.P)
-	for p := 0; p < part.P; p++ {
-		for _, c := range part.Blocks(p) {
-			var blk *tensor.Block
-			if a != nil {
-				blk = tensor.ExtractBlock(a, c.I, c.J, c.K, b)
-			} else {
-				blk = tensor.NewBlock(c.I, c.J, c.K, b)
-			}
-			blocks[p] = append(blocks[p], blk)
-		}
+	blocks, err := rankBlocksFor(&opts, a, part, b)
+	if err != nil {
+		return nil, nil, err
 	}
+	exec := opts.executor()
 
 	var plans [][]plannedTransfer
 	steps := part.P - 1
@@ -154,12 +147,10 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 			yRows[i] = perCol
 		}
 		var st sttsv.Stats
-		for _, blk := range blocks[me] {
-			for l := 0; l < r; l++ {
-				sttsv.BlockContribute(blk,
-					xRows[blk.I][l], xRows[blk.J][l], xRows[blk.K][l],
-					yRows[blk.I][l], yRows[blk.J][l], yRows[blk.K][l], &st)
-			}
+		for l := 0; l < r; l++ {
+			exec.Contribute(blocks.Rank(me), b,
+				func(i int) []float64 { return xRows[i][l] },
+				func(i int) []float64 { return yRows[i][l] }, &st)
 		}
 		ternary[me] = st.TernaryMults
 

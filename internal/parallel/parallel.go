@@ -80,6 +80,25 @@ type Options struct {
 	// fault), observer, and mailbox capacity. The zero value is the
 	// perfect direct-wire machine with no watchdog.
 	Machine machine.RunConfig
+	// Blocks optionally supplies pre-packed per-rank block sets
+	// (PackRankBlocks), so repeated applications of the same tensor skip
+	// re-extraction. Must match the partition, block edge and tensor of
+	// the run.
+	Blocks *RankBlocks
+	// Workers sets the per-rank local-compute worker count (the shared-
+	// memory executor inside each simulated rank). 0 or 1 runs the local
+	// phase sequentially; values above 1 distribute blocks across that
+	// many workers with a deterministic tree reduction.
+	Workers int
+}
+
+// executor returns the rank-local compute executor for the options.
+func (o *Options) executor() *sttsv.Executor {
+	w := o.Workers
+	if w < 1 {
+		w = 1
+	}
+	return sttsv.NewExecutor(w)
 }
 
 // Result reports the outcome of a simulated parallel STTSV.
@@ -142,18 +161,11 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 	// distributed).
 	xp := make([]float64, padded)
 	copy(xp, x)
-	blocks := make([][]*tensor.Block, part.P)
-	for p := 0; p < part.P; p++ {
-		for _, c := range part.Blocks(p) {
-			var blk *tensor.Block
-			if a != nil {
-				blk = tensor.ExtractBlock(a, c.I, c.J, c.K, b)
-			} else {
-				blk = tensor.NewBlock(c.I, c.J, c.K, b)
-			}
-			blocks[p] = append(blocks[p], blk)
-		}
+	blocks, err := rankBlocksFor(&opts, a, part, b)
+	if err != nil {
+		return nil, err
 	}
+	exec := opts.executor()
 
 	var plans [][]plannedTransfer
 	steps := part.P - 1
@@ -214,11 +226,9 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 			yRows[i] = make([]float64, b)
 		}
 		var st sttsv.Stats
-		for _, blk := range blocks[me] {
-			sttsv.BlockContribute(blk,
-				xRows[blk.I], xRows[blk.J], xRows[blk.K],
-				yRows[blk.I], yRows[blk.J], yRows[blk.K], &st)
-		}
+		exec.Contribute(blocks.Rank(me), b,
+			func(i int) []float64 { return xRows[i] },
+			func(i int) []float64 { return yRows[i] }, &st)
 		ternary[me] = st.TernaryMults
 
 		// Phase 2: exchange partial y chunks and reduce into the owned

@@ -7,21 +7,32 @@ import (
 	"repro/internal/tensor"
 )
 
-// BlockContribute accumulates the contributions of one tetrahedral-
-// partition block into the output row blocks. It is the local computation
-// of Algorithm 5 (lines 24–36): for a block with coordinates (I, J, K) the
-// caller passes the three input row blocks x[I], x[J], x[K] and the three
-// output row blocks y[I], y[J], y[K] (aliased slices when block coordinates
-// coincide — the kernel only ever accumulates, so aliasing is safe).
-//
-// Every slice must have length blk.B. Zero padding is transparent: padded
-// tensor entries are zero, so their contributions vanish.
-func BlockContribute(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64, stats *Stats) {
+// checkBlockLens validates the slice contract shared by all block kernels.
+func checkBlockLens(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64) {
 	b := blk.B
 	if len(xI) != b || len(xJ) != b || len(xK) != b || len(yI) != b || len(yJ) != b || len(yK) != b {
 		panic(fmt.Sprintf("sttsv: BlockContribute slice lengths (%d,%d,%d,%d,%d,%d), want %d",
 			len(xI), len(xJ), len(xK), len(yI), len(yJ), len(yK), b))
 	}
+}
+
+// BlockContributeScalar is the pure-scalar reference kernel: the direct
+// i-j-k triple-loop transcription of Algorithm 5's local computation
+// (lines 24–36). It is kept verbatim from the seed as the oracle the
+// register-tiled kernels (BlockContribute) are tested against — it is
+// bit-for-bit the seed behavior, while the tiled kernels reassociate
+// sums (multi-accumulator dots, 4-wide fused updates) and so may differ
+// from it by a few ulps.
+//
+// For a block with coordinates (I, J, K) the caller passes the three input
+// row blocks x[I], x[J], x[K] and the three output row blocks y[I], y[J],
+// y[K] (aliased slices when block coordinates coincide — the kernel only
+// ever accumulates, so aliasing is safe). Every slice must have length
+// blk.B. Zero padding is transparent: padded tensor entries are zero, so
+// their contributions vanish.
+func BlockContributeScalar(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64, stats *Stats) {
+	checkBlockLens(blk, xI, xJ, xK, yI, yJ, yK)
+	b := blk.B
 	data := blk.Data
 	switch blk.Kind {
 	case tensor.OffDiagonal:
@@ -158,7 +169,10 @@ func BlockTernaryCount(kind tensor.BlockKind, b int) int64 {
 // Blocked computes y = A ×₂ x ×₃ x by partitioning the (zero-padded)
 // tensor into an m×m×m grid of blocks and summing BlockContribute over the
 // block lower tetrahedron. It validates the block kernels against Packed
-// and is the sequential skeleton of Algorithm 5's local phase.
+// and is the sequential skeleton of Algorithm 5's local phase. Blocks are
+// streamed through one scratch buffer (no per-block allocation); for
+// repeated applications of the same tensor use Operator, which extracts
+// all blocks once and can additionally run multicore.
 func Blocked(a *tensor.Symmetric, x []float64, m int, stats *Stats) []float64 {
 	n := a.N
 	if len(x) != n {
@@ -172,9 +186,10 @@ func Blocked(a *tensor.Symmetric, x []float64, m int, stats *Stats) []float64 {
 	xp := make([]float64, padded)
 	copy(xp, x)
 	yp := make([]float64, padded)
+	scratch := &tensor.Block{Data: make([]float64, 0, b*b*b)}
 	tensor.BlocksOfTetrahedron(m, func(I, J, K int) {
-		blk := tensor.ExtractBlock(a, I, J, K, b)
-		BlockContribute(blk,
+		tensor.ExtractBlockInto(scratch, a, I, J, K, b)
+		BlockContribute(scratch,
 			xp[I*b:(I+1)*b], xp[J*b:(J+1)*b], xp[K*b:(K+1)*b],
 			yp[I*b:(I+1)*b], yp[J*b:(J+1)*b], yp[K*b:(K+1)*b],
 			stats)

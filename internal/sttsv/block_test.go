@@ -175,21 +175,7 @@ func TestBlockedTotalWorkWithPadding(t *testing.T) {
 	}
 }
 
-func BenchmarkBlockContributeOffDiagonal(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	size := 16
-	blk := tensor.NewBlock(3, 2, 1, size)
-	for i := range blk.Data {
-		blk.Data[i] = rng.NormFloat64()
-	}
-	x := randVec(size, rng)
-	y := make([]float64, size)
-	b.SetBytes(int64(8 * len(blk.Data)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		BlockContribute(blk, x, x, x, y, y, y, nil)
-	}
-}
+// Per-kind BlockContribute benchmarks live in kernel_bench_test.go.
 
 func BenchmarkBlocked(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

@@ -1,0 +1,252 @@
+package sttsv
+
+import (
+	"repro/internal/tensor"
+)
+
+// This file holds the register-tiled block kernels — the production local-
+// compute path of Algorithm 5. The seed kernel (BlockContributeScalar)
+// walks elements one at a time and touches yK once per stored element per
+// row; the tiled kernels instead process panels of four rows at once
+// through two micro-kernels, so each yK element is read and written once
+// per four rows and the four running dot products live in registers:
+//
+//   - panelDotAxpy4: four same-length rows r0..r3, one pass over dk
+//     computing the four dots s_t = Σ r_t[dk]·xK[dk] while accumulating the
+//     fused update yK[dk] += c0·r0[dk] + c1·r1[dk] + c2·r2[dk] + c3·r3[dk];
+//   - rowDotAxpy: the single-row remainder, 4-wide unrolled with four
+//     independent dot accumulators.
+//
+// The tiling axis differs per kind to keep panel rows the same length:
+// OffDiagonal and DiagPairHigh tile over dj (rows span the full dk range),
+// DiagPairLow tiles over di (its di-planes are congruent triangles), and
+// Central — of which there are only m per tensor versus Θ(m³) off-diagonal
+// blocks — uses the unrolled single-row micro-kernel on its triangular
+// rows. All kernels only ever accumulate into y, so the aliasing contract
+// of BlockContributeScalar (shared slices when block coordinates coincide)
+// is preserved.
+//
+// Determinism: every kernel is a fixed sequential instruction stream — the
+// output bits depend only on the inputs, never on scheduling. Relative to
+// the scalar reference the summation order is reassociated, so results may
+// differ from it (and from Packed) by a few ulps; the equivalence tests
+// pin the tolerance.
+
+// panelDotAxpy4 is the 4-row fused dot/axpy micro-kernel. All four rows,
+// xk and yk must have the same length.
+func panelDotAxpy4(r0, r1, r2, r3, xk, yk []float64, c0, c1, c2, c3 float64) (s0, s1, s2, s3 float64) {
+	l := len(r0)
+	if l == 0 {
+		return
+	}
+	r1 = r1[:l]
+	r2 = r2[:l]
+	r3 = r3[:l]
+	xk = xk[:l]
+	yk = yk[:l]
+	for k := 0; k < l; k++ {
+		v0, v1, v2, v3 := r0[k], r1[k], r2[k], r3[k]
+		x := xk[k]
+		s0 += v0 * x
+		s1 += v1 * x
+		s2 += v2 * x
+		s3 += v3 * x
+		yk[k] += c0*v0 + c1*v1 + c2*v2 + c3*v3
+	}
+	return
+}
+
+// rowDotAxpy returns Σ r[k]·xk[k] while accumulating yk[k] += c·r[k],
+// unrolled 4-wide with independent dot accumulators.
+func rowDotAxpy(r, xk, yk []float64, c float64) float64 {
+	l := len(r)
+	xk = xk[:l]
+	yk = yk[:l]
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= l; k += 4 {
+		v0, v1, v2, v3 := r[k], r[k+1], r[k+2], r[k+3]
+		s0 += v0 * xk[k]
+		s1 += v1 * xk[k+1]
+		s2 += v2 * xk[k+2]
+		s3 += v3 * xk[k+3]
+		yk[k] += c * v0
+		yk[k+1] += c * v1
+		yk[k+2] += c * v2
+		yk[k+3] += c * v3
+	}
+	for ; k < l; k++ {
+		v := r[k]
+		s0 += v * xk[k]
+		yk[k] += c * v
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// BlockContribute accumulates the contributions of one tetrahedral-
+// partition block into the output row blocks — the local computation of
+// Algorithm 5 (lines 24–36), dispatched to the register-tiled kernel for
+// the block's kind. Semantics (slice contract, aliasing, zero padding,
+// stats accounting) match BlockContributeScalar; only the floating-point
+// summation order differs.
+func BlockContribute(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64, stats *Stats) {
+	checkBlockLens(blk, xI, xJ, xK, yI, yJ, yK)
+	switch blk.Kind {
+	case tensor.OffDiagonal:
+		contributeOffDiagonal(blk, xI, xJ, xK, yI, yJ, yK)
+	case tensor.DiagPairHigh:
+		contributeDiagPairHigh(blk, xI, xJ, xK, yI, yJ, yK)
+	case tensor.DiagPairLow:
+		contributeDiagPairLow(blk, xI, xJ, xK, yI, yJ, yK)
+	case tensor.Central:
+		contributeCentral(blk, xI, xJ, xK, yI, yJ, yK)
+	default:
+		panic("sttsv: unknown block kind")
+	}
+	stats.add(BlockTernaryCount(blk.Kind, blk.B))
+}
+
+// contributeOffDiagonal handles I > J > K: b³ stored values, rows of
+// length b, tiled over dj in panels of four.
+func contributeOffDiagonal(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64) {
+	b := blk.B
+	data := blk.Data
+	for di := 0; di < b; di++ {
+		xi := xI[di]
+		txi2 := 2 * xi
+		base := di * b * b
+		acc := 0.0
+		dj := 0
+		for ; dj+4 <= b; dj += 4 {
+			o := base + dj*b
+			xj0, xj1, xj2, xj3 := xJ[dj], xJ[dj+1], xJ[dj+2], xJ[dj+3]
+			s0, s1, s2, s3 := panelDotAxpy4(
+				data[o:o+b], data[o+b:o+2*b], data[o+2*b:o+3*b], data[o+3*b:o+4*b],
+				xK, yK, txi2*xj0, txi2*xj1, txi2*xj2, txi2*xj3)
+			acc += s0*xj0 + s1*xj1 + s2*xj2 + s3*xj3
+			yJ[dj] += txi2 * s0
+			yJ[dj+1] += txi2 * s1
+			yJ[dj+2] += txi2 * s2
+			yJ[dj+3] += txi2 * s3
+		}
+		for ; dj < b; dj++ {
+			xj := xJ[dj]
+			o := base + dj*b
+			s := rowDotAxpy(data[o:o+b], xK, yK, txi2*xj)
+			acc += s * xj
+			yJ[dj] += txi2 * s
+		}
+		yI[di] += 2 * acc
+	}
+}
+
+// contributeDiagPairHigh handles I == J > K: rows (di, dj <= di) of length
+// b; the dj < di rows are strict triples tiled over dj, the dj == di row
+// carries the i == j > k coefficient xi².
+func contributeDiagPairHigh(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64) {
+	b := blk.B
+	data := blk.Data
+	for di := 0; di < b; di++ {
+		xi := xI[di]
+		txi2 := 2 * xi
+		base := di * (di + 1) / 2 * b
+		acc := 0.0 // Σ_{dj<di} s_dj·xJ[dj]; folded into yI[di] at the end
+		dj := 0
+		for ; dj+4 <= di; dj += 4 {
+			o := base + dj*b
+			xj0, xj1, xj2, xj3 := xJ[dj], xJ[dj+1], xJ[dj+2], xJ[dj+3]
+			s0, s1, s2, s3 := panelDotAxpy4(
+				data[o:o+b], data[o+b:o+2*b], data[o+2*b:o+3*b], data[o+3*b:o+4*b],
+				xK, yK, txi2*xj0, txi2*xj1, txi2*xj2, txi2*xj3)
+			acc += s0*xj0 + s1*xj1 + s2*xj2 + s3*xj3
+			yJ[dj] += txi2 * s0
+			yJ[dj+1] += txi2 * s1
+			yJ[dj+2] += txi2 * s2
+			yJ[dj+3] += txi2 * s3
+		}
+		for ; dj < di; dj++ {
+			xj := xJ[dj]
+			o := base + dj*b
+			s := rowDotAxpy(data[o:o+b], xK, yK, txi2*xj)
+			acc += s * xj
+			yJ[dj] += txi2 * s
+		}
+		// dj == di row.
+		o := base + di*b
+		s := rowDotAxpy(data[o:o+b], xK, yK, xi*xi)
+		yI[di] += 2*acc + 2*s*xi
+	}
+}
+
+// contributeDiagPairLow handles I > J == K: every di-plane is the same
+// b(b+1)/2-entry triangle over (dj >= dk), so the panel axis is di — four
+// congruent triangles advance in lockstep through panelDotAxpy4 with
+// coefficients 2·xj·xi_t.
+func contributeDiagPairLow(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64) {
+	b := blk.B
+	data := blk.Data
+	tri := b * (b + 1) / 2
+	di := 0
+	for ; di+4 <= b; di += 4 {
+		xi0, xi1, xi2, xi3 := xI[di], xI[di+1], xI[di+2], xI[di+3]
+		b0 := di * tri
+		b1, b2, b3 := b0+tri, b0+2*tri, b0+3*tri
+		off := 0
+		for dj := 0; dj < b; dj++ {
+			xj := xJ[dj]
+			txj2 := 2 * xj
+			s0, s1, s2, s3 := panelDotAxpy4(
+				data[b0+off:b0+off+dj], data[b1+off:b1+off+dj],
+				data[b2+off:b2+off+dj], data[b3+off:b3+off+dj],
+				xK, yK, txj2*xi0, txj2*xi1, txj2*xi2, txj2*xi3)
+			v0, v1, v2, v3 := data[b0+off+dj], data[b1+off+dj], data[b2+off+dj], data[b3+off+dj]
+			xjxj := xj * xj
+			yI[di] += 2*s0*xj + v0*xjxj
+			yI[di+1] += 2*s1*xj + v1*xjxj
+			yI[di+2] += 2*s2*xj + v2*xjxj
+			yI[di+3] += 2*s3*xj + v3*xjxj
+			yJ[dj] += 2*(s0*xi0+s1*xi1+s2*xi2+s3*xi3) + txj2*(v0*xi0+v1*xi1+v2*xi2+v3*xi3)
+			off += dj + 1
+		}
+	}
+	for ; di < b; di++ {
+		xi := xI[di]
+		base := di * tri
+		off := 0
+		for dj := 0; dj < b; dj++ {
+			xj := xJ[dj]
+			s := rowDotAxpy(data[base+off:base+off+dj], xK, yK, 2*xi*xj)
+			v := data[base+off+dj]
+			yI[di] += 2*s*xj + v*xj*xj
+			yJ[dj] += 2*s*xi + 2*v*xi*xj
+			off += dj + 1
+		}
+	}
+}
+
+// contributeCentral handles I == J == K. Central blocks number only m per
+// tensor (versus Θ(m³) off-diagonal), and their triangular rows vary in
+// length, so the win here is the unrolled single-row micro-kernel rather
+// than panel tiling.
+func contributeCentral(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64) {
+	b := blk.B
+	data := blk.Data
+	off := 0
+	for di := 0; di < b; di++ {
+		xi := xI[di]
+		for dj := 0; dj < di; dj++ {
+			xj := xJ[dj]
+			s := rowDotAxpy(data[off:off+dj], xK, yK, 2*xi*xj)
+			v := data[off+dj] // dk == dj: i > j == k
+			yI[di] += 2*s*xj + v*xj*xj
+			yJ[dj] += 2*s*xi + 2*v*xi*xj
+			off += dj + 1
+		}
+		// dj == di row: dk < di carries the i == j > k coefficient xi²,
+		// dk == di is the central element.
+		s := rowDotAxpy(data[off:off+di], xK, yK, xi*xi)
+		v := data[off+di]
+		yI[di] += 2*s*xi + v*xi*xi
+		off += di + 1
+	}
+}

@@ -166,19 +166,47 @@ func (blk *Block) GlobalIndices(di, dj, dk int) (i, j, k int) {
 	return blk.I*blk.B + di, blk.J*blk.B + dj, blk.K*blk.B + dk
 }
 
+// fillBlock overwrites every stored entry of blk with the corresponding
+// value of t (zero where the global indices fall in the padding region).
+// The stored entries of any valid block are sorted global triples — the
+// block coordinates satisfy I >= J >= K and the kind-specific local
+// ordering keeps i >= j >= k — so no per-element sorting is needed.
+func fillBlock(blk *Block, t *Symmetric) {
+	idx := 0
+	blk.ForEach(func(di, dj, dk int, _ float64) {
+		i, j, k := blk.GlobalIndices(di, dj, dk)
+		v := 0.0
+		if i < t.N && j < t.N && k < t.N {
+			v = t.Data[PackedIndex(i, j, k)]
+		}
+		blk.Data[idx] = v
+		idx++
+	})
+}
+
 // ExtractBlock copies block (I, J, K) of edge b out of a packed symmetric
 // tensor. Global indices at or beyond t.N (the zero padding of §6.1 when
 // q²+1 does not divide n) read as zero.
 func ExtractBlock(t *Symmetric, I, J, K, b int) *Block {
 	blk := NewBlock(I, J, K, b)
-	idx := 0
-	blk.ForEach(func(di, dj, dk int, _ float64) {
-		i, j, k := blk.GlobalIndices(di, dj, dk)
-		if i < t.N && j < t.N && k < t.N {
-			blk.Data[idx] = t.At(i, j, k)
-		}
-		idx++
-	})
+	fillBlock(blk, t)
+	return blk
+}
+
+// ExtractBlockInto refills blk in place as block (I, J, K) of edge b of t,
+// reusing blk.Data when its capacity suffices. It lets streaming callers
+// (sttsv.Blocked) visit every block of the tetrahedron with one scratch
+// buffer instead of one allocation per block. Returns blk.
+func ExtractBlockInto(blk *Block, t *Symmetric, I, J, K, b int) *Block {
+	kind := KindOfBlock(I, J, K)
+	l := BlockLen(kind, b)
+	if cap(blk.Data) < l {
+		blk.Data = make([]float64, l, b*b*b) // b³ fits any kind at this edge
+	} else {
+		blk.Data = blk.Data[:l]
+	}
+	blk.Kind, blk.I, blk.J, blk.K, blk.B = kind, I, J, K, b
+	fillBlock(blk, t)
 	return blk
 }
 
