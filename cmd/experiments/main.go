@@ -8,7 +8,8 @@
 //	experiments -e comm    # only experiment E1 (communication optimality)
 //
 // Experiments: tables (T1–T3), figure (F1), comm (E1), flops (E2),
-// steps (E3), alltoall (E4), seq (E5), baseline (E6), hopm (E7), cp (E8).
+// steps (E3), alltoall (E4), seq (E5), baseline (E6), hopm (E7), cp (E8),
+// seqapproach (E9), io (E10), timeline (E11).
 package main
 
 import (
@@ -22,7 +23,9 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/hopm"
 	"repro/internal/la"
+	"repro/internal/machine"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/schedule"
@@ -32,7 +35,7 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "experiment to run: tables|figure|comm|flops|steps|alltoall|seq|baseline|hopm|cp|seqapproach|io|all")
+	which := flag.String("e", "all", "experiment to run: tables|figure|comm|flops|steps|alltoall|seq|baseline|hopm|cp|seqapproach|io|timeline|all")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -58,6 +61,69 @@ func main() {
 	run("cp", cpExp)
 	run("seqapproach", seqApproach)
 	run("io", ioExp)
+	run("timeline", timelineExp)
+}
+
+// timelineExp (E11) traces fault-free Algorithm 5 runs, replays them on
+// the simulated α-β clock, and checks the observed barrier-step count and
+// phase time against the closed-form schedule-length formulas: the P2P
+// wiring's q³/2+3q²/2−1 steps replaying to Σ(α + maxWords·β), and the
+// All-to-All wiring's nominal P−1 rounds (metered, barrier-free).
+func timelineExp() error {
+	fmt.Println("## E11: replayed timeline vs schedule-length formulas (α=10µs, β=10ns, γ=0)")
+	fmt.Println()
+	fmt.Println("| q | P | p2p replay steps | q³/2+3q²/2−1 | p2p replay time | Σ(α+maxW·β) | a2a meter steps | P−1 |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	model := obs.TimeModel{Alpha: 1e-5, Beta: 1e-8, Gamma: 0}
+	for _, q := range []int{2, 3, 4} {
+		part, err := partition.NewSpherical(q)
+		if err != nil {
+			return err
+		}
+		sched, err := schedule.Build(part)
+		if err != nil {
+			return err
+		}
+		b := q * (q + 1)
+		n := part.M * b
+		x := make([]float64, n)
+		var rec obs.Recorder
+		res, err := parallel.Run(nil, x, parallel.Options{
+			Part: part, Sched: sched, B: b, Wiring: parallel.WiringP2P,
+			Machine: machine.RunConfig{Timeout: time.Minute, Observer: rec.Observer()},
+		})
+		if err != nil {
+			return err
+		}
+		tl, err := obs.Replay(rec.Trace(), model)
+		if err != nil {
+			return err
+		}
+		gotSteps := tl.PhaseSteps["gather"]
+		wantSteps := schedule.TheoreticalSteps(q)
+		gotTime := tl.PhaseTime("gather")
+		wantTime := sched.Makespan(part, b, model.Alpha, model.Beta)
+		if gotSteps != wantSteps || res.Steps != wantSteps {
+			return fmt.Errorf("q=%d: replay counts %d steps, formula %d", q, gotSteps, wantSteps)
+		}
+		if math.Abs(gotTime-wantTime) > 1e-9*wantTime {
+			return fmt.Errorf("q=%d: replay time %g, closed form %g", q, gotTime, wantTime)
+		}
+		resA, err := parallel.Run(nil, x, parallel.Options{
+			Part: part, B: b, Wiring: parallel.WiringAllToAll,
+			Machine: machine.RunConfig{Timeout: time.Minute},
+		})
+		if err != nil {
+			return err
+		}
+		a2aSteps := resA.Phase("gather").Steps
+		if a2aSteps != part.P-1 {
+			return fmt.Errorf("q=%d: all-to-all meters %d steps, want P-1 = %d", q, a2aSteps, part.P-1)
+		}
+		fmt.Printf("| %d | %d | %d | %d | %.4gs | %.4gs | %d | %d |\n",
+			q, part.P, gotSteps, wantSteps, gotTime, wantTime, a2aSteps, part.P-1)
+	}
+	return nil
 }
 
 func tables() error {

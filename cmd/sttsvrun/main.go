@@ -14,6 +14,14 @@
 // reporting the wire-level recovery overhead:
 //
 //	sttsvrun -n 120 -q 3 -faults seed=7,drop=0.2,reorder=0.1
+//
+// The simulated runs can be traced and replayed under an α-β-γ time
+// model; each wiring writes its own file (a .p2p / .all-to-all suffix is
+// inserted before the extension):
+//
+//	sttsvrun -n 120 -q 3 -trace trace.json      # chrome://tracing / Perfetto
+//	sttsvrun -n 120 -q 3 -events run.jsonl      # raw events, for sttsvtrace
+//	sttsvrun -n 120 -q 3 -timeline              # replay summary + ASCII Gantt
 package main
 
 import (
@@ -21,17 +29,33 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/fault"
 	"repro/internal/hopm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
+
+// obsConfig gathers the observability flags applied to the parallel runs.
+type obsConfig struct {
+	trace    string // Chrome trace_event JSON path
+	events   string // raw trace JSONL path
+	metrics  string // flat metrics JSONL path
+	timeline bool   // print replay summary + Gantt
+	model    obs.TimeModel
+}
+
+func (o *obsConfig) active() bool {
+	return o.trace != "" || o.events != "" || o.metrics != "" || o.timeline
+}
 
 func main() {
 	n := flag.Int("n", 128, "tensor dimension")
@@ -40,7 +64,21 @@ func main() {
 	faults := flag.String("faults", "", "fault schedule for the simulated machine (with -q), e.g. seed=7,drop=0.2,dup=0.1,reorder=0.1,corrupt=0.05,stall=0.01,crash=2@40")
 	runHopm := flag.Bool("hopm", false, "run the higher-order power method")
 	shift := flag.Float64("shift", 0, "SS-HOPM shift (with -hopm)")
+	def := obs.DefaultTimeModel()
+	var oc obsConfig
+	flag.StringVar(&oc.trace, "trace", "", "write a Chrome trace_event JSON of the replayed run (requires -q; load in chrome://tracing or Perfetto)")
+	flag.StringVar(&oc.events, "events", "", "write the raw trace events as JSONL (requires -q; analyze with sttsvtrace)")
+	flag.StringVar(&oc.metrics, "metrics", "", "write flat per-phase/per-rank metrics JSONL (requires -q)")
+	flag.BoolVar(&oc.timeline, "timeline", false, "print the replayed α-β-γ timeline summary and Gantt chart (requires -q)")
+	flag.Float64Var(&oc.model.Alpha, "alpha", def.Alpha, "replay time model: per-message latency in seconds")
+	flag.Float64Var(&oc.model.Beta, "beta", def.Beta, "replay time model: per-word time in seconds")
+	flag.Float64Var(&oc.model.Gamma, "gamma", def.Gamma, "replay time model: per-ternary-multiplication time in seconds")
 	flag.Parse()
+
+	if oc.active() && *q <= 0 {
+		fmt.Fprintln(os.Stderr, "sttsvrun: -trace/-events/-metrics/-timeline require -q (they observe the simulated machine)")
+		os.Exit(2)
+	}
 
 	plan, err := fault.ParsePlan(*faults)
 	if err != nil {
@@ -76,7 +114,7 @@ func main() {
 	fmt.Printf("agreement: max |Δy| = %.3g\n", maxDiff)
 
 	if *q > 0 {
-		runParallel(a, x, yp, *q, plan)
+		runParallel(a, x, yp, *q, plan, &oc)
 	} else if plan.Active() {
 		fmt.Fprintln(os.Stderr, "sttsvrun: -faults requires -q (faults apply to the simulated machine)")
 		os.Exit(2)
@@ -92,7 +130,7 @@ func main() {
 	}
 }
 
-func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan) {
+func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan, oc *obsConfig) {
 	part, err := partition.NewSpherical(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sttsvrun:", err)
@@ -103,7 +141,12 @@ func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan)
 	fmt.Printf("\nparallel Algorithm 5: q=%d, P=%d, m=%d, b=%d (padded n=%d)\n",
 		q, part.P, part.M, b, part.M*b)
 	for _, wiring := range []parallel.Wiring{parallel.WiringP2P, parallel.WiringAllToAll} {
-		res, err := parallel.Run(a, x, parallel.Options{Part: part, B: b, Wiring: wiring})
+		var rec obs.Recorder
+		var cfg machine.RunConfig
+		if oc.active() {
+			cfg.Observer = rec.Observer()
+		}
+		res, err := parallel.Run(a, x, parallel.Options{Part: part, B: b, Wiring: wiring, Machine: cfg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sttsvrun:", err)
 			os.Exit(1)
@@ -118,10 +161,79 @@ func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan)
 			wiring, res.Steps, res.Report.MaxSentWords(),
 			costmodel.LowerBoundWords(n, part.P), maxDiff)
 		fmt.Printf("              %s\n", res.Report)
+		if oc.active() {
+			exportObservability(rec.Trace(), res, wiring, oc)
+		}
 		if plan.Active() {
 			runFaulted(a, x, wiring, part, b, plan, res)
 		}
 	}
+}
+
+// exportObservability replays one wiring's trace and writes/prints the
+// requested artifacts.
+func exportObservability(tr *obs.Trace, res *parallel.Result, wiring parallel.Wiring, oc *obsConfig) {
+	if err := tr.CheckAgainstReport(res.Report); err != nil {
+		fmt.Fprintln(os.Stderr, "sttsvrun: trace conformance:", err)
+		os.Exit(1)
+	}
+	tl, err := obs.Replay(tr, oc.model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttsvrun: replay:", err)
+		os.Exit(1)
+	}
+	if oc.events != "" {
+		writeFile(wiringPath(oc.events, wiring), func(f *os.File) error {
+			return obs.WriteTraceJSONL(f, tr)
+		})
+	}
+	if oc.trace != "" {
+		writeFile(wiringPath(oc.trace, wiring), func(f *os.File) error {
+			return obs.WriteChromeTrace(f, tl)
+		})
+	}
+	if oc.metrics != "" {
+		writeFile(wiringPath(oc.metrics, wiring), func(f *os.File) error {
+			return obs.WriteMetricsJSONL(f, tr, tl)
+		})
+	}
+	if oc.timeline {
+		fmt.Printf("              replay (α=%.3g β=%.3g γ=%.3g): makespan %.4gs\n",
+			oc.model.Alpha, oc.model.Beta, oc.model.Gamma, tl.Makespan())
+		for _, label := range tl.PhaseOrder {
+			fmt.Printf("                %-15s %.4gs", label, tl.PhaseTime(label))
+			if s := tl.PhaseSteps[label]; s > 0 {
+				fmt.Printf("  (%d steps)", s)
+			}
+			fmt.Println()
+		}
+		if err := obs.WriteGantt(os.Stdout, tl, 72); err != nil {
+			fmt.Fprintln(os.Stderr, "sttsvrun:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// wiringPath inserts the wiring name before the path's extension, so the
+// two wirings of one invocation write distinct files.
+func wiringPath(path string, w parallel.Wiring) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + w.String() + ext
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttsvrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("              wrote %s\n", path)
 }
 
 // runFaulted repeats one Algorithm 5 configuration over the reliable

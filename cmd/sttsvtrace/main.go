@@ -1,0 +1,130 @@
+// Command sttsvtrace summarizes and converts trace files recorded by
+// sttsvrun -events (one JSON event per line). It replays the logical
+// event stream under a configurable α-β-γ time model and can emit the
+// Chrome trace_event JSON understood by chrome://tracing and Perfetto.
+//
+// Usage:
+//
+//	sttsvtrace run.jsonl                 # phase/rank summary
+//	sttsvtrace -timeline run.jsonl       # per-rank replay attribution
+//	sttsvtrace -gantt run.jsonl          # ASCII Gantt chart
+//	sttsvtrace -chrome out.json run.jsonl
+//	sttsvtrace -metrics out.jsonl run.jsonl
+//	sttsvtrace -alpha 5e-6 -beta 2e-9 -gamma 0 -timeline run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	chrome := flag.String("chrome", "", "write Chrome trace_event JSON to this file")
+	metrics := flag.String("metrics", "", "write flat metrics JSONL to this file")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the replayed timeline")
+	timeline := flag.Bool("timeline", false, "print per-rank replay time attribution")
+	width := flag.Int("width", 72, "Gantt chart width in columns")
+	def := obs.DefaultTimeModel()
+	alpha := flag.Float64("alpha", def.Alpha, "per-message latency (seconds)")
+	beta := flag.Float64("beta", def.Beta, "per-word transfer time (seconds)")
+	gamma := flag.Float64("gamma", def.Gamma, "per-ternary-multiplication compute time (seconds)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sttsvtrace [flags] trace.jsonl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	tr, err := obs.ReadTraceJSONL(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	model := obs.TimeModel{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
+	tl, err := obs.Replay(tr, model)
+	if err != nil {
+		fail(fmt.Errorf("replay: %w", err))
+	}
+
+	summarize(tr, tl, model)
+	if *timeline {
+		printTimeline(tl)
+	}
+	if *gantt {
+		if err := obs.WriteGantt(os.Stdout, tl, *width); err != nil {
+			fail(err)
+		}
+	}
+	if *chrome != "" {
+		writeTo(*chrome, func(f *os.File) error { return obs.WriteChromeTrace(f, tl) })
+	}
+	if *metrics != "" {
+		writeTo(*metrics, func(f *os.File) error { return obs.WriteMetricsJSONL(f, tr, tl) })
+	}
+}
+
+// summarize prints the phase table: traffic, steps and replayed time.
+func summarize(tr *obs.Trace, tl *obs.Timeline, model obs.TimeModel) {
+	fmt.Printf("trace: %d events, %d ranks; model α=%.3g β=%.3g γ=%.3g\n",
+		len(tr.Events), tr.P, model.Alpha, model.Beta, model.Gamma)
+	totals, order := tr.PhaseTotals()
+	fmt.Println()
+	fmt.Println("| phase | steps | max sent w | total sent w | max msgs | ternary | replay time |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, label := range order {
+		pt := totals[label]
+		var maxW, totW, maxM, tern int64
+		for r := 0; r < tr.P; r++ {
+			if pt.SentWords[r] > maxW {
+				maxW = pt.SentWords[r]
+			}
+			if pt.SentMsgs[r] > maxM {
+				maxM = pt.SentMsgs[r]
+			}
+			totW += pt.SentWords[r]
+			tern += pt.Ternary[r]
+		}
+		fmt.Printf("| %s | %d | %d | %d | %d | %d | %.4gs |\n",
+			label, pt.Steps, maxW, totW, maxM, tern, tl.PhaseTime(label))
+	}
+	fmt.Printf("\nmakespan %.4gs over %d ranks\n", tl.Makespan(), tl.P)
+}
+
+// printTimeline prints the per-rank critical-path attribution.
+func printTimeline(tl *obs.Timeline) {
+	fmt.Println()
+	fmt.Println("| rank | finish | compute | send | recv-wait | barrier-wait | overlap | idle |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for r := 0; r < tl.P; r++ {
+		fmt.Printf("| %d | %.4g | %.4g | %.4g | %.4g | %.4g | %.4g | %.1f%% |\n",
+			r, tl.Finish[r], tl.Compute[r], tl.SendTime[r], tl.RecvWait[r],
+			tl.BarrierWait[r], tl.Overlap[r], 100*tl.Idle(r)/tl.Makespan())
+	}
+}
+
+func writeTo(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sttsvtrace:", err)
+	os.Exit(1)
+}

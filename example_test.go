@@ -51,6 +51,34 @@ func ExampleParallelCompute() {
 	// steps per phase: 9
 }
 
+// ExampleReplay traces an Algorithm 5 run, replays it under an α-β-γ
+// time model, and reads off the per-phase step counts and meters that the
+// cost model predicts in closed form.
+func ExampleReplay() {
+	part, _ := sttsv.NewPartition(2) // q=2: P = 10 processors
+	b := 6
+	n := part.M * b
+	x := make([]float64, n)
+
+	var rec sttsv.TraceRecorder
+	res, _ := sttsv.ParallelCompute(nil, x, sttsv.ParallelOptions{
+		Part: part, B: b, Wiring: sttsv.WiringP2P,
+		Machine: sttsv.RunConfig{Observer: rec.Observer()},
+	})
+	trace := rec.Trace()
+
+	// The trace's summed events equal the run's meters exactly.
+	fmt.Println("trace conforms:", trace.CheckAgainstReport(res.Report) == nil)
+
+	tl, _ := sttsv.Replay(trace, sttsv.DefaultTimeModel())
+	fmt.Println("gather steps:", tl.PhaseSteps["gather"])
+	fmt.Println("gather sent words (rank 0):", res.Phase("gather").SentWords[0])
+	// Output:
+	// trace conforms: true
+	// gather steps: 9
+	// gather sent words (rank 0): 15
+}
+
 // ExamplePowerMethod finds the dominant Z-eigenpair of a rank-one tensor.
 func ExamplePowerMethod() {
 	v := make([]float64, 25)

@@ -9,6 +9,10 @@
 // the paper's All-to-All analysis assumes. In step r each member sends to
 // the member r positions ahead and receives from the member r positions
 // behind, so every rank sends and receives at most one message per step.
+//
+// Every collective labels the trace events it generates with its operation
+// name (machine.Event.Op), so a recorded trace can attribute each word
+// moved to the collective that moved it.
 package collective
 
 import (
@@ -81,6 +85,8 @@ func (g *Group) GlobalRank(i int) int { return g.ranks[i] }
 // is what makes this the *optimal* wiring rather than the paper's
 // fixed-width accounting (see AllToAllFixed).
 func (g *Group) AllToAllV(tag int, send [][]float64) [][]float64 {
+	g.c.BeginOp("all-to-all-v")
+	defer g.c.EndOp()
 	p := g.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("collective: AllToAllV with %d buffers for group of %d", len(send), p))
@@ -120,6 +126,8 @@ func recvNeeded(send [][]float64, from, me int) bool {
 // between pairs that share nothing, which is why Algorithm 5 wired this way
 // costs twice the lower bound.
 func (g *Group) AllToAllFixed(tag, width int, send [][]float64) [][]float64 {
+	g.c.BeginOp("all-to-all")
+	defer g.c.EndOp()
 	p := g.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("collective: AllToAllFixed with %d buffers for group of %d", len(send), p))
@@ -147,6 +155,8 @@ func (g *Group) AllToAllFixed(tag, width int, send [][]float64) [][]float64 {
 // AllGatherV gathers each member's buffer on every member: the result's
 // slot i is member i's mine. Buffers may have different lengths.
 func (g *Group) AllGatherV(tag int, mine []float64) [][]float64 {
+	g.c.BeginOp("all-gather")
+	defer g.c.EndOp()
 	p := g.Size()
 	out := make([][]float64, p)
 	out[g.me] = append([]float64(nil), mine...)
@@ -164,6 +174,8 @@ func (g *Group) AllGatherV(tag int, mine []float64) [][]float64 {
 // and the return value is Σ over members of their contrib[me]. All members
 // must pass equal shapes for each destination slot.
 func (g *Group) ReduceScatterSum(tag int, contrib [][]float64) []float64 {
+	g.c.BeginOp("reduce-scatter")
+	defer g.c.EndOp()
 	p := g.Size()
 	if len(contrib) != p {
 		panic(fmt.Sprintf("collective: ReduceScatterSum with %d buffers for group of %d", len(contrib), p))
@@ -188,6 +200,8 @@ func (g *Group) ReduceScatterSum(tag int, contrib [][]float64) []float64 {
 // members along a binomial tree (⌈log₂ P⌉ rounds). Non-root callers pass
 // nil and receive the data; root receives a copy of its own buffer.
 func (g *Group) Bcast(tag, root int, data []float64) []float64 {
+	g.c.BeginOp("bcast")
+	defer g.c.EndOp()
 	p := g.Size()
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: Bcast root %d of %d", root, p))
@@ -215,6 +229,8 @@ func (g *Group) Bcast(tag, root int, data []float64) []float64 {
 // AllReduceSum computes the elementwise sum of every member's buffer on all
 // members (reduce to group member 0, then broadcast).
 func (g *Group) AllReduceSum(tag int, mine []float64) []float64 {
+	g.c.BeginOp("all-reduce")
+	defer g.c.EndOp()
 	acc := append([]float64(nil), mine...)
 	if g.me == 0 {
 		for r := 1; r < g.Size(); r++ {
@@ -236,6 +252,8 @@ func (g *Group) AllReduceSum(tag int, mine []float64) []float64 {
 // the root's result slot i holds member i's mine; non-root callers receive
 // nil.
 func (g *Group) GatherV(tag, root int, mine []float64) [][]float64 {
+	g.c.BeginOp("gather-v")
+	defer g.c.EndOp()
 	p := g.Size()
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: GatherV root %d of %d", root, p))
@@ -257,6 +275,8 @@ func (g *Group) GatherV(tag, root int, mine []float64) [][]float64 {
 // ScatterV distributes root's per-member buffers: member i receives
 // send[i]. Non-root callers pass nil and get their slice.
 func (g *Group) ScatterV(tag, root int, send [][]float64) []float64 {
+	g.c.BeginOp("scatter-v")
+	defer g.c.EndOp()
 	p := g.Size()
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("collective: ScatterV root %d of %d", root, p))

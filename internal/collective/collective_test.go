@@ -11,7 +11,7 @@ import (
 // run executes body on p ranks with a deadlock watchdog.
 func run(t *testing.T, p int, body func(c *machine.Comm)) *machine.Report {
 	t.Helper()
-	rep, err := machine.RunTimeout(p, 10*time.Second, body)
+	rep, err := machine.RunWith(p, machine.RunConfig{Timeout: 10 * time.Second}, body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestAllToAllVConservation(t *testing.T) {
 
 func BenchmarkAllToAllFixed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := machine.RunTimeout(16, time.Minute, func(c *machine.Comm) {
+		_, err := machine.RunWith(16, machine.RunConfig{Timeout: time.Minute}, func(c *machine.Comm) {
 			g := World(c)
 			send := make([][]float64, 16)
 			g.AllToAllFixed(0, 32, send)
@@ -306,7 +306,7 @@ func TestGatherVScatterV(t *testing.T) {
 }
 
 func TestGatherVBadRootPanics(t *testing.T) {
-	_, err := machine.RunTimeout(2, time.Second, func(c *machine.Comm) {
+	_, err := machine.RunWith(2, machine.RunConfig{Timeout: time.Second}, func(c *machine.Comm) {
 		World(c).GatherV(0, 5, nil)
 	})
 	if err == nil {

@@ -56,10 +56,10 @@ type recordWire struct {
 	delivered  []machine.Packet
 }
 
-func (w *recordWire) Rank() int                 { return w.rank }
-func (w *recordWire) Size() int                 { return w.size }
-func (w *recordWire) Deliver(p machine.Packet)  { w.delivered = append(w.delivered, p) }
-func (w *recordWire) Pull() machine.Packet      { panic("recordWire: Pull") }
+func (w *recordWire) Rank() int                      { return w.rank }
+func (w *recordWire) Size() int                      { return w.size }
+func (w *recordWire) Deliver(p machine.Packet)       { w.delivered = append(w.delivered, p) }
+func (w *recordWire) Pull() machine.Packet           { panic("recordWire: Pull") }
 func (w *recordWire) Pending([]machine.PendingEntry) {}
 func (w *recordWire) PullTimeout(time.Duration) (machine.Packet, bool) {
 	return machine.Packet{}, false

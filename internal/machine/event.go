@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind classifies the structured trace events a run can emit. The
+// vocabulary covers everything the paper's cost model charges for: messages
+// (latency and bandwidth), synchronization steps, and local ternary
+// multiplications — plus the phase markers that scope each of them to a
+// stage of Algorithm 5 (gather / local / reduce-scatter).
+type EventKind int
+
+const (
+	// EventSend records a logical message being posted (one per
+	// Comm.Send), or — with Event.Wire set — a raw datagram being pushed
+	// onto the wire (retransmissions, duplicates and acks included).
+	EventSend EventKind = iota
+	// EventRecv records a logical message being delivered to its Recv
+	// call, or — with Event.Wire set — a raw datagram being pulled.
+	EventRecv
+	// EventBarrier records a rank passing a global barrier. Event.Step
+	// carries the barrier generation, identical across all P ranks of one
+	// synchronization, so a replayer can reconstruct the step structure.
+	EventBarrier
+	// EventPhaseBegin and EventPhaseEnd bracket an algorithm phase on one
+	// rank; every event in between carries the phase's label.
+	EventPhaseBegin
+	EventPhaseEnd
+	// EventLocalCompute records a completed local-compute stage with its
+	// ternary-multiplication count in Event.Ternary.
+	EventLocalCompute
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventRecv:
+		return "recv"
+	case EventBarrier:
+		return "barrier"
+	case EventPhaseBegin:
+		return "phase-begin"
+	case EventPhaseEnd:
+		return "phase-end"
+	case EventLocalCompute:
+		return "local-compute"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one structured trace record. Events are emitted synchronously
+// from the goroutine of the rank they happen on; an observer collecting
+// them must be safe for concurrent use (see obs.Recorder for a ready-made
+// collector).
+//
+// Logical events (Wire == false) account exactly for the quantities the
+// paper's theory bounds: summed per rank they equal the Report's logical
+// meters, fault recovery included, because they are emitted at the
+// Send/Recv layer the reliable transport restores. Wire events (Wire ==
+// true, emitted only when RunConfig.WireEvents is set) additionally record
+// every raw datagram — retransmissions, injected duplicates, and zero-word
+// acks — and sum to the wire meters instead.
+type Event struct {
+	Kind EventKind
+	// Rank is the processor the event occurred on.
+	Rank int
+	// From and To are the message endpoints for send/recv events; both
+	// equal Rank for non-message events.
+	From, To int
+	// Tag is the message tag (send/recv events; 0 otherwise).
+	Tag int
+	// Words is the payload size of a send/recv event.
+	Words int
+	// Phase is the enclosing phase label ("" outside any phase).
+	Phase string
+	// Op is the enclosing collective operation ("" outside package
+	// collective).
+	Op string
+	// Seq orders this rank's events: a per-rank counter starting at 0.
+	Seq int64
+	// Step is the global barrier generation for EventBarrier, -1
+	// otherwise.
+	Step int
+	// Ternary is the ternary-multiplication count of an
+	// EventLocalCompute.
+	Ternary int64
+	// Wire marks raw wire datagrams as opposed to logical messages.
+	Wire bool
+}
+
+// rankObsState is a rank's event-emission bookkeeping. Each slot is
+// touched only from its rank's goroutine (transports, including fault
+// injectors and the reliable protocol's Idle/Linger loops, all run on the
+// owning rank's goroutine).
+type rankObsState struct {
+	phase   string
+	op      string
+	opDepth int
+	seq     int64
+}
+
+// emit stamps an event with the rank's phase scope and sequence number
+// and hands it to the observer. No-op without an observer.
+func (m *Machine) emit(rank int, e Event) {
+	if m.observer == nil {
+		return
+	}
+	st := &m.obsState[rank]
+	e.Rank = rank
+	if e.Phase == "" {
+		e.Phase = st.phase
+	}
+	e.Op = st.op
+	e.Seq = st.seq
+	st.seq++
+	m.observer(e)
+}
+
+// BeginPhase opens a named phase on this rank: an EventPhaseBegin is
+// emitted and every subsequent event carries the label until EndPhase.
+// Phases do not nest — a second BeginPhase before EndPhase panics, because
+// phase-scoped meters would silently mis-attribute.
+func (c *Comm) BeginPhase(label string) {
+	st := &c.m.obsState[c.rank]
+	if st.phase != "" {
+		panic(fmt.Sprintf("machine: rank %d: BeginPhase(%q) inside phase %q", c.rank, label, st.phase))
+	}
+	st.phase = label
+	c.m.emit(c.rank, Event{Kind: EventPhaseBegin, From: c.rank, To: c.rank, Step: -1})
+}
+
+// EndPhase closes the current phase, emitting an EventPhaseEnd that still
+// carries the label.
+func (c *Comm) EndPhase() {
+	st := &c.m.obsState[c.rank]
+	if st.phase == "" {
+		panic(fmt.Sprintf("machine: rank %d: EndPhase outside any phase", c.rank))
+	}
+	c.m.emit(c.rank, Event{Kind: EventPhaseEnd, From: c.rank, To: c.rank, Step: -1})
+	st.phase = ""
+}
+
+// Phase returns this rank's current phase label ("" outside any phase).
+func (c *Comm) Phase() string { return c.m.obsState[c.rank].phase }
+
+// BeginOp labels subsequent events with a collective-operation name; used
+// by package collective so traces can attribute words to the collective
+// that moved them. Ops nest (an all-reduce is a reduce plus a broadcast)
+// and the outermost label wins.
+func (c *Comm) BeginOp(name string) {
+	st := &c.m.obsState[c.rank]
+	st.opDepth++
+	if st.opDepth == 1 {
+		st.op = name
+	}
+}
+
+// EndOp closes the innermost collective-operation scope.
+func (c *Comm) EndOp() {
+	st := &c.m.obsState[c.rank]
+	if st.opDepth == 0 {
+		panic(fmt.Sprintf("machine: rank %d: EndOp outside any op", c.rank))
+	}
+	st.opDepth--
+	if st.opDepth == 0 {
+		st.op = ""
+	}
+}
+
+// LocalCompute records a completed local-compute stage of `ternary`
+// ternary multiplications as an EventLocalCompute — the quantity the
+// replay engine charges γ time units per.
+func (c *Comm) LocalCompute(ternary int64) {
+	c.m.emit(c.rank, Event{Kind: EventLocalCompute, From: c.rank, To: c.rank, Step: -1, Ternary: ternary})
+}
+
+// Trace is a minimal thread-safe event collector for RunConfig.Observer.
+//
+// Deprecated: package obs provides Recorder, whose Trace offers per-rank
+// ordering, phase-scoped meters, α-β-γ replay, and exporters. Trace is
+// kept for tests that only need the raw event slice.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Observer returns the callback to pass to RunConfig.Observer.
+func (t *Trace) Observer() func(Event) {
+	return func(e Event) {
+		t.mu.Lock()
+		t.events = append(t.events, e)
+		t.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the collected events (arbitrary interleaving
+// order across ranks; per-rank order is emission order).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Sends returns only the logical send events — the view the pre-redesign
+// Trace collected.
+func (t *Trace) Sends() []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == EventSend && !e.Wire {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -30,22 +30,18 @@ import (
 
 // Machine is the shared state of one simulated run.
 type Machine struct {
-	p        int
-	boxes    []*mailbox
-	sent     []counter // logical, metered at Send
-	recv     []counter // logical, metered at Recv
-	wireSent []counter // raw packets pushed, retransmits and acks included
-	wireRecv []counter // raw packets pulled
-	barrier  *barrier
-	observer func(Event)
-	diags    []rankDiag
-	progress atomic.Int64 // bumped on every completed logical operation
-}
-
-// Event records one logical message at send time.
-type Event struct {
-	From, To, Tag int
-	Words         int
+	p          int
+	boxes      []*mailbox
+	sent       []counter // logical, metered at Send
+	recv       []counter // logical, metered at Recv
+	wireSent   []counter // raw packets pushed, retransmits and acks included
+	wireRecv   []counter // raw packets pulled
+	barrier    *barrier
+	observer   func(Event)
+	wireEvents bool
+	obsState   []rankObsState
+	diags      []rankDiag
+	progress   atomic.Int64 // bumped on every completed logical operation
 }
 
 type counter struct {
@@ -84,9 +80,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	copy(cp, data)
 	c.m.sent[c.rank].words += int64(len(data))
 	c.m.sent[c.rank].msgs++
-	if c.m.observer != nil {
-		c.m.observer(Event{From: c.rank, To: to, Tag: tag, Words: len(data)})
-	}
+	c.m.emit(c.rank, Event{Kind: EventSend, From: c.rank, To: to, Tag: tag, Words: len(data), Step: -1})
 	c.diag.setBlocked(BlockSend, to, tag)
 	c.t.Send(to, tag, cp)
 	c.diag.setRunning()
@@ -102,6 +96,7 @@ func (c *Comm) Recv(from, tag int) []float64 {
 	c.diag.setRunning()
 	c.m.recv[c.rank].words += int64(len(data))
 	c.m.recv[c.rank].msgs++
+	c.m.emit(c.rank, Event{Kind: EventRecv, From: from, To: c.rank, Tag: tag, Words: len(data), Step: -1})
 	c.m.progress.Add(1)
 	return data
 }
@@ -119,13 +114,14 @@ func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
 // retransmitting a message whose ack was lost are still answered.
 func (c *Comm) Barrier() {
 	c.diag.setBlocked(BlockBarrier, -1, -1)
-	ch := c.m.barrier.arrive()
+	ch, gen := c.m.barrier.arrive()
 	if idler, ok := c.t.(Idler); ok {
 		idler.Idle(ch)
 	} else {
 		<-ch
 	}
 	c.diag.setRunning()
+	c.m.emit(c.rank, Event{Kind: EventBarrier, From: c.rank, To: c.rank, Step: gen})
 	c.m.progress.Add(1)
 }
 
@@ -138,6 +134,9 @@ func (c *Comm) RecvWords() int64 { return c.m.recv[c.rank].words }
 // SentMsgs returns the number of messages this rank has sent so far.
 func (c *Comm) SentMsgs() int64 { return c.m.sent[c.rank].msgs }
 
+// RecvMsgs returns the number of messages this rank has received so far.
+func (c *Comm) RecvMsgs() int64 { return c.m.recv[c.rank].msgs }
+
 // WireSentWords returns the raw words this rank has pushed onto the wire
 // so far, retransmissions included.
 func (c *Comm) WireSentWords() int64 { return c.m.wireSent[c.rank].words }
@@ -149,6 +148,7 @@ type barrier struct {
 	mu      sync.Mutex
 	p       int
 	count   int
+	gen     int
 	release chan struct{}
 }
 
@@ -157,18 +157,22 @@ func newBarrier(p int) *barrier {
 }
 
 // arrive registers the caller at the barrier and returns the channel that
-// closes once all P ranks have arrived at this generation.
-func (b *barrier) arrive() <-chan struct{} {
+// closes once all P ranks have arrived at this generation, plus the
+// generation index (identical for all P participants of one
+// synchronization — the trace's step identifier).
+func (b *barrier) arrive() (<-chan struct{}, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	ch := b.release
+	gen := b.gen
 	b.count++
 	if b.count == b.p {
 		b.count = 0
+		b.gen++
 		close(ch)
 		b.release = make(chan struct{})
 	}
-	return ch
+	return ch, gen
 }
 
 // RunConfig bundles the optional knobs of a simulated run.
@@ -179,10 +183,18 @@ type RunConfig struct {
 	// watchdog. (Unlike a global wall-clock limit, a run that keeps
 	// making progress is never killed.)
 	Timeout time.Duration
-	// Observer is invoked synchronously at every logical Send, from the
-	// sending rank's goroutine; it must be safe for concurrent use (see
-	// Trace). Retransmissions are not logical sends and are not observed.
+	// Observer receives every structured trace event, invoked
+	// synchronously from the goroutine of the rank the event occurs on;
+	// it must be safe for concurrent use (see obs.Recorder for a
+	// ready-made collector). Logical send/recv events sum exactly to the
+	// Report's logical meters; retransmissions and other recovery
+	// traffic appear only as wire events (see WireEvents).
 	Observer func(Event)
+	// WireEvents additionally emits an event for every raw wire datagram
+	// (Event.Wire == true): retransmissions, injected duplicates, and
+	// zero-word acks. Off by default — wire traffic can dwarf the
+	// logical trace under aggressive fault plans.
+	WireEvents bool
 	// Transport builds each rank's transport; nil selects the direct
 	// transport (exact in-order delivery, no protocol overhead).
 	Transport TransportFactory
@@ -195,8 +207,12 @@ type RunConfig struct {
 
 // Run executes body on P simulated processors and returns the metered
 // report. It panics with the run error if any rank panics.
+//
+// Deprecated: use RunWith — the single entry point every configuration
+// (watchdog, observer, transport, mailboxes) goes through. Run is
+// RunWith(p, RunConfig{}, body) with errors turned into panics.
 func Run(p int, body func(c *Comm)) *Report {
-	r, err := RunTimeout(p, 0, body)
+	r, err := RunWith(p, RunConfig{}, body)
 	if err != nil {
 		panic(err)
 	}
@@ -205,35 +221,40 @@ func Run(p int, body func(c *Comm)) *Report {
 
 // RunTimeout is Run with the stall watchdog armed (see RunConfig.Timeout).
 // A zero timeout disables the watchdog.
+//
+// Deprecated: use RunWith(p, RunConfig{Timeout: timeout}, body).
 func RunTimeout(p int, timeout time.Duration, body func(c *Comm)) (*Report, error) {
 	return RunWith(p, RunConfig{Timeout: timeout}, body)
 }
 
-// RunTraced is RunTimeout with an observer invoked synchronously at every
-// Send, from the sending rank's goroutine — the observer must be safe for
-// concurrent use (see Trace for a ready-made collector). It is the hook
-// used to check that executed communication conforms to a planned
-// schedule.
+// RunTraced is RunTimeout with a trace-event observer attached.
+//
+// Deprecated: use RunWith(p, RunConfig{Timeout: timeout, Observer:
+// observer}, body), typically with an obs.Recorder as the observer.
 func RunTraced(p int, timeout time.Duration, observer func(Event), body func(c *Comm)) (*Report, error) {
 	return RunWith(p, RunConfig{Timeout: timeout, Observer: observer}, body)
 }
 
-// RunWith is the fully configurable entry point: transport selection,
-// stall watchdog, send observer, and mailbox capacity.
+// RunWith is the single run entry point: it executes body on P simulated
+// processors under the given configuration (transport selection, stall
+// watchdog, trace observer, mailbox capacity) and returns the metered
+// report.
 func RunWith(p int, cfg RunConfig, body func(c *Comm)) (*Report, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("machine: P = %d", p)
 	}
 	m := &Machine{
-		p:        p,
-		boxes:    make([]*mailbox, p),
-		sent:     make([]counter, p),
-		recv:     make([]counter, p),
-		wireSent: make([]counter, p),
-		wireRecv: make([]counter, p),
-		barrier:  newBarrier(p),
-		observer: cfg.Observer,
-		diags:    make([]rankDiag, p),
+		p:          p,
+		boxes:      make([]*mailbox, p),
+		sent:       make([]counter, p),
+		recv:       make([]counter, p),
+		wireSent:   make([]counter, p),
+		wireRecv:   make([]counter, p),
+		barrier:    newBarrier(p),
+		observer:   cfg.Observer,
+		wireEvents: cfg.WireEvents,
+		obsState:   make([]rankObsState, p),
+		diags:      make([]rankDiag, p),
 	}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox(cfg.InboxCap)
@@ -417,27 +438,4 @@ func (m *Machine) panicError() error {
 	default:
 		return generic
 	}
-}
-
-// Trace is a thread-safe event collector for RunTraced.
-type Trace struct {
-	mu     sync.Mutex
-	events []Event
-}
-
-// Observer returns the callback to pass to RunTraced.
-func (t *Trace) Observer() func(Event) {
-	return func(e Event) {
-		t.mu.Lock()
-		t.events = append(t.events, e)
-		t.mu.Unlock()
-	}
-}
-
-// Events returns a copy of the collected events (arbitrary interleaving
-// order across ranks; per-(sender, tag) order is send order).
-func (t *Trace) Events() []Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
 }

@@ -7,8 +7,44 @@ import (
 	"time"
 )
 
+// mustRun routes every plain test run through the one RunWith entry
+// point, with errors fatal and a generous watchdog.
+func mustRun(tb testing.TB, p int, body func(c *Comm)) *Report {
+	tb.Helper()
+	rep, err := RunWith(p, RunConfig{Timeout: 30 * time.Second}, body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep
+}
+
+// TestDeprecatedEntryPoints keeps the pre-RunWith wrappers working: they
+// are thin shims and must stay behavior-identical for old callers.
+func TestDeprecatedEntryPoints(t *testing.T) {
+	body := func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2})
+		} else {
+			c.Recv(0, 0)
+		}
+	}
+	if rep := Run(2, body); rep.SentWords[0] != 2 {
+		t.Errorf("Run: sent words %v", rep.SentWords)
+	}
+	if rep, err := RunTimeout(2, time.Second, body); err != nil || rep.SentWords[0] != 2 {
+		t.Errorf("RunTimeout: rep %v err %v", rep, err)
+	}
+	var tr Trace
+	if rep, err := RunTraced(2, time.Second, tr.Observer(), body); err != nil || rep.SentWords[0] != 2 {
+		t.Errorf("RunTraced: rep %v err %v", rep, err)
+	}
+	if len(tr.Sends()) != 1 {
+		t.Errorf("RunTraced observer saw %d sends, want 1", len(tr.Sends()))
+	}
+}
+
 func TestPingPong(t *testing.T) {
-	rep := Run(2, func(c *Comm) {
+	rep := mustRun(t, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, []float64{1, 2, 3})
 			got := c.Recv(1, 0)
@@ -37,7 +73,7 @@ func TestPingPong(t *testing.T) {
 func TestMessageIsolation(t *testing.T) {
 	// Distributed memory: mutating the sent buffer after Send must not
 	// affect what the receiver sees.
-	Run(2, func(c *Comm) {
+	mustRun(t, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			buf := []float64{42}
 			c.Send(1, 0, buf)
@@ -53,7 +89,7 @@ func TestMessageIsolation(t *testing.T) {
 
 func TestTagsDisambiguate(t *testing.T) {
 	// Receive tags out of arrival order.
-	Run(2, func(c *Comm) {
+	mustRun(t, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 7, []float64{7})
 			c.Send(1, 8, []float64{8})
@@ -69,7 +105,7 @@ func TestTagsDisambiguate(t *testing.T) {
 }
 
 func TestFIFOPerSenderTag(t *testing.T) {
-	Run(2, func(c *Comm) {
+	mustRun(t, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			for i := 0; i < 10; i++ {
 				c.Send(1, 0, []float64{float64(i)})
@@ -85,7 +121,7 @@ func TestFIFOPerSenderTag(t *testing.T) {
 }
 
 func TestExchange(t *testing.T) {
-	rep := Run(4, func(c *Comm) {
+	rep := mustRun(t, 4, func(c *Comm) {
 		peer := c.Rank() ^ 1
 		got := c.Exchange(peer, 0, []float64{float64(c.Rank())})
 		if got[0] != float64(peer) {
@@ -104,7 +140,7 @@ func TestBarrierOrdering(t *testing.T) {
 	// After a barrier, all pre-barrier sends from every rank are in
 	// flight; use phases to check no crosstalk between rounds.
 	const p = 8
-	Run(p, func(c *Comm) {
+	mustRun(t, p, func(c *Comm) {
 		for round := 0; round < 5; round++ {
 			peer := (c.Rank() + 1 + round) % p
 			if peer != c.Rank() {
@@ -122,7 +158,7 @@ func TestBarrierOrdering(t *testing.T) {
 
 func TestConservation(t *testing.T) {
 	// Total sent must equal total received in any completed run.
-	rep := Run(6, func(c *Comm) {
+	rep := mustRun(t, 6, func(c *Comm) {
 		for to := 0; to < c.Size(); to++ {
 			if to != c.Rank() {
 				c.Send(to, 0, make([]float64, c.Rank()+1))
@@ -145,7 +181,7 @@ func TestConservation(t *testing.T) {
 }
 
 func TestSelfSendPanics(t *testing.T) {
-	_, err := RunTimeout(2, time.Second, func(c *Comm) {
+	_, err := RunWith(2, RunConfig{Timeout: time.Second}, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(0, 0, nil)
 		}
@@ -156,7 +192,7 @@ func TestSelfSendPanics(t *testing.T) {
 }
 
 func TestOutOfRangeSendPanics(t *testing.T) {
-	_, err := RunTimeout(2, time.Second, func(c *Comm) {
+	_, err := RunWith(2, RunConfig{Timeout: time.Second}, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(5, 0, nil)
 		}
@@ -167,7 +203,7 @@ func TestOutOfRangeSendPanics(t *testing.T) {
 }
 
 func TestDeadlockDetection(t *testing.T) {
-	_, err := RunTimeout(2, 100*time.Millisecond, func(c *Comm) {
+	_, err := RunWith(2, RunConfig{Timeout: 100 * time.Millisecond}, func(c *Comm) {
 		c.Recv(1-c.Rank(), 0) // both wait forever
 	})
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
@@ -176,13 +212,13 @@ func TestDeadlockDetection(t *testing.T) {
 }
 
 func TestRunRejectsBadP(t *testing.T) {
-	if _, err := RunTimeout(0, 0, func(c *Comm) {}); err == nil {
+	if _, err := RunWith(0, RunConfig{Timeout: 0}, func(c *Comm) {}); err == nil {
 		t.Fatal("P=0 accepted")
 	}
 }
 
 func TestCountersVisibleMidRun(t *testing.T) {
-	Run(2, func(c *Comm) {
+	mustRun(t, 2, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]float64, 5))
 			if c.SentWords() != 5 || c.SentMsgs() != 1 {
@@ -226,7 +262,7 @@ func TestManyRanksStress(t *testing.T) {
 	// A ring reduction across 64 ranks; checks no lost or duplicated
 	// messages at scale.
 	const p = 64
-	Run(p, func(c *Comm) {
+	mustRun(t, p, func(c *Comm) {
 		sum := float64(c.Rank())
 		for step := 0; step < p-1; step++ {
 			to := (c.Rank() + 1) % p
@@ -239,7 +275,7 @@ func TestManyRanksStress(t *testing.T) {
 	// The arithmetic above is intentionally loose; the real assertion is
 	// that the run completes without deadlock or loss. A strict ring
 	// all-reduce correctness test follows.
-	rep := Run(p, func(c *Comm) {
+	rep := mustRun(t, p, func(c *Comm) {
 		val := float64(c.Rank() + 1)
 		acc := val
 		cur := val
@@ -263,7 +299,7 @@ func TestManyRanksStress(t *testing.T) {
 func BenchmarkExchange(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Run(8, func(c *Comm) {
+		mustRun(b, 8, func(c *Comm) {
 			peer := c.Rank() ^ 1
 			c.Exchange(peer, 0, make([]float64, 64))
 		})

@@ -16,7 +16,7 @@ func TestInboxFloodUnbounded(t *testing.T) {
 	// complete.
 	const p = 4
 	const perSender = 5 * p // 15 msgs/sender, 45 total into rank 0 > 2P = 8
-	_, err := RunTimeout(p, 5*time.Second, func(c *Comm) {
+	_, err := RunWith(p, RunConfig{Timeout: 5 * time.Second}, func(c *Comm) {
 		if c.Rank() != 0 {
 			for i := 0; i < perSender; i++ {
 				c.Send(0, i, []float64{float64(c.Rank()), float64(i)})
@@ -86,7 +86,7 @@ func TestInboxCapDeadlockIsDiagnosed(t *testing.T) {
 func TestDeadlockErrorStructure(t *testing.T) {
 	// Mutual receive: each rank waits on the other. The error must name
 	// each blocked rank with the (peer, tag) it waits on.
-	_, err := RunTimeout(3, 50*time.Millisecond, func(c *Comm) {
+	_, err := RunWith(3, RunConfig{Timeout: 50 * time.Millisecond}, func(c *Comm) {
 		switch c.Rank() {
 		case 0:
 			c.Recv(1, 5)
@@ -127,7 +127,7 @@ func TestDeadlockErrorStructure(t *testing.T) {
 func TestDeadlockErrorReportsPendingMessages(t *testing.T) {
 	// A message delivered but never matched shows up in the blocked
 	// receiver's pending-queue diagnostics.
-	_, err := RunTimeout(2, 50*time.Millisecond, func(c *Comm) {
+	_, err := RunWith(2, RunConfig{Timeout: 50 * time.Millisecond}, func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 3, []float64{1, 2, 3, 4})
 			c.Recv(1, 0) // never sent
@@ -159,7 +159,7 @@ func TestTraceConcurrentSenders(t *testing.T) {
 	// capture each logical send exactly once (run under -race in CI).
 	const p = 8
 	var tr Trace
-	rep, err := RunTraced(p, 5*time.Second, tr.Observer(), func(c *Comm) {
+	rep, err := RunWith(p, RunConfig{Timeout: 5 * time.Second, Observer: tr.Observer()}, func(c *Comm) {
 		for to := 0; to < p; to++ {
 			if to != c.Rank() {
 				c.Send(to, c.Rank(), []float64{float64(c.Rank())})
@@ -174,9 +174,9 @@ func TestTraceConcurrentSenders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	events := tr.Events()
+	events := tr.Sends()
 	if len(events) != p*(p-1) {
-		t.Fatalf("traced %d events, want %d", len(events), p*(p-1))
+		t.Fatalf("traced %d send events, want %d", len(events), p*(p-1))
 	}
 	seen := make(map[[2]int]int)
 	for _, e := range events {
@@ -204,7 +204,7 @@ func TestExchangeMultiTagOrdering(t *testing.T) {
 	// Interleaved Exchange streams on several tags between both peers:
 	// per-(sender, tag) FIFO must hold for each direction independently.
 	const rounds = 30
-	_, err := RunTimeout(2, 5*time.Second, func(c *Comm) {
+	_, err := RunWith(2, RunConfig{Timeout: 5 * time.Second}, func(c *Comm) {
 		next := map[int]int{0: 0, 1: 0, 2: 0}
 		for i := 0; i < rounds; i++ {
 			tag := i % 3
@@ -225,7 +225,7 @@ func TestWireMetersMatchLogicalOnDirectTransport(t *testing.T) {
 	// On the perfect wire with the direct transport, every logical
 	// message is exactly one packet: wire and logical meters coincide and
 	// overhead is zero.
-	rep := Run(4, func(c *Comm) {
+	rep := mustRun(t, 4, func(c *Comm) {
 		peer := c.Rank() ^ 1
 		c.Exchange(peer, 0, make([]float64, 3+c.Rank()))
 	})

@@ -115,6 +115,9 @@ func (l *link) Deliver(pkt Packet) {
 	}
 	l.m.wireSent[l.rank].words += int64(len(pkt.Data))
 	l.m.wireSent[l.rank].msgs++
+	if l.m.wireEvents {
+		l.m.emit(l.rank, Event{Kind: EventSend, From: l.rank, To: pkt.To, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
+	}
 	l.m.boxes[pkt.To].push(pkt)
 }
 
@@ -122,6 +125,9 @@ func (l *link) Pull() Packet {
 	pkt, _ := l.m.boxes[l.rank].pull(0)
 	l.m.wireRecv[l.rank].words += int64(len(pkt.Data))
 	l.m.wireRecv[l.rank].msgs++
+	if l.m.wireEvents {
+		l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
+	}
 	return pkt
 }
 
@@ -130,6 +136,9 @@ func (l *link) PullTimeout(d time.Duration) (Packet, bool) {
 	if ok {
 		l.m.wireRecv[l.rank].words += int64(len(pkt.Data))
 		l.m.wireRecv[l.rank].msgs++
+		if l.m.wireEvents {
+			l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
+		}
 	}
 	return pkt, ok
 }

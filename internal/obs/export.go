@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+)
+
+// chromeEvent is one trace_event record in the Chrome/Perfetto JSON Array
+// Format: "X" complete events with microsecond timestamps, pid = 0 (the
+// simulated machine), tid = rank.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata record ("M" phase) naming processes/threads.
+type chromeMeta struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// WriteChromeTrace writes tl in the Chrome trace_event JSON Array Format,
+// loadable in chrome://tracing and https://ui.perfetto.dev. Each rank
+// becomes one thread row; phase spans contain the send/compute/wait
+// slices replayed inside them. Timestamps are simulated microseconds
+// under tl.Model, not wall-clock.
+func WriteChromeTrace(w io.Writer, tl *Timeline) error {
+	const usec = 1e6
+	var records []any
+	records = append(records, chromeMeta{
+		Name: "process_name", Phase: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "simulated machine"},
+	})
+	for r := 0; r < tl.P; r++ {
+		records = append(records, chromeMeta{
+			Name: "thread_name", Phase: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for r := 0; r < tl.P; r++ {
+		for _, sp := range tl.Spans[r] {
+			name := sp.Label
+			if sp.Kind != SpanPhase {
+				name = string(sp.Kind)
+			}
+			rec := chromeEvent{
+				Name: name, Cat: string(sp.Kind), Phase: "X",
+				Ts: sp.Start * usec, Dur: sp.Dur() * usec,
+				Pid: 0, Tid: r,
+			}
+			if sp.Kind != SpanPhase && sp.Label != "" {
+				rec.Args = map[string]any{"detail": sp.Label}
+			}
+			records = append(records, rec)
+		}
+	}
+	// Hand-roll the array so each record sits on its own line: diffable,
+	// and still valid trace_event JSON.
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, rec := range records {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(records)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// jsonlEvent is the stable on-disk shape of one trace event. Field names
+// are part of the tooling contract; zero-valued optional fields are
+// omitted to keep lines short.
+type jsonlEvent struct {
+	Kind    string `json:"kind"`
+	Rank    int    `json:"rank"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	Tag     int    `json:"tag,omitempty"`
+	Words   int    `json:"words,omitempty"`
+	Phase   string `json:"phase,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Seq     int64  `json:"seq"`
+	Step    int    `json:"step,omitempty"`
+	Ternary int64  `json:"ternary,omitempty"`
+	Wire    bool   `json:"wire,omitempty"`
+}
+
+var kindNames = map[machine.EventKind]string{
+	machine.EventSend:         "send",
+	machine.EventRecv:         "recv",
+	machine.EventBarrier:      "barrier",
+	machine.EventPhaseBegin:   "phase-begin",
+	machine.EventPhaseEnd:     "phase-end",
+	machine.EventLocalCompute: "local-compute",
+}
+
+var kindValues = func() map[string]machine.EventKind {
+	m := make(map[string]machine.EventKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteTraceJSONL writes the trace as one JSON object per line in
+// canonical (rank, seq) order — the flat interchange format read back by
+// ReadTraceJSONL and by cmd/sttsvtrace.
+func WriteTraceJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events {
+		je := jsonlEvent{
+			Kind: kindNames[e.Kind], Rank: e.Rank, From: e.From, To: e.To,
+			Tag: e.Tag, Words: e.Words, Phase: e.Phase, Op: e.Op,
+			Seq: e.Seq, Ternary: e.Ternary, Wire: e.Wire,
+		}
+		if e.Kind == machine.EventBarrier {
+			je.Step = e.Step + 1 // shift so generation 0 survives omitempty
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceJSONL parses a JSONL trace written by WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) (*Trace, error) {
+	var events []machine.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		kind, ok := kindValues[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("obs: trace line %d: unknown kind %q", line, je.Kind)
+		}
+		e := machine.Event{
+			Kind: kind, Rank: je.Rank, From: je.From, To: je.To,
+			Tag: je.Tag, Words: je.Words, Phase: je.Phase, Op: je.Op,
+			Seq: je.Seq, Step: -1, Ternary: je.Ternary, Wire: je.Wire,
+		}
+		if kind == machine.EventBarrier {
+			e.Step = je.Step - 1
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTrace(events), nil
+}
+
+// metricsRecord is one flat metrics line: either a per-phase or a
+// per-rank aggregate. Scope is "phase" or "rank".
+type metricsRecord struct {
+	Scope     string  `json:"scope"`
+	Phase     string  `json:"phase,omitempty"`
+	Rank      int     `json:"rank"`
+	SentWords int64   `json:"sent_words"`
+	RecvWords int64   `json:"recv_words"`
+	SentMsgs  int64   `json:"sent_msgs"`
+	RecvMsgs  int64   `json:"recv_msgs"`
+	Ternary   int64   `json:"ternary,omitempty"`
+	Steps     int     `json:"steps,omitempty"`
+	Finish    float64 `json:"finish_s,omitempty"`
+	Compute   float64 `json:"compute_s,omitempty"`
+	SendTime  float64 `json:"send_s,omitempty"`
+	Idle      float64 `json:"idle_s,omitempty"`
+	Overlap   float64 `json:"overlap_s,omitempty"`
+}
+
+// WriteMetricsJSONL writes flat per-phase-per-rank and per-rank metric
+// records derived from the trace, one JSON object per line. When tl is
+// non-nil the per-rank records also carry the replayed timeline's time
+// attribution (finish, compute, send, idle, overlap seconds).
+func WriteMetricsJSONL(w io.Writer, t *Trace, tl *Timeline) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	totals, order := t.PhaseTotals()
+	for _, label := range order {
+		pt := totals[label]
+		for r := 0; r < t.P; r++ {
+			rec := metricsRecord{
+				Scope: "phase", Phase: label, Rank: r,
+				SentWords: pt.SentWords[r], RecvWords: pt.RecvWords[r],
+				SentMsgs: pt.SentMsgs[r], RecvMsgs: pt.RecvMsgs[r],
+				Ternary: pt.Ternary[r], Steps: pt.Steps,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	rank := t.RankTotals()
+	for r := 0; r < t.P; r++ {
+		rec := metricsRecord{
+			Scope: "rank", Rank: r,
+			SentWords: rank.SentWords[r], RecvWords: rank.RecvWords[r],
+			SentMsgs: rank.SentMsgs[r], RecvMsgs: rank.RecvMsgs[r],
+			Ternary: rank.Ternary[r],
+		}
+		if tl != nil && r < tl.P {
+			rec.Finish = tl.Finish[r]
+			rec.Compute = tl.Compute[r]
+			rec.SendTime = tl.SendTime[r]
+			rec.Idle = tl.Idle(r)
+			rec.Overlap = tl.Overlap[r]
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

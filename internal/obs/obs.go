@@ -1,0 +1,233 @@
+// Package obs is the observability layer over the simulated α-β-γ
+// machine: it collects the structured trace events that machine.Comm,
+// package collective, and package parallel emit (phase markers, logical
+// and wire send/recv, barrier passings, local-compute completions),
+// aggregates them into phase-scoped meters, replays them under a
+// configurable α-β-γ time model into a per-rank timeline (critical path,
+// Gantt spans, idle/overlap attribution), and exports both raw traces and
+// derived metrics — Chrome trace_event JSON for chrome://tracing /
+// Perfetto, and flat JSONL for ad-hoc tooling.
+//
+// The layer closes the loop between the closed-form cost model
+// (internal/costmodel, internal/schedule) and measured runs: a trace of a
+// fault-free point-to-point Algorithm 5 run replays to exactly the
+// schedule's q³/2+3q²/2−1 barrier steps per phase and to the
+// Σ(α + β·maxWords) makespan of schedule.Makespan, and its logical event
+// sums reproduce the machine.Report meters bit-for-bit — per rank and per
+// phase — even when a fault plan perturbs the wire underneath (the
+// logical-vs-wire invariant of the fault layer).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Recorder is a thread-safe trace-event collector: pass Observer() as
+// machine.RunConfig.Observer. The zero value is ready to use and may be
+// reused across runs (events accumulate; call Reset between runs to
+// separate them).
+type Recorder struct {
+	mu     sync.Mutex
+	events []machine.Event
+}
+
+// Observer returns the callback to install as RunConfig.Observer.
+func (r *Recorder) Observer() func(machine.Event) {
+	return func(e machine.Event) {
+		r.mu.Lock()
+		r.events = append(r.events, e)
+		r.mu.Unlock()
+	}
+}
+
+// Reset discards every collected event.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// Trace returns the collected events as an analyzable Trace. Events are
+// sorted into the canonical order (rank, then per-rank sequence number),
+// which is deterministic for a deterministic rank program even though the
+// raw collection interleaving across ranks is not.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	events := append([]machine.Event(nil), r.events...)
+	r.mu.Unlock()
+	return NewTrace(events)
+}
+
+// Trace is an ordered set of structured run events with aggregation
+// helpers. Build one with Recorder.Trace, NewTrace, or ReadTraceJSONL.
+type Trace struct {
+	// Events holds every event in canonical (Rank, Seq) order.
+	Events []machine.Event
+	// P is the number of ranks that appear in the trace.
+	P int
+}
+
+// NewTrace canonicalizes a raw event slice into a Trace.
+func NewTrace(events []machine.Event) *Trace {
+	cp := append([]machine.Event(nil), events...)
+	sort.SliceStable(cp, func(i, j int) bool {
+		if cp[i].Rank != cp[j].Rank {
+			return cp[i].Rank < cp[j].Rank
+		}
+		return cp[i].Seq < cp[j].Seq
+	})
+	p := 0
+	for _, e := range cp {
+		if e.Rank+1 > p {
+			p = e.Rank + 1
+		}
+	}
+	return &Trace{Events: cp, P: p}
+}
+
+// PerRank splits the trace into per-rank event sequences (index = rank),
+// each in emission order.
+func (t *Trace) PerRank() [][]machine.Event {
+	out := make([][]machine.Event, t.P)
+	for _, e := range t.Events {
+		out[e.Rank] = append(out[e.Rank], e)
+	}
+	return out
+}
+
+// Logical returns the trace restricted to logical events (Wire == false).
+func (t *Trace) Logical() *Trace {
+	var out []machine.Event
+	for _, e := range t.Events {
+		if !e.Wire {
+			out = append(out, e)
+		}
+	}
+	return &Trace{Events: out, P: t.P}
+}
+
+// PhaseTotals aggregates one phase label's traffic across the whole
+// trace: per-rank logical words/messages sent and received, barrier step
+// count, and ternary multiplications. The same shape is produced for wire
+// events by WireTotals.
+type PhaseTotals struct {
+	Label     string
+	SentWords []int64
+	RecvWords []int64
+	SentMsgs  []int64
+	RecvMsgs  []int64
+	Ternary   []int64
+	// Steps counts the distinct barrier generations passed inside the
+	// phase (the §7.2 step count for a scheduled phase).
+	Steps int
+}
+
+// newPhaseTotals allocates zeroed per-rank slices.
+func newPhaseTotals(label string, p int) *PhaseTotals {
+	return &PhaseTotals{
+		Label:     label,
+		SentWords: make([]int64, p),
+		RecvWords: make([]int64, p),
+		SentMsgs:  make([]int64, p),
+		RecvMsgs:  make([]int64, p),
+		Ternary:   make([]int64, p),
+	}
+}
+
+// accumulate folds one event into the totals.
+func (pt *PhaseTotals) accumulate(e machine.Event, steps map[int]bool) {
+	switch e.Kind {
+	case machine.EventSend:
+		pt.SentWords[e.Rank] += int64(e.Words)
+		pt.SentMsgs[e.Rank]++
+	case machine.EventRecv:
+		pt.RecvWords[e.Rank] += int64(e.Words)
+		pt.RecvMsgs[e.Rank]++
+	case machine.EventBarrier:
+		steps[e.Step] = true
+	case machine.EventLocalCompute:
+		pt.Ternary[e.Rank] += e.Ternary
+	}
+}
+
+// totalsOf aggregates events passing the filter, grouped by phase label.
+func (t *Trace) totalsOf(wire bool) (map[string]*PhaseTotals, []string) {
+	totals := make(map[string]*PhaseTotals)
+	steps := make(map[string]map[int]bool)
+	var order []string
+	for _, e := range t.Events {
+		if e.Wire != wire {
+			continue
+		}
+		pt, ok := totals[e.Phase]
+		if !ok {
+			pt = newPhaseTotals(e.Phase, t.P)
+			totals[e.Phase] = pt
+			steps[e.Phase] = make(map[int]bool)
+			order = append(order, e.Phase)
+		}
+		pt.accumulate(e, steps[e.Phase])
+	}
+	for label, pt := range totals {
+		pt.Steps = len(steps[label])
+	}
+	return totals, order
+}
+
+// PhaseTotals aggregates the logical events by phase label (the label ""
+// collects events outside any phase). The second return value lists the
+// labels in first-appearance order.
+func (t *Trace) PhaseTotals() (map[string]*PhaseTotals, []string) {
+	return t.totalsOf(false)
+}
+
+// WireTotals aggregates the wire events by phase label; empty unless the
+// run was configured with RunConfig.WireEvents.
+func (t *Trace) WireTotals() (map[string]*PhaseTotals, []string) {
+	return t.totalsOf(true)
+}
+
+// RankTotals sums the logical trace per rank across all phases, in the
+// shape of a machine.Report's logical meters.
+func (t *Trace) RankTotals() *PhaseTotals {
+	out := newPhaseTotals("", t.P)
+	steps := make(map[int]bool)
+	for _, e := range t.Events {
+		if e.Wire {
+			continue
+		}
+		out.accumulate(e, steps)
+	}
+	out.Steps = len(steps)
+	return out
+}
+
+// CheckAgainstReport verifies the trace-conformance invariant: the summed
+// logical trace events equal the report's logical meters exactly, per
+// rank. A mismatch means the event stream and the counters disagree about
+// the run — the one thing an observability layer must never do.
+func (t *Trace) CheckAgainstReport(rep *machine.Report) error {
+	if t.P > rep.P {
+		return fmt.Errorf("obs: trace has %d ranks, report %d", t.P, rep.P)
+	}
+	tot := t.RankTotals()
+	for r := 0; r < rep.P; r++ {
+		var sw, rw, sm, rm int64
+		if r < t.P {
+			sw, rw, sm, rm = tot.SentWords[r], tot.RecvWords[r], tot.SentMsgs[r], tot.RecvMsgs[r]
+		}
+		if sw != rep.SentWords[r] || sm != rep.SentMsgs[r] {
+			return fmt.Errorf("obs: rank %d sent %dw/%dm in trace, %dw/%dm in report",
+				r, sw, sm, rep.SentWords[r], rep.SentMsgs[r])
+		}
+		if rw != rep.RecvWords[r] || rm != rep.RecvMsgs[r] {
+			return fmt.Errorf("obs: rank %d recv %dw/%dm in trace, %dw/%dm in report",
+				r, rw, rm, rep.RecvWords[r], rep.RecvMsgs[r])
+		}
+	}
+	return nil
+}

@@ -43,8 +43,8 @@ func RunRowBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.Run
 		bounds[r] = r * n / p
 	}
 
-	ternary := make([]int64, p)
 	finalY := make([][]float64, p)
+	pr := newPhaseRecorder(p, "all-gather", "local", "reduce-scatter")
 
 	report, err := machine.RunWith(p, cfg, func(c *machine.Comm) {
 		me := c.Rank()
@@ -52,7 +52,8 @@ func RunRowBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.Run
 
 		// All-gather x: every rank contributes its owned range.
 		world := collective.World(c)
-		pieces := world.AllGatherV(1, x[lo:hi])
+		var pieces [][]float64
+		pr.comm(c, "all-gather", func() { pieces = world.AllGatherV(1, x[lo:hi]) })
 		xs := make([]float64, 0, n)
 		for _, piece := range pieces {
 			xs = append(xs, piece...)
@@ -61,41 +62,43 @@ func RunRowBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.Run
 		// Local compute over owned packed rows (the Algorithm 4 update
 		// rules restricted to leading index i in [lo, hi)).
 		partial := make([]float64, n)
-		var count int64
-		for i := lo; i < hi; i++ {
-			xi := xs[i]
-			for j := 0; j < i; j++ {
-				xj := xs[j]
-				for k := 0; k < j; k++ {
-					v := a.At(i, j, k)
-					xk := xs[k]
-					partial[i] += 2 * v * xj * xk
-					partial[j] += 2 * v * xi * xk
-					partial[k] += 2 * v * xi * xj
+		pr.local(c, "local", func() int64 {
+			var count int64
+			for i := lo; i < hi; i++ {
+				xi := xs[i]
+				for j := 0; j < i; j++ {
+					xj := xs[j]
+					for k := 0; k < j; k++ {
+						v := a.At(i, j, k)
+						xk := xs[k]
+						partial[i] += 2 * v * xj * xk
+						partial[j] += 2 * v * xi * xk
+						partial[k] += 2 * v * xi * xj
+					}
+					count += 3 * int64(j)
+					v := a.At(i, j, j)
+					partial[i] += v * xj * xj
+					partial[j] += 2 * v * xi * xj
+					count += 2
 				}
-				count += 3 * int64(j)
-				v := a.At(i, j, j)
-				partial[i] += v * xj * xj
-				partial[j] += 2 * v * xi * xj
-				count += 2
+				for k := 0; k < i; k++ {
+					v := a.At(i, i, k)
+					partial[i] += 2 * v * xi * xs[k]
+					partial[k] += v * xi * xi
+				}
+				count += 2 * int64(i)
+				partial[i] += a.At(i, i, i) * xi * xi
+				count++
 			}
-			for k := 0; k < i; k++ {
-				v := a.At(i, i, k)
-				partial[i] += 2 * v * xi * xs[k]
-				partial[k] += v * xi * xi
-			}
-			count += 2 * int64(i)
-			partial[i] += a.At(i, i, i) * xi * xi
-			count++
-		}
-		ternary[me] = count
+			return count
+		})
 
 		// Reduce-scatter the partials to the row owners.
 		contrib := make([][]float64, p)
 		for r := 0; r < p; r++ {
 			contrib[r] = partial[bounds[r]:bounds[r+1]]
 		}
-		finalY[me] = world.ReduceScatterSum(2, contrib)
+		pr.comm(c, "reduce-scatter", func() { finalY[me] = world.ReduceScatterSum(2, contrib) })
 	})
 	if err != nil {
 		return nil, err
@@ -105,10 +108,13 @@ func RunRowBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.Run
 	for r := 0; r < p; r++ {
 		copy(y[bounds[r]:bounds[r+1]], finalY[r])
 	}
+	pr.meter("all-gather").Steps = p - 1
+	pr.meter("reduce-scatter").Steps = p - 1
 	return &Result{
 		Y:       y,
 		Report:  report,
-		Ternary: ternary,
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
 		Steps:   2 * (p - 1),
 	}, nil
 }
@@ -145,13 +151,15 @@ func RunSequenceBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machin
 	}
 
 	finalY := make([][]float64, p)
+	pr := newPhaseRecorder(p, "all-gather", "local")
 	report, err := machine.RunWith(p, cfg, func(c *machine.Comm) {
 		me := c.Rank()
 		lo, hi := bounds[me], bounds[me+1]
 
 		// All-gather x — the only communication of the approach.
 		world := collective.World(c)
-		pieces := world.AllGatherV(1, x[lo:hi])
+		var pieces [][]float64
+		pr.comm(c, "all-gather", func() { pieces = world.AllGatherV(1, x[lo:hi]) })
 		xs := make([]float64, 0, n)
 		for _, piece := range pieces {
 			xs = append(xs, piece...)
@@ -159,21 +167,26 @@ func RunSequenceBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machin
 
 		// M[i, j] = Σ_k a_ijk x_k for owned rows, then y_i = Σ_j M[i,j] x_j.
 		y := make([]float64, hi-lo)
-		mrow := make([]float64, n)
-		for i := lo; i < hi; i++ {
-			for j := 0; j < n; j++ {
-				s := 0.0
-				for k := 0; k < n; k++ {
-					s += a.At(i, j, k) * xs[k]
+		pr.local(c, "local", func() int64 {
+			mrow := make([]float64, n)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for k := 0; k < n; k++ {
+						s += a.At(i, j, k) * xs[k]
+					}
+					mrow[j] = s
 				}
-				mrow[j] = s
+				acc := 0.0
+				for j := 0; j < n; j++ {
+					acc += mrow[j] * xs[j]
+				}
+				y[i-lo] = acc
 			}
-			acc := 0.0
-			for j := 0; j < n; j++ {
-				acc += mrow[j] * xs[j]
-			}
-			y[i-lo] = acc
-		}
+			// The dense two-step product performs ~2n³/P multiply pairs per
+			// rank; report the ternary-equivalent a·x·x count for the slab.
+			return int64(hi-lo) * int64(n) * int64(n)
+		})
 		finalY[me] = y
 	})
 	if err != nil {
@@ -184,9 +197,12 @@ func RunSequenceBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machin
 	for r := 0; r < p; r++ {
 		copy(y[bounds[r]:bounds[r+1]], finalY[r])
 	}
+	pr.meter("all-gather").Steps = p - 1
 	return &Result{
-		Y:      y,
-		Report: report,
-		Steps:  p - 1,
+		Y:       y,
+		Report:  report,
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
+		Steps:   p - 1,
 	}, nil
 }

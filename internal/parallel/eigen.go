@@ -7,6 +7,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/machine"
 	"repro/internal/schedule"
+	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
 
@@ -34,6 +35,20 @@ type EigenResult struct {
 	// Report carries the communication meters for the whole run, all
 	// iterations included.
 	Report *machine.Report
+	// Phases carries the per-phase meters summed over all iterations:
+	// "gather", "local", "reduce-scatter", "all-reduce". Steps on the two
+	// exchange meters is the per-iteration schedule length.
+	Phases []PhaseMeter
+}
+
+// Phase returns the meter with the given label, or nil.
+func (r *EigenResult) Phase(label string) *PhaseMeter {
+	for i := range r.Phases {
+		if r.Phases[i].Label == label {
+			return &r.Phases[i]
+		}
+	}
+	return nil
 }
 
 // RunPowerMethod executes Algorithm 1 entirely on the simulated machine:
@@ -104,6 +119,7 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 	iters := make([]int, part.P)
 	converged := make([]bool, part.P)
 	finalChunks := make([]map[int][]float64, part.P)
+	pr := newPhaseRecorder(part.P, "gather", "local", "reduce-scatter", "all-reduce")
 
 	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
 		me := c.Rank()
@@ -129,19 +145,21 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 				copy(row[lo:], xChunk[i])
 				xRows[i] = row
 			}
-			runScheduledPhase(c, plans[me], 100, func(peer int, rows []int) []float64 {
-				var payload []float64
-				for _, row := range rows {
-					payload = append(payload, xChunk[row]...)
-				}
-				return payload
-			}, func(peer int, rows []int, payload []float64) {
-				pos := 0
-				for _, row := range rows {
-					lo, hi, _ := part.OwnedRange(peer, row, b)
-					copy(xRows[row][lo:hi], payload[pos:pos+hi-lo])
-					pos += hi - lo
-				}
+			pr.comm(c, "gather", func() {
+				runScheduledPhase(c, plans[me], 100, func(peer int, rows []int) []float64 {
+					var payload []float64
+					for _, row := range rows {
+						payload = append(payload, xChunk[row]...)
+					}
+					return payload
+				}, func(peer int, rows []int, payload []float64) {
+					pos := 0
+					for _, row := range rows {
+						lo, hi, _ := part.OwnedRange(peer, row, b)
+						copy(xRows[row][lo:hi], payload[pos:pos+hi-lo])
+						pos += hi - lo
+					}
+				})
 			})
 
 			// Local STTSV contributions.
@@ -149,28 +167,34 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 			for _, i := range myRows {
 				yRows[i] = make([]float64, b)
 			}
-			exec.Contribute(blocks.Rank(me), b,
-				func(i int) []float64 { return xRows[i] },
-				func(i int) []float64 { return yRows[i] }, nil)
+			pr.local(c, "local", func() int64 {
+				var st sttsv.Stats
+				exec.Contribute(blocks.Rank(me), b,
+					func(i int) []float64 { return xRows[i] },
+					func(i int) []float64 { return yRows[i] }, &st)
+				return st.TernaryMults
+			})
 
 			// Reduce partial y into owned chunks.
-			runScheduledPhase(c, plans[me], 200, func(peer int, rows []int) []float64 {
-				var payload []float64
-				for _, row := range rows {
-					lo, hi, _ := part.OwnedRange(peer, row, b)
-					payload = append(payload, yRows[row][lo:hi]...)
-				}
-				return payload
-			}, func(peer int, rows []int, payload []float64) {
-				pos := 0
-				for _, row := range rows {
-					lo, hi, _ := part.OwnedRange(me, row, b)
-					dst := yRows[row]
-					for t := lo; t < hi; t++ {
-						dst[t] += payload[pos]
-						pos++
+			pr.comm(c, "reduce-scatter", func() {
+				runScheduledPhase(c, plans[me], 200, func(peer int, rows []int) []float64 {
+					var payload []float64
+					for _, row := range rows {
+						lo, hi, _ := part.OwnedRange(peer, row, b)
+						payload = append(payload, yRows[row][lo:hi]...)
 					}
-				}
+					return payload
+				}, func(peer int, rows []int, payload []float64) {
+					pos := 0
+					for _, row := range rows {
+						lo, hi, _ := part.OwnedRange(me, row, b)
+						dst := yRows[row]
+						for t := lo; t < hi; t++ {
+							dst[t] += payload[pos]
+							pos++
+						}
+					}
+				})
 			})
 
 			// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
@@ -184,7 +208,8 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 					partial[1] += yc[t] * yc[t]
 				}
 			}
-			sums := world.AllReduceSum(300, partial)
+			var sums []float64
+			pr.comm(c, "all-reduce", func() { sums = world.AllReduceSum(300, partial) })
 			lambda = sums[0]
 			ynorm := math.Sqrt(sums[1])
 
@@ -221,11 +246,14 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 	}
 
 	// All ranks agree (they all see the same all-reduced scalars).
+	pr.meter("gather").Steps = sched.NumSteps()
+	pr.meter("reduce-scatter").Steps = sched.NumSteps()
 	res := &EigenResult{
 		Lambda:     lambdas[0],
 		Iterations: iters[0],
 		Converged:  converged[0],
 		Report:     report,
+		Phases:     pr.results(),
 	}
 	xp := make([]float64, padded)
 	for i := 0; i < part.M; i++ {

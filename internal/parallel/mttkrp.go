@@ -87,9 +87,7 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 	}
 
 	finalChunks := make([]map[int][][]float64, part.P) // rank -> row -> per-column chunk
-	gatherSent := make([]int64, part.P)
-	scatterSent := make([]int64, part.P)
-	ternary := make([]int64, part.P)
+	pr := newPhaseRecorder(part.P, "gather", "local", "reduce-scatter")
 
 	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
 		me := c.Rank()
@@ -129,13 +127,14 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 				}
 			}
 		}
-		switch opts.Wiring {
-		case WiringP2P:
-			runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
-		case WiringAllToAll:
-			runAllToAllPhase(c, part, 1, widthAllToAll(part, b, r), gatherPack, gatherUnpack)
-		}
-		gatherSent[me] = c.SentWords()
+		pr.comm(c, "gather", func() {
+			switch opts.Wiring {
+			case WiringP2P:
+				runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
+			case WiringAllToAll:
+				runAllToAllPhase(c, part, 1, widthAllToAll(part, b, r), gatherPack, gatherUnpack)
+			}
+		})
 
 		// Local compute: one BlockContribute per (block, column).
 		yRows := make(map[int][][]float64, len(myRows))
@@ -146,13 +145,15 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 			}
 			yRows[i] = perCol
 		}
-		var st sttsv.Stats
-		for l := 0; l < r; l++ {
-			exec.Contribute(blocks.Rank(me), b,
-				func(i int) []float64 { return xRows[i][l] },
-				func(i int) []float64 { return yRows[i][l] }, &st)
-		}
-		ternary[me] = st.TernaryMults
+		pr.local(c, "local", func() int64 {
+			var st sttsv.Stats
+			for l := 0; l < r; l++ {
+				exec.Contribute(blocks.Rank(me), b,
+					func(i int) []float64 { return xRows[i][l] },
+					func(i int) []float64 { return yRows[i][l] }, &st)
+			}
+			return st.TernaryMults
+		})
 
 		scatterPack := func(peer int, rows []int) []float64 {
 			var payload []float64
@@ -177,13 +178,14 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 				}
 			}
 		}
-		switch opts.Wiring {
-		case WiringP2P:
-			runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
-		case WiringAllToAll:
-			runAllToAllPhase(c, part, 2, widthAllToAll(part, b, r), scatterPack, scatterUnpack)
-		}
-		scatterSent[me] = c.SentWords() - gatherSent[me]
+		pr.comm(c, "reduce-scatter", func() {
+			switch opts.Wiring {
+			case WiringP2P:
+				runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
+			case WiringAllToAll:
+				runAllToAllPhase(c, part, 2, widthAllToAll(part, b, r), scatterPack, scatterUnpack)
+			}
+		})
 
 		chunks := make(map[int][][]float64, len(myRows))
 		for _, i := range myRows {
@@ -215,12 +217,13 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 		}
 	}
 
+	pr.meter("gather").Steps = steps
+	pr.meter("reduce-scatter").Steps = steps
 	res := &Result{
-		Report:           report,
-		GatherSentWords:  gatherSent,
-		ScatterSentWords: scatterSent,
-		Ternary:          ternary,
-		Steps:            steps,
+		Report:  report,
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
+		Steps:   steps,
 	}
 	return y, res, nil
 }

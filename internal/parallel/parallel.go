@@ -107,15 +107,29 @@ type Result struct {
 	Y []float64
 	// Report carries the per-rank communication meters for the whole run.
 	Report *machine.Report
-	// GatherSentWords and ScatterSentWords split each rank's sent words
-	// between the two communication phases.
-	GatherSentWords  []int64
-	ScatterSentWords []int64
+	// Phases carries one labeled meter per algorithm phase in execution
+	// order — "gather", "local", "reduce-scatter" for Algorithm 5 runs;
+	// the baselines use collective labels ("all-gather", …). Each meter
+	// splits the run's traffic, compute and step count by phase; the sums
+	// over phases equal the Report's logical meters. (This replaces the
+	// former GatherSentWords/ScatterSentWords pair.)
+	Phases []PhaseMeter
 	// Ternary counts ternary multiplications per rank.
 	Ternary []int64
-	// Steps is the number of communication steps per phase (schedule
-	// length for WiringP2P, P−1 for WiringAllToAll).
+	// Steps is the number of communication steps per exchange phase
+	// (schedule length for WiringP2P, P−1 for WiringAllToAll).
 	Steps int
+}
+
+// Phase returns the meter with the given label, or nil if the run had no
+// such phase.
+func (r *Result) Phase(label string) *PhaseMeter {
+	for i := range r.Phases {
+		if r.Phases[i].Label == label {
+			return &r.Phases[i]
+		}
+	}
+	return nil
 }
 
 // plannedTransfer is one rank's role in a schedule step.
@@ -176,9 +190,7 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 
 	// Shared result buffers, one writer per slot.
 	finalChunks := make([]map[int][]float64, part.P) // per rank: row -> owned chunk values
-	gatherSent := make([]int64, part.P)
-	scatterSent := make([]int64, part.P)
-	ternary := make([]int64, part.P)
+	pr := newPhaseRecorder(part.P, "gather", "local", "reduce-scatter")
 
 	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
 		me := c.Rank()
@@ -210,26 +222,27 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 				pos += hi - lo
 			}
 		}
-		switch opts.Wiring {
-		case WiringP2P:
-			runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
-		case WiringAllToAll:
-			runAllToAllPhase(c, part, 1, widthAllToAll(part, b, 1), gatherPack, gatherUnpack)
-		}
-
-		// Phase 2 boundary bookkeeping.
-		gatherSent[me] = c.SentWords()
+		pr.comm(c, "gather", func() {
+			switch opts.Wiring {
+			case WiringP2P:
+				runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
+			case WiringAllToAll:
+				runAllToAllPhase(c, part, 1, widthAllToAll(part, b, 1), gatherPack, gatherUnpack)
+			}
+		})
 
 		// Local computation: partial contributions to full y row blocks.
 		yRows := make(map[int][]float64, len(myRows))
 		for _, i := range myRows {
 			yRows[i] = make([]float64, b)
 		}
-		var st sttsv.Stats
-		exec.Contribute(blocks.Rank(me), b,
-			func(i int) []float64 { return xRows[i] },
-			func(i int) []float64 { return yRows[i] }, &st)
-		ternary[me] = st.TernaryMults
+		pr.local(c, "local", func() int64 {
+			var st sttsv.Stats
+			exec.Contribute(blocks.Rank(me), b,
+				func(i int) []float64 { return xRows[i] },
+				func(i int) []float64 { return yRows[i] }, &st)
+			return st.TernaryMults
+		})
 
 		// Phase 2: exchange partial y chunks and reduce into the owned
 		// chunk. The sender transmits the *receiver's* chunk of its
@@ -253,13 +266,14 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 				}
 			}
 		}
-		switch opts.Wiring {
-		case WiringP2P:
-			runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
-		case WiringAllToAll:
-			runAllToAllPhase(c, part, 2, widthAllToAll(part, b, 1), scatterPack, scatterUnpack)
-		}
-		scatterSent[me] = c.SentWords() - gatherSent[me]
+		pr.comm(c, "reduce-scatter", func() {
+			switch opts.Wiring {
+			case WiringP2P:
+				runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
+			case WiringAllToAll:
+				runAllToAllPhase(c, part, 2, widthAllToAll(part, b, 1), scatterPack, scatterUnpack)
+			}
+		})
 
 		// Publish the final owned chunks.
 		chunks := make(map[int][]float64, len(myRows))
@@ -286,13 +300,14 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 		}
 	}
 
+	pr.meter("gather").Steps = steps
+	pr.meter("reduce-scatter").Steps = steps
 	return &Result{
-		Y:                yp[:n],
-		Report:           report,
-		GatherSentWords:  gatherSent,
-		ScatterSentWords: scatterSent,
-		Ternary:          ternary,
-		Steps:            steps,
+		Y:       yp[:n],
+		Report:  report,
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
+		Steps:   steps,
 	}, nil
 }
 

@@ -111,12 +111,16 @@ func TestAlg5CommMatchesTheoremExactly(t *testing.T) {
 			t.Fatal(err)
 		}
 		perVector := int64(n*(q+1)/(q*q+1) - n/part.P)
+		gather, scatter := res.Phase("gather"), res.Phase("reduce-scatter")
+		if gather == nil || scatter == nil {
+			t.Fatalf("q=%d: missing phase meters: %+v", q, res.Phases)
+		}
 		for r := 0; r < part.P; r++ {
-			if res.GatherSentWords[r] != perVector {
-				t.Fatalf("q=%d rank %d: gather sent %d, want %d", q, r, res.GatherSentWords[r], perVector)
+			if gather.SentWords[r] != perVector {
+				t.Fatalf("q=%d rank %d: gather sent %d, want %d", q, r, gather.SentWords[r], perVector)
 			}
-			if res.ScatterSentWords[r] != perVector {
-				t.Fatalf("q=%d rank %d: scatter sent %d, want %d", q, r, res.ScatterSentWords[r], perVector)
+			if scatter.SentWords[r] != perVector {
+				t.Fatalf("q=%d rank %d: scatter sent %d, want %d", q, r, scatter.SentWords[r], perVector)
 			}
 			if res.Report.RecvWords[r] != 2*perVector {
 				t.Fatalf("q=%d rank %d: received %d, want %d", q, r, res.Report.RecvWords[r], 2*perVector)
@@ -142,12 +146,13 @@ func TestAlg5AllToAllCostsTwice(t *testing.T) {
 			t.Fatal(err)
 		}
 		perVector := int64(2 * b / (q * (q + 1)) * (part.P - 1))
+		gather, scatter := res.Phase("gather"), res.Phase("reduce-scatter")
 		for r := 0; r < part.P; r++ {
-			if res.GatherSentWords[r] != perVector {
-				t.Fatalf("q=%d rank %d: gather sent %d, want %d", q, r, res.GatherSentWords[r], perVector)
+			if gather.SentWords[r] != perVector {
+				t.Fatalf("q=%d rank %d: gather sent %d, want %d", q, r, gather.SentWords[r], perVector)
 			}
 		}
-		total := float64(res.GatherSentWords[0] + res.ScatterSentWords[0])
+		total := float64(gather.SentWords[0] + scatter.SentWords[0])
 		if want := costmodel.AllToAllWords(n, q); math.Abs(total-want) > 1e-9 {
 			t.Fatalf("q=%d: measured %g vs model %g", q, total, want)
 		}
