@@ -8,11 +8,21 @@
 // is two multiplies plus one add on the critical path, so GFLOP/s is
 // reported with the documented convention of 3 flops per ternary op.
 //
+// The -parallel flag switches to the session-engine benchmark instead: a
+// fixed-length distributed power method measured once with a machine
+// relaunch per application (per-call Run) and once over a resident
+// parallel.Session, plus the multi-column batch amortization sweep. It
+// writes BENCH_parallel.json; with -check it compares the measured
+// session speedup against a committed baseline and fails on a >20%
+// regression (see cmd/sttsvbench/parallel.go).
+//
 // Usage:
 //
 //	sttsvbench                      # full sweep, writes BENCH_kernels.json
 //	sttsvbench -out bench.json      # alternate output path
 //	sttsvbench -benchtime 2s        # longer per-measurement budget
+//	sttsvbench -parallel            # session engine, writes BENCH_parallel.json
+//	sttsvbench -parallel -check BENCH_parallel.json   # regression gate
 package main
 
 import (
@@ -121,9 +131,21 @@ func nsPerOp(r testing.BenchmarkResult) float64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_kernels.json", "output JSON path")
+	out := flag.String("out", "", "output JSON path (default BENCH_kernels.json, or BENCH_parallel.json with -parallel)")
 	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "per-measurement budget")
+	parallelMode := flag.Bool("parallel", false, "benchmark the session engine instead of the local kernels")
+	check := flag.String("check", "", "with -parallel: compare against this baseline JSON and fail on >20% regression instead of writing output")
 	flag.Parse()
+	if *parallelMode {
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+		runParallelBench(*out, *check)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_kernels.json"
+	}
 	// testing.Benchmark honours the package-level -test.benchtime flag;
 	// register the testing flags and set it so the tool is self-contained.
 	testing.Init()

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// The -parallel mode benchmarks the session engine against per-call Run:
+// a fixed-length power method driven from the host, once with a machine
+// relaunch per application (the pre-session usage pattern) and once over a
+// resident Session. Both loops perform identical arithmetic and identical
+// simulated communication; the difference is pure engine overhead —
+// goroutine launch, plan rebuild, and per-application allocation.
+
+type parallelConfig struct {
+	Q     int `json:"q"`
+	P     int `json:"p"`
+	M     int `json:"m"`
+	B     int `json:"b"`
+	N     int `json:"n"`
+	Iters int `json:"iters"`
+}
+
+type powerMethodBench struct {
+	// PerCall: each iteration calls parallel.Run (machine relaunch per
+	// application, pre-packed blocks).
+	PerCallNsPerIter   float64 `json:"percall_ns_per_iter"`
+	PerCallItersPerSec float64 `json:"percall_iters_per_sec"`
+	// Session: identical host-driven loop over one resident Session.
+	SessionNsPerIter   float64 `json:"session_ns_per_iter"`
+	SessionItersPerSec float64 `json:"session_iters_per_sec"`
+	// SessionSpeedup = session iters/sec ÷ per-call iters/sec.
+	SessionSpeedup float64 `json:"session_speedup"`
+	// Resident: Session.PowerMethod — the whole iteration loop as one
+	// resident operation (convergence control via scalar all-reduce).
+	ResidentIters       int     `json:"resident_iters"`
+	ResidentNsPerIter   float64 `json:"resident_ns_per_iter"`
+	ResidentItersPerSec float64 `json:"resident_iters_per_sec"`
+}
+
+type batchBench struct {
+	Cols        int     `json:"cols"`
+	NsPerApply  float64 `json:"ns_per_apply"`
+	NsPerCol    float64 `json:"ns_per_col"`
+	MsgsPerCol  float64 `json:"msgs_per_col"`  // gather messages ÷ cols (rank 0)
+	WordsPerCol int64   `json:"words_per_col"` // gather words ÷ cols (rank 0)
+	SpeedupVs1  float64 `json:"speedup_vs_cols1,omitempty"`
+}
+
+type parallelReport struct {
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Timestamp   string           `json:"timestamp"`
+	Config      parallelConfig   `json:"config"`
+	PowerMethod powerMethodBench `json:"power_method"`
+	Batch       []batchBench     `json:"batch"`
+}
+
+// normalizeInto writes x/‖y‖ for the next iteration; the per-call and
+// session loops share it so their host-side work is identical.
+func normalizeInto(x, y []float64) {
+	var nrm float64
+	for _, v := range y {
+		nrm += v * v
+	}
+	nrm = math.Sqrt(nrm)
+	if nrm == 0 {
+		nrm = 1
+	}
+	for i, v := range y {
+		x[i] = v / nrm
+	}
+}
+
+func runParallelBench(out, check string) {
+	const (
+		q     = 4
+		b     = 6
+		iters = 100
+	)
+	part, err := partition.NewSpherical(q)
+	if err != nil {
+		fatal(err)
+	}
+	n := part.M * b
+	rng := rand.New(rand.NewSource(2026))
+	a := tensor.Random(n, rng)
+	opts := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	// Pre-pack the block sets so the per-call loop is measured at its best:
+	// the speedup quoted below is engine overhead, not tensor re-extraction.
+	blocks, err := parallel.PackRankBlocks(a, part, b)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Blocks = blocks
+
+	rep := parallelReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Config:     parallelConfig{Q: q, P: part.P, M: part.M, B: b, N: n, Iters: iters},
+	}
+	fmt.Printf("sttsvbench -parallel: q=%d (P=%d, m=%d), b=%d, n=%d, %d power iterations\n",
+		q, part.P, part.M, b, n, iters)
+
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = math.Sin(float64(i+1) * 1.7)
+	}
+	normalizeInto(x0, x0)
+
+	// Each loop runs reps times and the fastest repetition is kept: the
+	// simulated machine's wall time is scheduler-noisy, and min-of-reps is
+	// the standard way to expose the deterministic cost underneath.
+	const reps = 3
+	x := make([]float64, n)
+	minOf := func(loop func()) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			copy(x, x0)
+			start := time.Now()
+			loop()
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	// --- per-call Run: machine relaunch every application ---
+	copy(x, x0)
+	if _, err := parallel.Run(a, x, opts); err != nil { // warm-up
+		fatal(err)
+	}
+	perCall := minOf(func() {
+		for it := 0; it < iters; it++ {
+			res, err := parallel.Run(a, x, opts)
+			if err != nil {
+				fatal(err)
+			}
+			normalizeInto(x, res.Y)
+		}
+	})
+
+	// --- same loop over one resident session ---
+	s, err := parallel.OpenSession(a, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	copy(x, x0)
+	if _, err := s.Apply(x); err != nil { // warm-up
+		fatal(err)
+	}
+	session := minOf(func() {
+		for it := 0; it < iters; it++ {
+			res, err := s.Apply(x)
+			if err != nil {
+				fatal(err)
+			}
+			normalizeInto(x, res.Y)
+		}
+	})
+
+	// --- Session.PowerMethod: the loop resident on the machine ---
+	var er *parallel.EigenResult
+	resident := minOf(func() {
+		if er, err = s.PowerMethod(parallel.PowerOptions{MaxIter: iters, Tol: 1e-300}); err != nil {
+			fatal(err)
+		}
+	})
+
+	pm := &rep.PowerMethod
+	pm.PerCallNsPerIter = float64(perCall.Nanoseconds()) / iters
+	pm.PerCallItersPerSec = iters / perCall.Seconds()
+	pm.SessionNsPerIter = float64(session.Nanoseconds()) / iters
+	pm.SessionItersPerSec = iters / session.Seconds()
+	pm.SessionSpeedup = pm.SessionItersPerSec / pm.PerCallItersPerSec
+	pm.ResidentIters = er.Iterations
+	pm.ResidentNsPerIter = float64(resident.Nanoseconds()) / float64(er.Iterations)
+	pm.ResidentItersPerSec = float64(er.Iterations) / resident.Seconds()
+	fmt.Printf("  per-call Run   %10.0f ns/iter  %8.1f iters/s\n", pm.PerCallNsPerIter, pm.PerCallItersPerSec)
+	fmt.Printf("  session Apply  %10.0f ns/iter  %8.1f iters/s  %.2fx vs per-call\n",
+		pm.SessionNsPerIter, pm.SessionItersPerSec, pm.SessionSpeedup)
+	fmt.Printf("  resident loop  %10.0f ns/iter  %8.1f iters/s  (%d iters)\n",
+		pm.ResidentNsPerIter, pm.ResidentItersPerSec, pm.ResidentIters)
+
+	// --- batch amortization: one schedule, r columns per message ---
+	const batchApplies = 30
+	var ns1 float64
+	for _, cols := range []int{1, 2, 4, 8} {
+		X := make([][]float64, cols)
+		for l := range X {
+			X[l] = append([]float64(nil), x0...)
+		}
+		if _, err := s.ApplyBatch(X); err != nil { // warm-up (grows arenas)
+			fatal(err)
+		}
+		start := time.Now()
+		var gatherMsgs, gatherWords int64
+		for i := 0; i < batchApplies; i++ {
+			br, err := s.ApplyBatch(X)
+			if err != nil {
+				fatal(err)
+			}
+			gatherMsgs, gatherWords = br.Phases[0].SentMsgs[0], br.Phases[0].SentWords[0]
+		}
+		el := time.Since(start)
+		r := batchBench{
+			Cols:        cols,
+			NsPerApply:  float64(el.Nanoseconds()) / batchApplies,
+			NsPerCol:    float64(el.Nanoseconds()) / (batchApplies * float64(cols)),
+			MsgsPerCol:  float64(gatherMsgs) / float64(cols),
+			WordsPerCol: gatherWords / int64(cols),
+		}
+		if cols == 1 {
+			ns1 = r.NsPerCol
+		} else if r.NsPerCol > 0 {
+			r.SpeedupVs1 = ns1 / r.NsPerCol
+		}
+		rep.Batch = append(rep.Batch, r)
+		fmt.Printf("  batch cols=%d   %10.0f ns/col   gather %5.1f msgs/col %5d words/col",
+			cols, r.NsPerCol, r.MsgsPerCol, r.WordsPerCol)
+		if r.SpeedupVs1 != 0 {
+			fmt.Printf("  %.2fx vs cols=1", r.SpeedupVs1)
+		}
+		fmt.Println()
+	}
+
+	if check != "" {
+		checkParallelRegression(check, &rep)
+		return
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// checkParallelRegression compares the measured session speedup against a
+// committed baseline: both numbers are machine-relative ratios (session
+// vs per-call on the same host), so they transfer across hardware. A drop
+// below 0.8× the baseline ratio fails the run.
+func checkParallelRegression(path string, rep *parallelReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("check baseline: %w", err))
+	}
+	var base parallelReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("check baseline %s: %w", path, err))
+	}
+	const slack = 0.8
+	want := slack * base.PowerMethod.SessionSpeedup
+	got := rep.PowerMethod.SessionSpeedup
+	fmt.Printf("check: session speedup %.2fx, baseline %.2fx, floor %.2fx\n",
+		got, base.PowerMethod.SessionSpeedup, want)
+	if got < want {
+		fatal(fmt.Errorf("session speedup regressed more than 20%%: %.2fx < %.2fx (baseline %.2fx in %s)",
+			got, want, base.PowerMethod.SessionSpeedup, path))
+	}
+	fmt.Println("check: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sttsvbench:", err)
+	os.Exit(1)
+}

@@ -152,6 +152,33 @@ func (g *Group) AllToAllFixed(tag, width int, send [][]float64) [][]float64 {
 	return out
 }
 
+// AllToAllFixedInto is AllToAllFixed over caller-owned buffers: send[i]
+// and recv[i] must all hold exactly width words (the caller pads once and
+// reuses the buffers across calls), and incoming payloads are copied into
+// recv via RecvInto so a steady-state loop performs no allocations. The
+// wire traffic, metering, and trace labeling are identical to
+// AllToAllFixed; the self slot is copied locally without communication.
+func (g *Group) AllToAllFixedInto(tag, width int, send, recv [][]float64) {
+	g.c.BeginOp("all-to-all")
+	defer g.c.EndOp()
+	p := g.Size()
+	if len(send) != p || len(recv) != p {
+		panic(fmt.Sprintf("collective: AllToAllFixedInto with %d/%d buffers for group of %d", len(send), len(recv), p))
+	}
+	for i := 0; i < p; i++ {
+		if len(send[i]) != width || len(recv[i]) != width {
+			panic(fmt.Sprintf("collective: AllToAllFixedInto slot %d has %d/%d words, width %d", i, len(send[i]), len(recv[i]), width))
+		}
+	}
+	copy(recv[g.me], send[g.me])
+	for r := 1; r < p; r++ {
+		to := (g.me + r) % p
+		from := (g.me - r + p) % p
+		g.c.Send(g.ranks[to], tag, send[to])
+		g.c.RecvInto(g.ranks[from], tag, recv[from])
+	}
+}
+
 // AllGatherV gathers each member's buffer on every member: the result's
 // slot i is member i's mine. Buffers may have different lengths.
 func (g *Group) AllGatherV(tag int, mine []float64) [][]float64 {

@@ -77,7 +77,16 @@ func (i *injector) Deliver(pkt machine.Packet) {
 		}
 		out = append(out, pkt)
 		if rDup < i.plan.Dup && i.budget() {
-			out = append(out, pkt)
+			// The duplicate gets its own payload and must not carry the
+			// Recycle mark: if both copies aliased one poolable buffer, the
+			// receiver could recycle it after the first delivery and the
+			// second would read reused memory.
+			dup := pkt
+			if len(pkt.Data) > 0 {
+				dup.Data = append([]float64(nil), pkt.Data...)
+			}
+			dup.Recycle = false
+			out = append(out, dup)
 		}
 	}
 	if i.held != nil {

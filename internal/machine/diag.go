@@ -26,6 +26,10 @@ const (
 	// BlockCrashed: the rank's body panicked (fault-injected crash or a
 	// genuine bug).
 	BlockCrashed
+	// BlockHost: inside AwaitHost — a resident body waiting for the host
+	// to feed it the next operation. The watchdog treats a run in which
+	// every unfinished rank is host-blocked as quiescent, not deadlocked.
+	BlockHost
 )
 
 func (k BlockKind) String() string {
@@ -42,6 +46,8 @@ func (k BlockKind) String() string {
 		return "done"
 	case BlockCrashed:
 		return "crashed"
+	case BlockHost:
+		return "awaiting host"
 	}
 	return fmt.Sprintf("BlockKind(%d)", int(k))
 }

@@ -42,6 +42,7 @@ type Machine struct {
 	obsState   []rankObsState
 	diags      []rankDiag
 	progress   atomic.Int64 // bumped on every completed logical operation
+	pool       payloadPool  // recycles Send's payload copies (see pool.go)
 }
 
 type counter struct {
@@ -76,7 +77,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	if to < 0 || to >= c.m.p {
 		panic(fmt.Sprintf("machine: send to rank %d of %d", to, c.m.p))
 	}
-	cp := make([]float64, len(data))
+	cp := c.m.pool.get(len(data))
 	copy(cp, data)
 	c.m.sent[c.rank].words += int64(len(data))
 	c.m.sent[c.rank].msgs++
@@ -101,6 +102,42 @@ func (c *Comm) Recv(from, tag int) []float64 {
 	return data
 }
 
+// RecvInto is Recv into a caller-owned buffer: it blocks until a message
+// with the given source and tag arrives, copies the payload into dst, and
+// returns the payload length. Metering and trace events are identical to
+// Recv. When the payload is poolable (delivered by the direct transport,
+// which holds no reference after delivery), the internal buffer is
+// recycled for future Sends — after warm-up a steady-state exchange loop
+// built on Send/RecvInto/Barrier allocates nothing.
+//
+// The payload must fit: a message longer than dst panics, because a
+// receiver that preplans exact message sizes (parallel.Session) can only
+// reach that state through a protocol bug.
+func (c *Comm) RecvInto(from, tag int, dst []float64) int {
+	c.diag.setBlocked(BlockRecv, from, tag)
+	var data []float64
+	recycle := false
+	if pr, ok := c.t.(PayloadReceiver); ok {
+		data, recycle = pr.RecvPayload(from, tag)
+	} else {
+		data = c.t.Recv(from, tag)
+	}
+	c.diag.setRunning()
+	if len(data) > len(dst) {
+		panic(fmt.Sprintf("machine: rank %d RecvInto(%d, %d): payload %d words, buffer %d",
+			c.rank, from, tag, len(data), len(dst)))
+	}
+	c.m.recv[c.rank].words += int64(len(data))
+	c.m.recv[c.rank].msgs++
+	c.m.emit(c.rank, Event{Kind: EventRecv, From: from, To: c.rank, Tag: tag, Words: len(data), Step: -1})
+	copy(dst, data)
+	if recycle {
+		c.m.pool.put(data)
+	}
+	c.m.progress.Add(1)
+	return len(data)
+}
+
 // Exchange sends data to peer and receives peer's message with the same
 // tag — the bidirectional-link primitive of the model (a processor can
 // send and receive one message at the same time).
@@ -114,15 +151,73 @@ func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
 // retransmitting a message whose ack was lost are still answered.
 func (c *Comm) Barrier() {
 	c.diag.setBlocked(BlockBarrier, -1, -1)
-	ch, gen := c.m.barrier.arrive()
+	var gen int
 	if idler, ok := c.t.(Idler); ok {
+		ch, g := c.m.barrier.arriveChan()
 		idler.Idle(ch)
+		gen = g
 	} else {
-		<-ch
+		gen = c.m.barrier.await()
 	}
 	c.diag.setRunning()
 	c.m.emit(c.rank, Event{Kind: EventBarrier, From: c.rank, To: c.rank, Step: gen})
 	c.m.progress.Add(1)
+}
+
+// AwaitHost runs wait with this rank parked as blocked on host input: a
+// resident body (parallel.Session) calls it around its op-queue receive so
+// the stall watchdog can tell an idle session — every unfinished rank
+// waiting for the host to feed it work — from a genuine deadlock. wait
+// typically blocks on a host-owned channel; returning from it counts as
+// progress.
+//
+// Like Barrier, a parked rank keeps servicing the wire when the transport
+// implements Idler: peers may still be finishing the previous operation
+// (or retransmitting a message whose ack was lost), and a rank that went
+// quiet the moment its own part completed would stall them forever.
+func (c *Comm) AwaitHost(wait func()) {
+	c.diag.setBlocked(BlockHost, -1, -1)
+	if idler, ok := c.t.(Idler); ok {
+		stop := make(chan struct{})
+		go func() {
+			wait()
+			close(stop)
+		}()
+		idler.Idle(stop)
+	} else {
+		wait()
+	}
+	c.diag.setRunning()
+	c.m.progress.Add(1)
+}
+
+// Meters is a point-in-time snapshot of one rank's eight traffic
+// counters. A resident body can subtract two snapshots to attribute
+// traffic to a single operation of a long-lived run.
+type Meters struct {
+	SentWords, RecvWords, SentMsgs, RecvMsgs                 int64
+	WireSentWords, WireRecvWords, WireSentMsgs, WireRecvMsgs int64
+}
+
+// Sub returns the counter deltas m - o.
+func (m Meters) Sub(o Meters) Meters {
+	return Meters{
+		SentWords: m.SentWords - o.SentWords, RecvWords: m.RecvWords - o.RecvWords,
+		SentMsgs: m.SentMsgs - o.SentMsgs, RecvMsgs: m.RecvMsgs - o.RecvMsgs,
+		WireSentWords: m.WireSentWords - o.WireSentWords, WireRecvWords: m.WireRecvWords - o.WireRecvWords,
+		WireSentMsgs: m.WireSentMsgs - o.WireSentMsgs, WireRecvMsgs: m.WireRecvMsgs - o.WireRecvMsgs,
+	}
+}
+
+// Meters returns this rank's current counter snapshot.
+func (c *Comm) Meters() Meters {
+	r := c.rank
+	return Meters{
+		SentWords: c.m.sent[r].words, RecvWords: c.m.recv[r].words,
+		SentMsgs: c.m.sent[r].msgs, RecvMsgs: c.m.recv[r].msgs,
+		WireSentWords: c.m.wireSent[r].words, WireRecvWords: c.m.wireRecv[r].words,
+		WireSentMsgs: c.m.wireSent[r].msgs, WireRecvMsgs: c.m.wireRecv[r].msgs,
+	}
 }
 
 // SentWords returns the words this rank has sent so far.
@@ -141,37 +236,68 @@ func (c *Comm) RecvMsgs() int64 { return c.m.recv[c.rank].msgs }
 // so far, retransmissions included.
 func (c *Comm) WireSentWords() int64 { return c.m.wireSent[c.rank].words }
 
-// barrier is a reusable counting barrier. Arrival hands back the current
-// generation's release channel — closed when the last rank arrives — so a
-// waiting rank can select on it while doing other work (see Comm.Barrier).
+// barrier is a reusable counting barrier with two wait paths: a
+// condition-variable path for plain transports (no allocation per
+// generation — part of the zero-allocation steady-state exchange) and a
+// release-channel path for Idler transports, which need something they can
+// select on while servicing the wire. The channel is created lazily, only
+// for generations in which a channel-waiter actually arrives, so direct-
+// transport runs never pay for it.
 type barrier struct {
 	mu      sync.Mutex
+	cond    sync.Cond
 	p       int
 	count   int
 	gen     int
-	release chan struct{}
+	release chan struct{} // nil until an Idler arrives this generation
 }
 
 func newBarrier(p int) *barrier {
-	return &barrier{p: p, release: make(chan struct{})}
+	b := &barrier{p: p}
+	b.cond.L = &b.mu
+	return b
 }
 
-// arrive registers the caller at the barrier and returns the channel that
-// closes once all P ranks have arrived at this generation, plus the
-// generation index (identical for all P participants of one
-// synchronization — the trace's step identifier).
-func (b *barrier) arrive() (<-chan struct{}, int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ch := b.release
-	gen := b.gen
+// arriveLocked registers one arrival; the last arriver releases both wait
+// paths. Callers hold b.mu.
+func (b *barrier) arriveLocked() {
 	b.count++
 	if b.count == b.p {
 		b.count = 0
 		b.gen++
-		close(ch)
+		if b.release != nil {
+			close(b.release)
+			b.release = nil
+		}
+		b.cond.Broadcast()
+	}
+}
+
+// await arrives and blocks until the generation completes, returning the
+// generation index (identical for all P participants of one
+// synchronization — the trace's step identifier). Allocation-free.
+func (b *barrier) await() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.arriveLocked()
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	return gen
+}
+
+// arriveChan arrives and hands back the current generation's release
+// channel — closed when the last rank arrives — so a waiting rank can
+// select on it while doing other work (see Comm.Barrier).
+func (b *barrier) arriveChan() (<-chan struct{}, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.release == nil {
 		b.release = make(chan struct{})
 	}
+	ch, gen := b.release, b.gen
+	b.arriveLocked()
 	return ch, gen
 }
 
@@ -373,10 +499,41 @@ func (m *Machine) watch(done <-chan struct{}, timeout time.Duration) error {
 				continue
 			}
 			if time.Since(lastChange) >= timeout {
+				if m.hostQuiescent() {
+					// An idle resident session: every unfinished rank
+					// is parked in AwaitHost, waiting for the host to
+					// feed it work. Not a deadlock — the host holds
+					// the ball.
+					lastChange = time.Now()
+					continue
+				}
 				return m.deadlockError(timeout)
 			}
 		}
 	}
+}
+
+// hostQuiescent reports whether at least one rank is parked in AwaitHost
+// and every other unfinished rank is too — the signature of an idle
+// resident session rather than a stalled protocol.
+func (m *Machine) hostQuiescent() bool {
+	idle := false
+	for r := 0; r < m.p; r++ {
+		kind, _, _, _ := m.diags[r].snapshot()
+		switch kind {
+		case BlockDone:
+		case BlockCrashed:
+			// A crashed rank can never finish its operation, so parked
+			// survivors are not "idle" — they are waiting for a completion
+			// that will never come. Let the watchdog report it.
+			return false
+		case BlockHost:
+			idle = true
+		default:
+			return false
+		}
+	}
+	return idle
 }
 
 // deadlockError snapshots every unfinished rank's diagnostic state.

@@ -41,6 +41,13 @@ type Packet struct {
 	// Check is a payload checksum set and verified by transports that
 	// detect corruption; the direct transport ignores it.
 	Check uint64
+	// Recycle marks Data as eligible for the machine's payload pool once
+	// the final consumer has copied it out (see Comm.RecvInto). Only a
+	// transport that retains no reference to Data after delivery may set
+	// it — the direct transport does; the reliable transport must not
+	// (its retransmission window aliases the buffer), and a fault
+	// injector duplicating a packet must clear it on the copy.
+	Recycle bool
 }
 
 // Wire is a rank's raw endpoint on the simulated network: push a packet
@@ -80,6 +87,17 @@ type Transport interface {
 // TransportFactory builds one rank's transport around its raw wire
 // endpoint. It is called once per rank, from that rank's goroutine.
 type TransportFactory func(w Wire) Transport
+
+// PayloadReceiver is an optional Transport extension that exposes payload
+// buffer provenance: RecvPayload behaves like Recv but additionally
+// reports whether the returned buffer may be recycled into the machine's
+// payload pool once the caller has copied it out. Comm.RecvInto uses it;
+// transports that retain or re-deliver payloads must either not implement
+// it or return recycle == false.
+type PayloadReceiver interface {
+	Transport
+	RecvPayload(from, tag int) (data []float64, recycle bool)
+}
 
 // Idler is an optional Transport extension for protocols that must keep
 // servicing the wire while their rank is blocked outside Send/Recv. A
@@ -150,11 +168,15 @@ func (l *link) Pending(entries []PendingEntry) {
 // mailbox is an unbounded (or capacity-capped) FIFO packet queue with a
 // single consumer and many producers. Unlike a fixed-capacity channel it
 // cannot silently deadlock a protocol whose in-flight message count
-// exceeds a preset buffer size.
+// exceeds a preset buffer size. The queue is a head-indexed slice that
+// compacts in place instead of re-slicing its backing array away, so a
+// steady-state producer/consumer pair stops allocating once the array has
+// grown to the high-water depth.
 type mailbox struct {
 	mu     sync.Mutex
 	space  *sync.Cond // producers wait here when capped and full
 	q      []Packet
+	head   int
 	cap    int           // <= 0 means unbounded
 	notify chan struct{} // best-effort consumer wakeup
 }
@@ -167,8 +189,17 @@ func newMailbox(capacity int) *mailbox {
 
 func (b *mailbox) push(p Packet) {
 	b.mu.Lock()
-	for b.cap > 0 && len(b.q) >= b.cap {
+	for b.cap > 0 && len(b.q)-b.head >= b.cap {
 		b.space.Wait()
+	}
+	if b.head > 0 && len(b.q) == cap(b.q) {
+		// Reclaim the consumed prefix before growing the array.
+		n := copy(b.q, b.q[b.head:])
+		for i := n; i < len(b.q); i++ {
+			b.q[i] = Packet{}
+		}
+		b.q = b.q[:n]
+		b.head = 0
 	}
 	b.q = append(b.q, p)
 	b.mu.Unlock()
@@ -187,12 +218,13 @@ func (b *mailbox) pull(d time.Duration) (Packet, bool) {
 	}
 	for {
 		b.mu.Lock()
-		if len(b.q) > 0 {
-			p := b.q[0]
-			b.q[0] = Packet{}
-			b.q = b.q[1:]
-			if len(b.q) == 0 {
-				b.q = nil
+		if b.head < len(b.q) {
+			p := b.q[b.head]
+			b.q[b.head] = Packet{}
+			b.head++
+			if b.head == len(b.q) {
+				b.q = b.q[:0]
+				b.head = 0
 			}
 			b.space.Signal()
 			b.mu.Unlock()
@@ -220,7 +252,7 @@ func (b *mailbox) pull(d time.Duration) (Packet, bool) {
 func (b *mailbox) depth() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.q)
+	return len(b.q) - b.head
 }
 
 // directTransport is the default transport: a logical message is exactly
@@ -230,36 +262,76 @@ func (b *mailbox) depth() int {
 // per key, FIFO, preserving the per-(sender, tag) ordering guarantee.
 type directTransport struct {
 	w       Wire
-	pending map[[2]int][][]float64
+	pending map[[2]int][]bufferedPayload
+}
+
+// bufferedPayload is one out-of-order payload held by a transport,
+// remembering whether its buffer may still be recycled on consumption.
+type bufferedPayload struct {
+	data    []float64
+	recycle bool
 }
 
 // NewDirectTransport returns the default transport over w. It is exported
 // so fault injectors can compose it over a perturbed wire.
 func NewDirectTransport(w Wire) Transport {
-	return &directTransport{w: w, pending: make(map[[2]int][][]float64)}
+	return &directTransport{w: w, pending: make(map[[2]int][]bufferedPayload)}
 }
 
 func (t *directTransport) Send(to, tag int, data []float64) {
-	t.w.Deliver(Packet{From: t.w.Rank(), To: to, Tag: tag, Kind: PacketData, Data: data})
+	// Recycle: the direct transport keeps no reference past Deliver, so
+	// the receiver may return the buffer to the payload pool.
+	t.w.Deliver(Packet{From: t.w.Rank(), To: to, Tag: tag, Kind: PacketData, Data: data, Recycle: true})
 }
 
 func (t *directTransport) Recv(from, tag int) []float64 {
+	data, _ := t.RecvPayload(from, tag)
+	return data
+}
+
+// RecvPayload implements PayloadReceiver: the returned flag propagates the
+// packet's Recycle mark so Comm.RecvInto can pool the buffer.
+func (t *directTransport) RecvPayload(from, tag int) ([]float64, bool) {
 	key := [2]int{from, tag}
 	if q := t.pending[key]; len(q) > 0 {
-		data := q[0]
+		bp := q[0]
+		q[0] = bufferedPayload{}
 		t.pending[key] = q[1:]
-		t.w.Pending(SummarizePending(t.pending))
-		return data
+		t.w.Pending(summarizeBuffered(t.pending))
+		return bp.data, bp.recycle
 	}
 	for {
 		pkt := t.w.Pull()
 		if pkt.From == from && pkt.Tag == tag {
-			return pkt.Data
+			return pkt.Data, pkt.Recycle
 		}
 		k := [2]int{pkt.From, pkt.Tag}
-		t.pending[k] = append(t.pending[k], pkt.Data)
-		t.w.Pending(SummarizePending(t.pending))
+		t.pending[k] = append(t.pending[k], bufferedPayload{data: pkt.Data, recycle: pkt.Recycle})
+		t.w.Pending(summarizeBuffered(t.pending))
 	}
+}
+
+// summarizeBuffered is SummarizePending for the direct transport's
+// provenance-tracking pending map.
+func summarizeBuffered(pending map[[2]int][]bufferedPayload) []PendingEntry {
+	var out []PendingEntry
+	for key, msgs := range pending {
+		if len(msgs) == 0 {
+			continue
+		}
+		words := 0
+		for _, m := range msgs {
+			words += len(m.data)
+		}
+		out = append(out, PendingEntry{From: key[0], Tag: key[1], Msgs: len(msgs), Words: words})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
 }
 
 // SummarizePending condenses a transport's pending map (keyed by

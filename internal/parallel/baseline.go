@@ -54,9 +54,10 @@ func RunRowBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machine.Run
 		world := collective.World(c)
 		var pieces [][]float64
 		pr.comm(c, "all-gather", func() { pieces = world.AllGatherV(1, x[lo:hi]) })
-		xs := make([]float64, 0, n)
+		xs := make([]float64, n)
+		pos := 0
 		for _, piece := range pieces {
-			xs = append(xs, piece...)
+			pos += copy(xs[pos:], piece)
 		}
 
 		// Local compute over owned packed rows (the Algorithm 4 update
@@ -160,9 +161,10 @@ func RunSequenceBaselineWith(a *tensor.Symmetric, x []float64, p int, cfg machin
 		world := collective.World(c)
 		var pieces [][]float64
 		pr.comm(c, "all-gather", func() { pieces = world.AllGatherV(1, x[lo:hi]) })
-		xs := make([]float64, 0, n)
+		xs := make([]float64, n)
+		pos := 0
 		for _, piece := range pieces {
-			xs = append(xs, piece...)
+			pos += copy(xs[pos:], piece)
 		}
 
 		// M[i, j] = Σ_k a_ijk x_k for owned rows, then y_i = Σ_j M[i,j] x_j.

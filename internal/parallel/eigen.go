@@ -2,12 +2,8 @@ package parallel
 
 import (
 	"fmt"
-	"math"
 
-	"repro/internal/collective"
 	"repro/internal/machine"
-	"repro/internal/schedule"
-	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
 
@@ -58,6 +54,9 @@ func (r *EigenResult) Phase(label string) *PhaseMeter {
 // no vector ever visits a single processor. This is the composition the
 // paper's introduction motivates: the per-iteration bandwidth stays at the
 // lower bound's leading term.
+//
+// RunPowerMethod is the one-shot form of Session.PowerMethod: it opens a
+// session, runs the method as a single resident operation, and closes.
 func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenResult, error) {
 	part := opts.Part
 	if part == nil {
@@ -70,197 +69,16 @@ func RunPowerMethod(a *tensor.Symmetric, opts Options, po PowerOptions) (*EigenR
 	if b < 1 {
 		return nil, fmt.Errorf("parallel: block edge %d", b)
 	}
-	n := a.N
-	padded := part.M * b
-	if n > padded {
-		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, padded)
-	}
-	if po.MaxIter <= 0 {
-		po.MaxIter = 200
-	}
-	if po.Tol <= 0 {
-		po.Tol = 1e-12
+	if a.N > part.M*b {
+		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", a.N, part.M*b)
 	}
 	if opts.Wiring != WiringP2P {
 		return nil, fmt.Errorf("parallel: power method supports the p2p wiring only")
 	}
-	sched := opts.Sched
-	if sched == nil {
-		s, err := schedule.Build(part)
-		if err != nil {
-			return nil, err
-		}
-		sched = s
-	}
-	plans := buildPlans(part, sched)
-
-	// Deterministic unit start, padded region zero.
-	x0 := make([]float64, padded)
-	norm := 0.0
-	for i := 0; i < n; i++ {
-		x0[i] = math.Sin(float64(i+1)*1.7 + float64(po.Seed))
-		norm += x0[i] * x0[i]
-	}
-	norm = math.Sqrt(norm)
-	for i := 0; i < n; i++ {
-		x0[i] /= norm
-	}
-
-	// The rank block sets are packed once for the whole run — every power
-	// iteration reuses them (and a caller-supplied cache survives across
-	// RunPowerMethod calls too).
-	blocks, err := rankBlocksFor(&opts, a, part, b)
+	s, err := OpenSession(a, opts)
 	if err != nil {
 		return nil, err
 	}
-	exec := opts.executor()
-
-	lambdas := make([]float64, part.P)
-	iters := make([]int, part.P)
-	converged := make([]bool, part.P)
-	finalChunks := make([]map[int][]float64, part.P)
-	pr := newPhaseRecorder(part.P, "gather", "local", "reduce-scatter", "all-reduce")
-
-	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
-		me := c.Rank()
-		myRows := part.Rp[me]
-		world := collective.World(c)
-
-		// Owned chunks of the iterate.
-		xChunk := make(map[int][]float64, len(myRows))
-		for _, i := range myRows {
-			lo, hi, _ := part.OwnedRange(me, i, b)
-			xChunk[i] = append([]float64(nil), x0[i*b+lo:i*b+hi]...)
-		}
-
-		lambda, prev := 0.0, math.Inf(1)
-		done := false
-		it := 0
-		for it = 1; it <= po.MaxIter && !done; it++ {
-			// Assemble full x rows from chunks.
-			xRows := make(map[int][]float64, len(myRows))
-			for _, i := range myRows {
-				row := make([]float64, b)
-				lo, _, _ := part.OwnedRange(me, i, b)
-				copy(row[lo:], xChunk[i])
-				xRows[i] = row
-			}
-			pr.comm(c, "gather", func() {
-				runScheduledPhase(c, plans[me], 100, func(peer int, rows []int) []float64 {
-					var payload []float64
-					for _, row := range rows {
-						payload = append(payload, xChunk[row]...)
-					}
-					return payload
-				}, func(peer int, rows []int, payload []float64) {
-					pos := 0
-					for _, row := range rows {
-						lo, hi, _ := part.OwnedRange(peer, row, b)
-						copy(xRows[row][lo:hi], payload[pos:pos+hi-lo])
-						pos += hi - lo
-					}
-				})
-			})
-
-			// Local STTSV contributions.
-			yRows := make(map[int][]float64, len(myRows))
-			for _, i := range myRows {
-				yRows[i] = make([]float64, b)
-			}
-			pr.local(c, "local", func() int64 {
-				var st sttsv.Stats
-				exec.Contribute(blocks.Rank(me), b,
-					func(i int) []float64 { return xRows[i] },
-					func(i int) []float64 { return yRows[i] }, &st)
-				return st.TernaryMults
-			})
-
-			// Reduce partial y into owned chunks.
-			pr.comm(c, "reduce-scatter", func() {
-				runScheduledPhase(c, plans[me], 200, func(peer int, rows []int) []float64 {
-					var payload []float64
-					for _, row := range rows {
-						lo, hi, _ := part.OwnedRange(peer, row, b)
-						payload = append(payload, yRows[row][lo:hi]...)
-					}
-					return payload
-				}, func(peer int, rows []int, payload []float64) {
-					pos := 0
-					for _, row := range rows {
-						lo, hi, _ := part.OwnedRange(me, row, b)
-						dst := yRows[row]
-						for t := lo; t < hi; t++ {
-							dst[t] += payload[pos]
-							pos++
-						}
-					}
-				})
-			})
-
-			// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
-			partial := []float64{0, 0}
-			for _, i := range myRows {
-				lo, hi, _ := part.OwnedRange(me, i, b)
-				yc := yRows[i][lo:hi]
-				xc := xChunk[i]
-				for t := range yc {
-					partial[0] += xc[t] * yc[t]
-					partial[1] += yc[t] * yc[t]
-				}
-			}
-			var sums []float64
-			pr.comm(c, "all-reduce", func() { sums = world.AllReduceSum(300, partial) })
-			lambda = sums[0]
-			ynorm := math.Sqrt(sums[1])
-
-			if math.Abs(lambda-prev) <= po.Tol*(1+math.Abs(lambda)) {
-				done = true
-				break
-			}
-			prev = lambda
-			if ynorm == 0 {
-				done = true // singular tensor; keep current iterate
-				break
-			}
-			for _, i := range myRows {
-				lo, hi, _ := part.OwnedRange(me, i, b)
-				yc := yRows[i][lo:hi]
-				xc := xChunk[i]
-				for t := range xc {
-					xc[t] = yc[t] / ynorm
-				}
-			}
-		}
-
-		lambdas[me] = lambda
-		iters[me] = it
-		converged[me] = done
-		out := make(map[int][]float64, len(myRows))
-		for _, i := range myRows {
-			out[i] = append([]float64(nil), xChunk[i]...)
-		}
-		finalChunks[me] = out
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// All ranks agree (they all see the same all-reduced scalars).
-	pr.meter("gather").Steps = sched.NumSteps()
-	pr.meter("reduce-scatter").Steps = sched.NumSteps()
-	res := &EigenResult{
-		Lambda:     lambdas[0],
-		Iterations: iters[0],
-		Converged:  converged[0],
-		Report:     report,
-		Phases:     pr.results(),
-	}
-	xp := make([]float64, padded)
-	for i := 0; i < part.M; i++ {
-		for _, ch := range part.RowBlockChunks(i, b) {
-			copy(xp[i*b+ch.Lo:i*b+ch.Hi], finalChunks[ch.Proc][i])
-		}
-	}
-	res.X = xp[:n]
-	return res, nil
+	defer s.Close()
+	return s.PowerMethod(po)
 }

@@ -4,9 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/la"
-	"repro/internal/machine"
-	"repro/internal/schedule"
-	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
 
@@ -21,6 +18,9 @@ import (
 //
 // The factor matrix may be nil for pure communication measurements
 // (rank r zero columns).
+//
+// RunMTTKRP is the one-shot form of Session.MTTKRP: the batched product is
+// a multi-column application of the session engine.
 func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matrix, *Result, error) {
 	part := opts.Part
 	if part == nil {
@@ -36,194 +36,13 @@ func RunMTTKRP(a *tensor.Symmetric, x *la.Matrix, r int, opts Options) (*la.Matr
 	if r < 1 {
 		return nil, nil, fmt.Errorf("parallel: rank %d", r)
 	}
-	var n int
-	switch {
-	case x != nil:
-		n = x.Rows
-	case a != nil:
-		n = a.N
-	default:
-		n = part.M * b
+	if opts.MaxCols < r {
+		opts.MaxCols = r
 	}
-	padded := part.M * b
-	if n > padded {
-		return nil, nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, padded)
-	}
-	if a != nil && a.N != n {
-		return nil, nil, fmt.Errorf("parallel: tensor dimension %d, factor rows %d", a.N, n)
-	}
-
-	sched := opts.Sched
-	if opts.Wiring == WiringP2P && sched == nil {
-		s, err := schedule.Build(part)
-		if err != nil {
-			return nil, nil, err
-		}
-		sched = s
-	}
-
-	// Host-side setup: padded columns and per-processor blocks.
-	cols := make([][]float64, r)
-	for l := 0; l < r; l++ {
-		col := make([]float64, padded)
-		if x != nil {
-			for i := 0; i < n; i++ {
-				col[i] = x.At(i, l)
-			}
-		}
-		cols[l] = col
-	}
-	blocks, err := rankBlocksFor(&opts, a, part, b)
+	s, err := OpenSession(a, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	exec := opts.executor()
-
-	var plans [][]plannedTransfer
-	steps := part.P - 1
-	if opts.Wiring == WiringP2P {
-		plans = buildPlans(part, sched)
-		steps = sched.NumSteps()
-	}
-
-	finalChunks := make([]map[int][][]float64, part.P) // rank -> row -> per-column chunk
-	pr := newPhaseRecorder(part.P, "gather", "local", "reduce-scatter")
-
-	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
-		me := c.Rank()
-		myRows := part.Rp[me]
-
-		// xRows[row][l] is the full row block of column l; start with the
-		// owned chunk.
-		xRows := make(map[int][][]float64, len(myRows))
-		for _, i := range myRows {
-			perCol := make([][]float64, r)
-			lo, hi, _ := part.OwnedRange(me, i, b)
-			for l := 0; l < r; l++ {
-				row := make([]float64, b)
-				copy(row[lo:hi], cols[l][i*b+lo:i*b+hi])
-				perCol[l] = row
-			}
-			xRows[i] = perCol
-		}
-
-		gatherPack := func(peer int, rows []int) []float64 {
-			var payload []float64
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(me, row, b)
-				for l := 0; l < r; l++ {
-					payload = append(payload, xRows[row][l][lo:hi]...)
-				}
-			}
-			return payload
-		}
-		gatherUnpack := func(peer int, rows []int, payload []float64) {
-			pos := 0
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(peer, row, b)
-				for l := 0; l < r; l++ {
-					copy(xRows[row][l][lo:hi], payload[pos:pos+hi-lo])
-					pos += hi - lo
-				}
-			}
-		}
-		pr.comm(c, "gather", func() {
-			switch opts.Wiring {
-			case WiringP2P:
-				runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
-			case WiringAllToAll:
-				runAllToAllPhase(c, part, 1, widthAllToAll(part, b, r), gatherPack, gatherUnpack)
-			}
-		})
-
-		// Local compute: one BlockContribute per (block, column).
-		yRows := make(map[int][][]float64, len(myRows))
-		for _, i := range myRows {
-			perCol := make([][]float64, r)
-			for l := 0; l < r; l++ {
-				perCol[l] = make([]float64, b)
-			}
-			yRows[i] = perCol
-		}
-		pr.local(c, "local", func() int64 {
-			var st sttsv.Stats
-			for l := 0; l < r; l++ {
-				exec.Contribute(blocks.Rank(me), b,
-					func(i int) []float64 { return xRows[i][l] },
-					func(i int) []float64 { return yRows[i][l] }, &st)
-			}
-			return st.TernaryMults
-		})
-
-		scatterPack := func(peer int, rows []int) []float64 {
-			var payload []float64
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(peer, row, b)
-				for l := 0; l < r; l++ {
-					payload = append(payload, yRows[row][l][lo:hi]...)
-				}
-			}
-			return payload
-		}
-		scatterUnpack := func(peer int, rows []int, payload []float64) {
-			pos := 0
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(me, row, b)
-				for l := 0; l < r; l++ {
-					dst := yRows[row][l]
-					for t := lo; t < hi; t++ {
-						dst[t] += payload[pos]
-						pos++
-					}
-				}
-			}
-		}
-		pr.comm(c, "reduce-scatter", func() {
-			switch opts.Wiring {
-			case WiringP2P:
-				runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
-			case WiringAllToAll:
-				runAllToAllPhase(c, part, 2, widthAllToAll(part, b, r), scatterPack, scatterUnpack)
-			}
-		})
-
-		chunks := make(map[int][][]float64, len(myRows))
-		for _, i := range myRows {
-			lo, hi, _ := part.OwnedRange(me, i, b)
-			perCol := make([][]float64, r)
-			for l := 0; l < r; l++ {
-				perCol[l] = append([]float64(nil), yRows[i][l][lo:hi]...)
-			}
-			chunks[i] = perCol
-		}
-		finalChunks[me] = chunks
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-
-	y := la.NewMatrix(n, r)
-	for i := 0; i < part.M; i++ {
-		for _, ch := range part.RowBlockChunks(i, b) {
-			perCol := finalChunks[ch.Proc][i]
-			for l := 0; l < r; l++ {
-				for t := ch.Lo; t < ch.Hi; t++ {
-					gi := i*b + t
-					if gi < n {
-						y.Set(gi, l, perCol[l][t-ch.Lo])
-					}
-				}
-			}
-		}
-	}
-
-	pr.meter("gather").Steps = steps
-	pr.meter("reduce-scatter").Steps = steps
-	res := &Result{
-		Report:  report,
-		Phases:  pr.results(),
-		Ternary: pr.meter("local").Ternary,
-		Steps:   steps,
-	}
-	return y, res, nil
+	defer s.Close()
+	return s.MTTKRP(x, r)
 }

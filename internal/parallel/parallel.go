@@ -32,8 +32,6 @@ package parallel
 import (
 	"fmt"
 
-	"repro/internal/collective"
-	"repro/internal/intmath"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/schedule"
@@ -90,6 +88,10 @@ type Options struct {
 	// phase sequentially; values above 1 distribute blocks across that
 	// many workers with a deterministic tree reduction.
 	Workers int
+	// MaxCols presizes a Session's arenas and message buffers for batched
+	// applications of up to this many columns (ApplyBatch / MTTKRP).
+	// Defaults to 1; the session grows on demand when exceeded.
+	MaxCols int
 }
 
 // executor returns the rank-local compute executor for the options.
@@ -143,6 +145,12 @@ type plannedTransfer struct {
 // Run executes Algorithm 5 for y = A ×₂ x ×₃ x. The tensor may be nil, in
 // which case all blocks are zero (useful for pure communication
 // measurements at sizes where materializing A would be wasteful).
+//
+// Run is a one-shot convenience over Session: it opens a session, applies
+// x once, and closes. Callers applying the same configuration repeatedly
+// should hold a Session open instead — the machine launch, plan
+// precomputation, and all buffers are then paid once rather than per
+// application. The results are identical either way, bit for bit.
 func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 	part := opts.Part
 	if part == nil {
@@ -160,155 +168,12 @@ func Run(a *tensor.Symmetric, x []float64, opts Options) (*Result, error) {
 	if a != nil && a.N != n {
 		return nil, fmt.Errorf("parallel: tensor dimension %d, vector length %d", a.N, n)
 	}
-
-	sched := opts.Sched
-	if opts.Wiring == WiringP2P && sched == nil {
-		s, err := schedule.Build(part)
-		if err != nil {
-			return nil, err
-		}
-		sched = s
-	}
-
-	// Host-side setup (the "input distribution" that Algorithm 5 assumes;
-	// not metered, exactly as the paper's model assumes the data starts
-	// distributed).
-	xp := make([]float64, padded)
-	copy(xp, x)
-	blocks, err := rankBlocksFor(&opts, a, part, b)
+	s, err := OpenSession(a, opts)
 	if err != nil {
 		return nil, err
 	}
-	exec := opts.executor()
-
-	var plans [][]plannedTransfer
-	steps := part.P - 1
-	if opts.Wiring == WiringP2P {
-		plans = buildPlans(part, sched)
-		steps = sched.NumSteps()
-	}
-
-	// Shared result buffers, one writer per slot.
-	finalChunks := make([]map[int][]float64, part.P) // per rank: row -> owned chunk values
-	pr := newPhaseRecorder(part.P, "gather", "local", "reduce-scatter")
-
-	report, err := machine.RunWith(part.P, opts.Machine, func(c *machine.Comm) {
-		me := c.Rank()
-		myRows := part.Rp[me]
-
-		// Assemble full x row blocks, starting from the owned chunks.
-		xRows := make(map[int][]float64, len(myRows))
-		for _, i := range myRows {
-			row := make([]float64, b)
-			lo, hi, _ := part.OwnedRange(me, i, b)
-			copy(row[lo:hi], xp[i*b+lo:i*b+hi])
-			xRows[i] = row
-		}
-
-		// Phase 1: gather x chunks.
-		gatherPack := func(peer int, rows []int) []float64 {
-			var payload []float64
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(me, row, b)
-				payload = append(payload, xRows[row][lo:hi]...)
-			}
-			return payload
-		}
-		gatherUnpack := func(peer int, rows []int, payload []float64) {
-			pos := 0
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(peer, row, b)
-				copy(xRows[row][lo:hi], payload[pos:pos+hi-lo])
-				pos += hi - lo
-			}
-		}
-		pr.comm(c, "gather", func() {
-			switch opts.Wiring {
-			case WiringP2P:
-				runScheduledPhase(c, plans[me], 100, gatherPack, gatherUnpack)
-			case WiringAllToAll:
-				runAllToAllPhase(c, part, 1, widthAllToAll(part, b, 1), gatherPack, gatherUnpack)
-			}
-		})
-
-		// Local computation: partial contributions to full y row blocks.
-		yRows := make(map[int][]float64, len(myRows))
-		for _, i := range myRows {
-			yRows[i] = make([]float64, b)
-		}
-		pr.local(c, "local", func() int64 {
-			var st sttsv.Stats
-			exec.Contribute(blocks.Rank(me), b,
-				func(i int) []float64 { return xRows[i] },
-				func(i int) []float64 { return yRows[i] }, &st)
-			return st.TernaryMults
-		})
-
-		// Phase 2: exchange partial y chunks and reduce into the owned
-		// chunk. The sender transmits the *receiver's* chunk of its
-		// partial values.
-		scatterPack := func(peer int, rows []int) []float64 {
-			var payload []float64
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(peer, row, b)
-				payload = append(payload, yRows[row][lo:hi]...)
-			}
-			return payload
-		}
-		scatterUnpack := func(peer int, rows []int, payload []float64) {
-			pos := 0
-			for _, row := range rows {
-				lo, hi, _ := part.OwnedRange(me, row, b)
-				dst := yRows[row]
-				for t := lo; t < hi; t++ {
-					dst[t] += payload[pos]
-					pos++
-				}
-			}
-		}
-		pr.comm(c, "reduce-scatter", func() {
-			switch opts.Wiring {
-			case WiringP2P:
-				runScheduledPhase(c, plans[me], 200, scatterPack, scatterUnpack)
-			case WiringAllToAll:
-				runAllToAllPhase(c, part, 2, widthAllToAll(part, b, 1), scatterPack, scatterUnpack)
-			}
-		})
-
-		// Publish the final owned chunks.
-		chunks := make(map[int][]float64, len(myRows))
-		for _, i := range myRows {
-			lo, hi, _ := part.OwnedRange(me, i, b)
-			chunks[i] = append([]float64(nil), yRows[i][lo:hi]...)
-		}
-		finalChunks[me] = chunks
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Host-side assembly of y from the owned chunks.
-	yp := make([]float64, padded)
-	for i := 0; i < part.M; i++ {
-		for _, ch := range part.RowBlockChunks(i, b) {
-			vals := finalChunks[ch.Proc][i]
-			if len(vals) != ch.Hi-ch.Lo {
-				return nil, fmt.Errorf("parallel: rank %d published %d words for row %d, want %d",
-					ch.Proc, len(vals), i, ch.Hi-ch.Lo)
-			}
-			copy(yp[i*b+ch.Lo:i*b+ch.Hi], vals)
-		}
-	}
-
-	pr.meter("gather").Steps = steps
-	pr.meter("reduce-scatter").Steps = steps
-	return &Result{
-		Y:       yp[:n],
-		Report:  report,
-		Phases:  pr.results(),
-		Ternary: pr.meter("local").Ternary,
-		Steps:   steps,
-	}, nil
+	defer s.Close()
+	return s.Apply(x)
 }
 
 // buildPlans converts a schedule into per-rank step plans.
@@ -350,56 +215,8 @@ func runScheduledPhase(c *machine.Comm, plan []plannedTransfer, tagBase int,
 	}
 }
 
-// runAllToAllPhase executes one phase with the fixed-width All-to-All
-// collective of the pseudocode: every ordered pair exchanges exactly
-// width words (§7.2.2's accounting), with pack/unpack handling the shared
-// rows of each peer.
-func runAllToAllPhase(c *machine.Comm, part *partition.Tetrahedral, tag, width int,
-	pack func(peer int, rows []int) []float64,
-	unpack func(peer int, rows []int, payload []float64),
-) {
-	me := c.Rank()
-	world := collective.World(c)
-	send := make([][]float64, part.P)
-	for peer := 0; peer < part.P; peer++ {
-		if peer == me {
-			continue
-		}
-		if rows := sharedRowsOf(part, me, peer); len(rows) > 0 {
-			send[peer] = pack(peer, rows)
-		}
-	}
-	recv := world.AllToAllFixed(tag, width, send)
-	for peer := 0; peer < part.P; peer++ {
-		if peer == me {
-			continue
-		}
-		if rows := sharedRowsOf(part, me, peer); len(rows) > 0 {
-			unpack(peer, rows, recv[peer])
-		}
-	}
-}
-
-// widthAllToAll returns the fixed message width for the All-to-All wiring
-// with cols vector columns: two maximal chunks per column per message —
-// 2·b/(q(q+1)) per column when chunks divide evenly.
-func widthAllToAll(part *partition.Tetrahedral, b, cols int) int {
-	maxChunk := 0
-	for i := 0; i < part.M; i++ {
-		if w := intmath.CeilDiv(b, len(part.Qi[i])); w > maxChunk {
-			maxChunk = w
-		}
-	}
-	return 2 * maxChunk * cols
-}
-
-// sharedRowsOf returns R_a ∩ R_b in ascending order.
-func sharedRowsOf(part *partition.Tetrahedral, a, b int) []int {
-	var rows []int
-	for _, i := range part.Rp[a] {
-		if part.Owns(b, i) {
-			rows = append(rows, i)
-		}
-	}
-	return rows
-}
+// The former runAllToAllPhase and its per-peer sharedRowsOf/OwnedRange
+// scans (O(P·q) repeated work per phase) are gone: the All-to-All wiring
+// now runs on the Session's precomputed a2aPeer tables (see layout.go),
+// and the fixed message width 2·maxChunk·cols is derived once at session
+// open from sessionLayout.maxChunk.

@@ -1,0 +1,793 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/collective"
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+// Session is a resident parallel STTSV engine: it launches the P simulated
+// ranks once against a fixed (tensor, partition, schedule, B, wiring) and
+// serves a stream of operations — Apply, ApplyBatch, PowerMethod, MTTKRP —
+// until Close. Between operations the ranks park on a host-fed op queue
+// (Comm.AwaitHost), so the machine, its transports, the packed tensor
+// blocks, and every pack/unpack buffer survive from one application to the
+// next. After one warm-up application the per-rank exchange path (pack →
+// Send → RecvInto → unpack → Barrier) performs no allocations.
+//
+// Results are bit-identical to the one-shot Run/RunPowerMethod/RunMTTKRP
+// (which are implemented on top of Session), and each operation's Result
+// carries exactly the meters a fresh run would: per-rank counter snapshots
+// are taken at the op boundaries and differenced.
+//
+// A Session is not safe for concurrent use: operations are dispatched one
+// at a time by a single host goroutine.
+type Session struct {
+	a     *tensor.Symmetric
+	opts  Options
+	part  *partition.Tetrahedral
+	sched *schedule.Schedule
+	b     int
+	padded int
+
+	blocks *RankBlocks
+	exec   *sttsv.Executor
+	lay    *sessionLayout
+
+	maxCols int
+	rk      []*sessionRank
+	stageX  [][]float64 // host staging, maxCols × padded
+	stageY  [][]float64
+
+	ops      []chan *sessionOp
+	runDone  chan struct{}
+	runErr   error
+	report   *machine.Report
+	closed   bool
+	closeErr error
+}
+
+// sessionOp is one host-dispatched operation: every rank runs the closure,
+// and the last one to finish releases the host.
+type sessionOp struct {
+	run     func(me int, c *machine.Comm)
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// sessionRank is one rank's resident state: dense arenas replacing the
+// seed's per-run map[int][]float64 row blocks, and reusable exact-size
+// message buffers. Arena layout: owned row k, column l occupies
+// [k·maxCols·b + l·b, …+b).
+type sessionRank struct {
+	lay     *rankLayout
+	b       int
+	maxCols int
+
+	xA    []float64 // input row-block arena
+	yA    []float64 // output row-block arena
+	chunk []float64 // owned-chunk iterate (power method), k·b-indexed
+
+	sendBuf []float64 // one message, reused across steps (Send copies)
+	recvBuf []float64
+
+	// All-to-All wiring: full-width per-peer buffers (tails stay zero —
+	// the collective's padding) plus the reusable width-resliced views.
+	a2aSendBack [][]float64
+	a2aRecvBack [][]float64
+	a2aSend     [][]float64
+	a2aRecv     [][]float64
+	a2aPay      []int // high-water payload per peer, for stale-tail zeroing
+
+	scratch *sttsv.Scratch
+	world   *collective.Group
+	pbuf    [2]float64
+}
+
+func (rk *sessionRank) stride() int { return rk.maxCols * rk.b }
+
+// OpenSession validates the configuration, precomputes the steady-state
+// layout, and launches the resident ranks. The tensor may be nil (zero
+// blocks — pure communication measurement). Options.MaxCols presizes the
+// arenas for batched operations; ApplyBatch grows them on demand.
+func OpenSession(a *tensor.Symmetric, opts Options) (*Session, error) {
+	part := opts.Part
+	if part == nil {
+		return nil, fmt.Errorf("parallel: nil partition")
+	}
+	b := opts.B
+	if b < 1 {
+		return nil, fmt.Errorf("parallel: block edge %d", b)
+	}
+	sched := opts.Sched
+	if opts.Wiring == WiringP2P && sched == nil {
+		s, err := schedule.Build(part)
+		if err != nil {
+			return nil, err
+		}
+		sched = s
+	}
+	blocks, err := rankBlocksFor(&opts, a, part, b)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := buildLayout(part, sched, opts.Wiring, b)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Wiring == WiringAllToAll {
+		for p := range lay.perRank {
+			for _, ap := range lay.perRank[p].peers {
+				if ap.myW > 2*lay.maxChunk || ap.peerW > 2*lay.maxChunk {
+					return nil, fmt.Errorf("parallel: rank %d shares %d+%d words with rank %d, exceeding All-to-All width %d",
+						p, ap.myW, ap.peerW, ap.peer, 2*lay.maxChunk)
+				}
+			}
+		}
+	}
+
+	s := &Session{
+		a:      a,
+		opts:   opts,
+		part:   part,
+		sched:  sched,
+		b:      b,
+		padded: part.M * b,
+		blocks: blocks,
+		exec:   opts.executor(),
+		lay:    lay,
+	}
+	maxCols := opts.MaxCols
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	s.grow(maxCols)
+
+	s.ops = make([]chan *sessionOp, part.P)
+	for r := range s.ops {
+		s.ops[r] = make(chan *sessionOp, 1)
+	}
+	s.runDone = make(chan struct{})
+	go func() {
+		s.report, s.runErr = machine.RunWith(part.P, opts.Machine, s.rankBody)
+		close(s.runDone)
+	}()
+	return s, nil
+}
+
+// grow (re)allocates arenas and message buffers for maxCols columns. Only
+// called while no operation is in flight; the op-channel handoff publishes
+// the new buffers to the rank goroutines.
+func (s *Session) grow(maxCols int) {
+	s.maxCols = maxCols
+	if s.rk == nil {
+		s.rk = make([]*sessionRank, s.part.P)
+		for p := range s.rk {
+			s.rk[p] = &sessionRank{lay: &s.lay.perRank[p], b: s.b, scratch: sttsv.NewScratch()}
+		}
+	}
+	for _, rk := range s.rk {
+		rk.maxCols = maxCols
+		rows := len(rk.lay.rows)
+		rk.xA = make([]float64, rows*maxCols*s.b)
+		rk.yA = make([]float64, rows*maxCols*s.b)
+		rk.chunk = make([]float64, rows*s.b)
+		if rk.lay.maxMsgW > 0 {
+			rk.sendBuf = make([]float64, rk.lay.maxMsgW*maxCols)
+			rk.recvBuf = make([]float64, rk.lay.maxMsgW*maxCols)
+		}
+		if s.opts.Wiring == WiringAllToAll {
+			width := 2 * s.lay.maxChunk * maxCols
+			rk.a2aSendBack = make([][]float64, s.part.P)
+			rk.a2aRecvBack = make([][]float64, s.part.P)
+			rk.a2aSend = make([][]float64, s.part.P)
+			rk.a2aRecv = make([][]float64, s.part.P)
+			rk.a2aPay = make([]int, s.part.P)
+			for i := 0; i < s.part.P; i++ {
+				rk.a2aSendBack[i] = make([]float64, width)
+				rk.a2aRecvBack[i] = make([]float64, width)
+			}
+		}
+	}
+	s.stageX = make([][]float64, maxCols)
+	s.stageY = make([][]float64, maxCols)
+	for l := 0; l < maxCols; l++ {
+		s.stageX[l] = make([]float64, s.padded)
+		s.stageY[l] = make([]float64, s.padded)
+	}
+}
+
+func (s *Session) ensureCols(cols int) {
+	if cols > s.maxCols {
+		s.grow(cols)
+	}
+}
+
+// rankBody is the resident body every simulated rank runs: serve host-fed
+// operations until the op channel closes.
+func (s *Session) rankBody(c *machine.Comm) {
+	me := c.Rank()
+	for {
+		var op *sessionOp
+		c.AwaitHost(func() { op = <-s.ops[me] })
+		if op == nil {
+			return
+		}
+		op.run(me, c)
+		if op.pending.Add(-1) == 0 {
+			close(op.done)
+		}
+	}
+}
+
+// dispatch hands one operation to every rank and waits for completion (or
+// for the machine to die — a watchdog abort or an injected crash).
+func (s *Session) dispatch(run func(me int, c *machine.Comm)) error {
+	op := &sessionOp{run: run, done: make(chan struct{})}
+	op.pending.Store(int64(s.part.P))
+	for r := range s.ops {
+		select {
+		case s.ops[r] <- op:
+		case <-s.runDone:
+			return s.sessionErr()
+		}
+	}
+	select {
+	case <-op.done:
+		return nil
+	case <-s.runDone:
+		return s.sessionErr()
+	}
+}
+
+func (s *Session) sessionErr() error {
+	if s.runErr != nil {
+		return s.runErr
+	}
+	return fmt.Errorf("parallel: session machine exited")
+}
+
+// Close retires the resident ranks and waits for the machine to finish.
+// Safe to call more than once.
+func (s *Session) Close() error {
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
+	for r := range s.ops {
+		close(s.ops[r])
+	}
+	<-s.runDone
+	s.closeErr = s.runErr
+	return s.closeErr
+}
+
+// Report returns the whole-session machine report (all operations summed).
+// Only valid after Close.
+func (s *Session) Report() *machine.Report { return s.report }
+
+// ---------------------------------------------------------------------------
+// Steady-state pack/unpack/exchange path. After warm-up, nothing here
+// allocates: pack and unpack are copies over precomputed segments, Send
+// draws its payload copy from the machine's pool, and RecvInto returns it.
+
+// pack copies the segments' chunks (per row, then per column — the seed's
+// payload order) from the arena into buf, returning the payload length.
+func (rk *sessionRank) pack(buf, arena []float64, segs []segment, cols int) int {
+	b, stride := rk.b, rk.stride()
+	pos := 0
+	for _, sg := range segs {
+		base := sg.k * stride
+		n := sg.hi - sg.lo
+		for l := 0; l < cols; l++ {
+			o := base + l*b
+			copy(buf[pos:pos+n], arena[o+sg.lo:o+sg.hi])
+			pos += n
+		}
+	}
+	return pos
+}
+
+// unpackCopy writes a received payload into the arena segments (gather).
+func (rk *sessionRank) unpackCopy(payload, arena []float64, segs []segment, cols int) {
+	b, stride := rk.b, rk.stride()
+	pos := 0
+	for _, sg := range segs {
+		base := sg.k * stride
+		n := sg.hi - sg.lo
+		for l := 0; l < cols; l++ {
+			o := base + l*b
+			copy(arena[o+sg.lo:o+sg.hi], payload[pos:pos+n])
+			pos += n
+		}
+	}
+}
+
+// unpackAdd accumulates a received payload into the arena segments
+// (reduce-scatter), in the seed's ascending-index order.
+func (rk *sessionRank) unpackAdd(payload, arena []float64, segs []segment, cols int) {
+	b, stride := rk.b, rk.stride()
+	pos := 0
+	for _, sg := range segs {
+		base := sg.k * stride
+		for l := 0; l < cols; l++ {
+			o := base + l*b
+			for t := sg.lo; t < sg.hi; t++ {
+				arena[o+t] += payload[pos]
+				pos++
+			}
+		}
+	}
+}
+
+// gatherP2P runs the gather phase over the point-to-point schedule.
+func (rk *sessionRank) gatherP2P(c *machine.Comm, cols int) {
+	for si := range rk.lay.steps {
+		st := &rk.lay.steps[si]
+		tag := 100 + si
+		if st.sendTo >= 0 {
+			n := rk.pack(rk.sendBuf, rk.xA, st.gSend, cols)
+			c.Send(st.sendTo, tag, rk.sendBuf[:n])
+		}
+		if st.recvFrom >= 0 {
+			w := st.gRecvW * cols
+			c.RecvInto(st.recvFrom, tag, rk.recvBuf[:w])
+			rk.unpackCopy(rk.recvBuf[:w], rk.xA, st.gRecv, cols)
+		}
+		c.Barrier() // stepwise semantics of §7.2
+	}
+}
+
+// scatterP2P runs the reduce-scatter phase over the schedule.
+func (rk *sessionRank) scatterP2P(c *machine.Comm, cols int) {
+	for si := range rk.lay.steps {
+		st := &rk.lay.steps[si]
+		tag := 200 + si
+		if st.sendTo >= 0 {
+			n := rk.pack(rk.sendBuf, rk.yA, st.sSend, cols)
+			c.Send(st.sendTo, tag, rk.sendBuf[:n])
+		}
+		if st.recvFrom >= 0 {
+			w := st.sRecvW * cols
+			c.RecvInto(st.recvFrom, tag, rk.recvBuf[:w])
+			rk.unpackAdd(rk.recvBuf[:w], rk.yA, st.sRecv, cols)
+		}
+		c.Barrier()
+	}
+}
+
+// exchangeA2A runs one phase over the fixed-width All-to-All collective.
+// gather selects direction: pack my chunks / copy in the peer's for the
+// gather phase; pack the peer's chunks / add into mine for reduce-scatter.
+func (rk *sessionRank) exchangeA2A(c *machine.Comm, maxChunk, tag, cols int, gather bool) {
+	width := 2 * maxChunk * cols
+	for i := range rk.a2aSend {
+		rk.a2aSend[i] = rk.a2aSendBack[i][:width]
+		rk.a2aRecv[i] = rk.a2aRecvBack[i][:width]
+	}
+	arena := rk.xA
+	if !gather {
+		arena = rk.yA
+	}
+	for pi := range rk.lay.peers {
+		ap := &rk.lay.peers[pi]
+		segs := ap.mySegs
+		if !gather {
+			segs = ap.peerSegs
+		}
+		n := rk.pack(rk.a2aSend[ap.peer], arena, segs, cols)
+		// Keep the padding invariant: words past the payload must be zero,
+		// exactly as the seed's freshly allocated padded buffers were.
+		if rk.a2aPay[ap.peer] > n {
+			clear(rk.a2aSend[ap.peer][n:rk.a2aPay[ap.peer]])
+		}
+		rk.a2aPay[ap.peer] = n
+	}
+	rk.world.AllToAllFixedInto(tag, width, rk.a2aSend, rk.a2aRecv)
+	for pi := range rk.lay.peers {
+		ap := &rk.lay.peers[pi]
+		if gather {
+			rk.unpackCopy(rk.a2aRecv[ap.peer], rk.xA, ap.peerSegs, cols)
+		} else {
+			rk.unpackAdd(rk.a2aRecv[ap.peer], rk.yA, ap.mySegs, cols)
+		}
+	}
+}
+
+// stage copies the host-staged input columns' owned chunks into the x
+// arena. The gather phase overwrites every other chunk of every owned row
+// (schedule completeness), so no clearing is needed.
+func (rk *sessionRank) stage(stageX [][]float64, cols int) {
+	b, stride := rk.b, rk.stride()
+	for k, row := range rk.lay.rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		base := k * stride
+		for l := 0; l < cols; l++ {
+			o := base + l*b
+			copy(rk.xA[o+lo:o+hi], stageX[l][row*b+lo:row*b+hi])
+		}
+	}
+}
+
+// publish writes the owned output chunks into the host's staging columns.
+// Chunk ownership is a partition of every row block, so each word has
+// exactly one writer.
+func (rk *sessionRank) publish(stageY [][]float64, cols int) {
+	b, stride := rk.b, rk.stride()
+	for k, row := range rk.lay.rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		base := k * stride
+		for l := 0; l < cols; l++ {
+			o := base + l*b
+			copy(stageY[l][row*b+lo:row*b+hi], rk.yA[o+lo:o+hi])
+		}
+	}
+}
+
+func (rk *sessionRank) zeroY() { clear(rk.yA) }
+
+// xRowCol and yRowCol are the executor's arena accessors.
+func (rk *sessionRank) xRowCol(i, l int) []float64 {
+	base := rk.lay.rowIdx[i]*rk.stride() + l*rk.b
+	return rk.xA[base : base+rk.b]
+}
+
+func (rk *sessionRank) yRowCol(i, l int) []float64 {
+	base := rk.lay.rowIdx[i]*rk.stride() + l*rk.b
+	return rk.yA[base : base+rk.b]
+}
+
+// ---------------------------------------------------------------------------
+// Operations.
+
+// applyOp is the rank closure of one (possibly batched) STTSV application.
+func (s *Session) applyOp(cols int, pr *phaseRecorder, deltas []machine.Meters) func(me int, c *machine.Comm) {
+	return func(me int, c *machine.Comm) {
+		rk := s.rk[me]
+		m0 := c.Meters()
+		if s.opts.Wiring == WiringAllToAll && rk.world == nil {
+			rk.world = collective.World(c)
+		}
+		rk.stage(s.stageX, cols)
+		pr.comm(c, "gather", func() {
+			if s.opts.Wiring == WiringP2P {
+				rk.gatherP2P(c, cols)
+			} else {
+				rk.exchangeA2A(c, s.lay.maxChunk, 1, cols, true)
+			}
+		})
+		rk.zeroY()
+		pr.local(c, "local", func() int64 {
+			var st sttsv.Stats
+			s.exec.ContributeCols(rk.scratch, s.blocks.Rank(me), s.b, cols, rk.xRowCol, rk.yRowCol, &st)
+			return st.TernaryMults
+		})
+		pr.comm(c, "reduce-scatter", func() {
+			if s.opts.Wiring == WiringP2P {
+				rk.scatterP2P(c, cols)
+			} else {
+				rk.exchangeA2A(c, s.lay.maxChunk, 2, cols, false)
+			}
+		})
+		rk.publish(s.stageY, cols)
+		deltas[me] = c.Meters().Sub(m0)
+	}
+}
+
+// applyCols stages the input columns, dispatches one application, and
+// leaves the padded outputs in s.stageY. Column l of the output is
+// bit-identical to a single-column application of X[l].
+func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, error) {
+	if s.closed {
+		return nil, nil, fmt.Errorf("parallel: session closed")
+	}
+	cols := len(X)
+	if cols < 1 {
+		return nil, nil, fmt.Errorf("parallel: empty batch")
+	}
+	for _, x := range X {
+		if len(x) > s.padded {
+			return nil, nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d (m=%d, b=%d)", len(x), s.padded, s.part.M, s.b)
+		}
+		if s.a != nil && s.a.N != len(x) {
+			return nil, nil, fmt.Errorf("parallel: tensor dimension %d, vector length %d", s.a.N, len(x))
+		}
+	}
+	s.ensureCols(cols)
+	for l, x := range X {
+		copy(s.stageX[l], x)
+		clear(s.stageX[l][len(x):])
+	}
+	pr := newPhaseRecorder(s.part.P, "gather", "local", "reduce-scatter")
+	deltas := make([]machine.Meters, s.part.P)
+	if err := s.dispatch(s.applyOp(cols, pr, deltas)); err != nil {
+		return nil, nil, err
+	}
+	pr.meter("gather").Steps = s.lay.steps
+	pr.meter("reduce-scatter").Steps = s.lay.steps
+	return deltas, pr, nil
+}
+
+// Apply computes y = A ×₂ x ×₃ x on the resident machine. The result (Y
+// bits, per-phase meters, report) is exactly what a fresh Run would
+// produce.
+func (s *Session) Apply(x []float64) (*Result, error) {
+	deltas, pr, err := s.applyCols([][]float64{x})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Y:       append([]float64(nil), s.stageY[0][:len(x)]...),
+		Report:  reportFromDeltas(deltas),
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
+		Steps:   s.lay.steps,
+	}, nil
+}
+
+// BatchResult reports one multi-column application.
+type BatchResult struct {
+	// Y holds one output column per input column, each len(X[l]).
+	Y [][]float64
+	// Report, Phases, Ternary, Steps are as in Result, for the whole
+	// batch: per-column words match cols independent applications, while
+	// the message count stays that of a single one (messages ÷ cols).
+	Report  *machine.Report
+	Phases  []PhaseMeter
+	Ternary []int64
+	Steps   int
+}
+
+// ApplyBatch computes y_l = A ×₂ x_l ×₃ x_l for every column at once: one
+// message per schedule step carrying all columns, amortizing the α (per-
+// message) cost cols-fold. Output column l is bit-identical to Apply(X[l]).
+func (s *Session) ApplyBatch(X [][]float64) (*BatchResult, error) {
+	deltas, pr, err := s.applyCols(X)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([][]float64, len(X))
+	for l, x := range X {
+		ys[l] = append([]float64(nil), s.stageY[l][:len(x)]...)
+	}
+	return &BatchResult{
+		Y:       ys,
+		Report:  reportFromDeltas(deltas),
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
+		Steps:   s.lay.steps,
+	}, nil
+}
+
+// PowerMethod runs the distributed higher-order power method (Algorithm 1)
+// as one resident operation: the iterate stays distributed in the chunk
+// layout across iterations, and every iteration reuses the session's
+// arenas and message buffers. Results and meters are exactly those of
+// RunPowerMethod.
+func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
+	if s.closed {
+		return nil, fmt.Errorf("parallel: session closed")
+	}
+	if s.a == nil {
+		return nil, fmt.Errorf("parallel: power method requires a tensor")
+	}
+	if s.opts.Wiring != WiringP2P {
+		return nil, fmt.Errorf("parallel: power method supports the p2p wiring only")
+	}
+	n := s.a.N
+	if n > s.padded {
+		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, s.padded)
+	}
+	if po.MaxIter <= 0 {
+		po.MaxIter = 200
+	}
+	if po.Tol <= 0 {
+		po.Tol = 1e-12
+	}
+
+	// Deterministic unit start, padded region zero.
+	x0 := make([]float64, s.padded)
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		x0[i] = math.Sin(float64(i+1)*1.7 + float64(po.Seed))
+		norm += x0[i] * x0[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := 0; i < n; i++ {
+		x0[i] /= norm
+	}
+
+	p := s.part.P
+	lambdas := make([]float64, p)
+	iters := make([]int, p)
+	converged := make([]bool, p)
+	xOut := make([]float64, s.padded)
+	pr := newPhaseRecorder(p, "gather", "local", "reduce-scatter", "all-reduce")
+	deltas := make([]machine.Meters, p)
+
+	err := s.dispatch(func(me int, c *machine.Comm) {
+		rk := s.rk[me]
+		m0 := c.Meters()
+		if rk.world == nil {
+			rk.world = collective.World(c)
+		}
+		b := s.b
+		rows := rk.lay.rows
+
+		// Owned chunks of the iterate.
+		for k, row := range rows {
+			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+			copy(rk.chunk[k*b+lo:k*b+hi], x0[row*b+lo:row*b+hi])
+		}
+
+		lambda, prev := 0.0, math.Inf(1)
+		done := false
+		it := 0
+		for it = 1; it <= po.MaxIter && !done; it++ {
+			// Stage the owned chunks; gather fills every other chunk.
+			stride := rk.stride()
+			for k := range rows {
+				lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+				copy(rk.xA[k*stride+lo:k*stride+hi], rk.chunk[k*b+lo:k*b+hi])
+			}
+			pr.comm(c, "gather", func() { rk.gatherP2P(c, 1) })
+
+			rk.zeroY()
+			pr.local(c, "local", func() int64 {
+				var st sttsv.Stats
+				s.exec.ContributeCols(rk.scratch, s.blocks.Rank(me), b, 1, rk.xRowCol, rk.yRowCol, &st)
+				return st.TernaryMults
+			})
+
+			pr.comm(c, "reduce-scatter", func() { rk.scatterP2P(c, 1) })
+
+			// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
+			rk.pbuf[0], rk.pbuf[1] = 0, 0
+			for k := range rows {
+				lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+				yc := rk.yA[k*stride+lo : k*stride+hi]
+				xc := rk.chunk[k*b+lo : k*b+hi]
+				for t := range yc {
+					rk.pbuf[0] += xc[t] * yc[t]
+					rk.pbuf[1] += yc[t] * yc[t]
+				}
+			}
+			var sums []float64
+			pr.comm(c, "all-reduce", func() { sums = rk.world.AllReduceSum(300, rk.pbuf[:]) })
+			lambda = sums[0]
+			ynorm := math.Sqrt(sums[1])
+
+			if math.Abs(lambda-prev) <= po.Tol*(1+math.Abs(lambda)) {
+				done = true
+				break
+			}
+			prev = lambda
+			if ynorm == 0 {
+				done = true // singular tensor; keep current iterate
+				break
+			}
+			for k := range rows {
+				lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+				yc := rk.yA[k*stride+lo : k*stride+hi]
+				xc := rk.chunk[k*b+lo : k*b+hi]
+				for t := range xc {
+					xc[t] = yc[t] / ynorm
+				}
+			}
+		}
+
+		lambdas[me] = lambda
+		iters[me] = it
+		converged[me] = done
+		for k, row := range rows {
+			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+			copy(xOut[row*b+lo:row*b+hi], rk.chunk[k*b+lo:k*b+hi])
+		}
+		deltas[me] = c.Meters().Sub(m0)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pr.meter("gather").Steps = s.lay.steps
+	pr.meter("reduce-scatter").Steps = s.lay.steps
+	return &EigenResult{
+		Lambda:     lambdas[0],
+		X:          xOut[:n],
+		Iterations: iters[0],
+		Converged:  converged[0],
+		Report:     reportFromDeltas(deltas),
+		Phases:     pr.results(),
+	}, nil
+}
+
+// MTTKRP computes the symmetric MTTKRP Y_iℓ = Σ_jk a_ijk·X_jℓ·X_kℓ as one
+// batched application over the factor columns (see RunMTTKRP for the cost
+// model). x may be nil for pure communication measurements at rank r.
+func (s *Session) MTTKRP(x *la.Matrix, r int) (*la.Matrix, *Result, error) {
+	if x != nil {
+		r = x.Cols
+	}
+	if r < 1 {
+		return nil, nil, fmt.Errorf("parallel: rank %d", r)
+	}
+	var n int
+	switch {
+	case x != nil:
+		n = x.Rows
+	case s.a != nil:
+		n = s.a.N
+	default:
+		n = s.padded
+	}
+	if n > s.padded {
+		return nil, nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, s.padded)
+	}
+	if s.a != nil && s.a.N != n {
+		return nil, nil, fmt.Errorf("parallel: tensor dimension %d, factor rows %d", s.a.N, n)
+	}
+	X := make([][]float64, r)
+	for l := 0; l < r; l++ {
+		col := make([]float64, n)
+		if x != nil {
+			for i := 0; i < n; i++ {
+				col[i] = x.At(i, l)
+			}
+		}
+		X[l] = col
+	}
+	deltas, pr, err := s.applyCols(X)
+	if err != nil {
+		return nil, nil, err
+	}
+	y := la.NewMatrix(n, r)
+	for l := 0; l < r; l++ {
+		for i := 0; i < n; i++ {
+			y.Set(i, l, s.stageY[l][i])
+		}
+	}
+	res := &Result{
+		Report:  reportFromDeltas(deltas),
+		Phases:  pr.results(),
+		Ternary: pr.meter("local").Ternary,
+		Steps:   s.lay.steps,
+	}
+	return y, res, nil
+}
+
+// reportFromDeltas assembles a per-operation machine report from the
+// ranks' counter deltas: identical to what a fresh run of just that
+// operation would report.
+func reportFromDeltas(d []machine.Meters) *machine.Report {
+	p := len(d)
+	rep := &machine.Report{
+		P:             p,
+		SentWords:     make([]int64, p),
+		RecvWords:     make([]int64, p),
+		SentMsgs:      make([]int64, p),
+		RecvMsgs:      make([]int64, p),
+		WireSentWords: make([]int64, p),
+		WireRecvWords: make([]int64, p),
+		WireSentMsgs:  make([]int64, p),
+		WireRecvMsgs:  make([]int64, p),
+	}
+	for i, m := range d {
+		rep.SentWords[i] = m.SentWords
+		rep.RecvWords[i] = m.RecvWords
+		rep.SentMsgs[i] = m.SentMsgs
+		rep.RecvMsgs[i] = m.RecvMsgs
+		rep.WireSentWords[i] = m.WireSentWords
+		rep.WireRecvWords[i] = m.WireRecvWords
+		rep.WireSentMsgs[i] = m.WireSentMsgs
+		rep.WireRecvMsgs[i] = m.WireRecvMsgs
+	}
+	return rep
+}

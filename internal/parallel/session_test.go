@@ -1,0 +1,385 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSessionApplyConformance is the session correctness bar: 50 Apply
+// calls on one resident session must produce bit-identical Y, identical
+// per-phase meters, and an identical per-operation report compared to 50
+// independent Run calls — for both wirings and two partition sizes.
+func TestSessionApplyConformance(t *testing.T) {
+	for _, q := range []int{2, 3} {
+		for _, wiring := range []Wiring{WiringP2P, WiringAllToAll} {
+			part := sphericalPart(t, q)
+			b := 7 // non-divisible chunking exercises uneven segments
+			n := part.M * b
+			rng := rand.New(rand.NewSource(900 + int64(q)))
+			a := tensor.Random(n, rng)
+			opts := Options{Part: part, B: b, Wiring: wiring}
+
+			s, err := OpenSession(a, opts)
+			if err != nil {
+				t.Fatalf("q=%d wiring=%v: open: %v", q, wiring, err)
+			}
+			for iter := 0; iter < 50; iter++ {
+				x := randVec(n, rng)
+				got, err := s.Apply(x)
+				if err != nil {
+					t.Fatalf("q=%d wiring=%v iter=%d: session apply: %v", q, wiring, iter, err)
+				}
+				want, err := Run(a, x, opts)
+				if err != nil {
+					t.Fatalf("q=%d wiring=%v iter=%d: run: %v", q, wiring, iter, err)
+				}
+				if !bitsEqual(got.Y, want.Y) {
+					t.Fatalf("q=%d wiring=%v iter=%d: session Y not bit-identical to Run", q, wiring, iter)
+				}
+				if !reflect.DeepEqual(got.Phases, want.Phases) {
+					t.Fatalf("q=%d wiring=%v iter=%d: phase meters differ:\nsession %+v\nrun     %+v",
+						q, wiring, iter, got.Phases, want.Phases)
+				}
+				if !reflect.DeepEqual(got.Report, want.Report) {
+					t.Fatalf("q=%d wiring=%v iter=%d: reports differ:\nsession %+v\nrun     %+v",
+						q, wiring, iter, got.Report, want.Report)
+				}
+				if got.Steps != want.Steps {
+					t.Fatalf("q=%d wiring=%v iter=%d: steps %d vs %d", q, wiring, iter, got.Steps, want.Steps)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("q=%d wiring=%v: close: %v", q, wiring, err)
+			}
+		}
+	}
+}
+
+// TestSessionApplyWorkersConformance repeats the conformance check with a
+// multi-worker local executor: the reused Scratch accumulators must
+// reproduce the fresh-buffer tree reduction bit for bit.
+func TestSessionApplyWorkersConformance(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 9
+	n := part.M * b
+	rng := rand.New(rand.NewSource(17))
+	a := tensor.Random(n, rng)
+	opts := Options{Part: part, B: b, Wiring: WiringP2P, Workers: 3}
+	s, err := OpenSession(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for iter := 0; iter < 10; iter++ {
+		x := randVec(n, rng)
+		got, err := s.Apply(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(a, x, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got.Y, want.Y) {
+			t.Fatalf("iter %d: multi-worker session Y not bit-identical to Run", iter)
+		}
+	}
+}
+
+// TestSessionBatchColumns: ApplyBatch column l must be bit-identical to
+// Apply(X[l]), while the per-phase message count is that of a single
+// application (the α amortization) and the words are cols× one column.
+func TestSessionBatchColumns(t *testing.T) {
+	for _, wiring := range []Wiring{WiringP2P, WiringAllToAll} {
+		part := sphericalPart(t, 2)
+		b := 8
+		n := part.M * b
+		rng := rand.New(rand.NewSource(23))
+		a := tensor.Random(n, rng)
+		s, err := OpenSession(a, Options{Part: part, B: b, Wiring: wiring})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		const cols = 3
+		X := make([][]float64, cols)
+		for l := range X {
+			X[l] = randVec(n, rng)
+		}
+		batch, err := s.ApplyBatch(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := make([]*Result, cols)
+		for l := range X {
+			if single[l], err = s.Apply(X[l]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for l := range X {
+			if !bitsEqual(batch.Y[l], single[l].Y) {
+				t.Fatalf("wiring=%v: batch column %d not bit-identical to single apply", wiring, l)
+			}
+		}
+		// Amortization: same message count as ONE application, cols× words.
+		bg := batch.Phases[0] // gather
+		sg := single[0].Phases[0]
+		for r := 0; r < part.P; r++ {
+			if bg.SentMsgs[r] != sg.SentMsgs[r] {
+				t.Fatalf("wiring=%v rank %d: batch gather msgs %d, single %d — batching must not add messages",
+					wiring, r, bg.SentMsgs[r], sg.SentMsgs[r])
+			}
+			if bg.SentWords[r] != cols*sg.SentWords[r] {
+				t.Fatalf("wiring=%v rank %d: batch gather words %d, want %d (cols×single)",
+					wiring, r, bg.SentWords[r], cols*sg.SentWords[r])
+			}
+		}
+	}
+}
+
+// TestSessionMTTKRPMatchesRun: the session's batched MTTKRP must agree
+// with the one-shot wrapper (which itself runs on a fresh session) to the
+// bit, including growing the column capacity on demand.
+func TestSessionMTTKRPMatchesRun(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M * b
+	rng := rand.New(rand.NewSource(31))
+	a := tensor.Random(n, rng)
+	r := 4
+	x := la.NewMatrix(n, r)
+	for i := 0; i < n; i++ {
+		for l := 0; l < r; l++ {
+			x.Set(i, l, rng.NormFloat64())
+		}
+	}
+	opts := Options{Part: part, B: b, Wiring: WiringP2P}
+	s, err := OpenSession(a, opts) // MaxCols deliberately left at 1: exercises growth
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	gotY, gotRes, err := s.MTTKRP(x, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY, wantRes, err := RunMTTKRP(a, x, r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(gotY.Data, wantY.Data) {
+		t.Fatal("session MTTKRP not bit-identical to RunMTTKRP")
+	}
+	if !reflect.DeepEqual(gotRes.Phases, wantRes.Phases) {
+		t.Fatalf("MTTKRP phase meters differ:\nsession %+v\nrun     %+v", gotRes.Phases, wantRes.Phases)
+	}
+}
+
+// TestSessionPowerMethodMatchesRun: one resident session serving a power
+// method op must reproduce the one-shot wrapper exactly, and a second
+// invocation on the same warm session must reproduce it again.
+func TestSessionPowerMethodMatchesRun(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M * b
+	rng := rand.New(rand.NewSource(41))
+	a := tensor.Random(n, rng)
+	opts := Options{Part: part, B: b, Wiring: WiringP2P}
+	po := PowerOptions{MaxIter: 30, Seed: 7}
+	want, err := RunPowerMethod(a, opts, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSession(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 2; round++ {
+		got, err := s.PowerMethod(po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Lambda) != math.Float64bits(want.Lambda) {
+			t.Fatalf("round %d: lambda %v vs %v", round, got.Lambda, want.Lambda)
+		}
+		if !bitsEqual(got.X, want.X) {
+			t.Fatalf("round %d: eigenvector not bit-identical", round)
+		}
+		if got.Iterations != want.Iterations || got.Converged != want.Converged {
+			t.Fatalf("round %d: iterations/converged %d/%v vs %d/%v",
+				round, got.Iterations, got.Converged, want.Iterations, want.Converged)
+		}
+		if !reflect.DeepEqual(got.Phases, want.Phases) {
+			t.Fatalf("round %d: phase meters differ", round)
+		}
+	}
+}
+
+// TestSessionPackUnpackZeroAlloc pins the zero-allocation property of the
+// steady-state pack/unpack path: after one warm-up application, packing
+// and unpacking every step of both phases allocates nothing.
+func TestSessionPackUnpackZeroAlloc(t *testing.T) {
+	part := sphericalPart(t, 3)
+	b := 7
+	n := part.M * b
+	rng := rand.New(rand.NewSource(57))
+	a := tensor.Random(n, rng)
+	s, err := OpenSession(a, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Apply(randVec(n, rng)); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	rk := s.rk[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		for si := range rk.lay.steps {
+			st := &rk.lay.steps[si]
+			if st.sendTo >= 0 {
+				n := rk.pack(rk.sendBuf, rk.xA, st.gSend, 1)
+				_ = rk.sendBuf[:n]
+				rk.pack(rk.sendBuf, rk.yA, st.sSend, 1)
+			}
+			if st.recvFrom >= 0 {
+				rk.unpackCopy(rk.recvBuf[:st.gRecvW], rk.xA, st.gRecv, 1)
+				rk.unpackAdd(rk.recvBuf[:st.sRecvW], rk.yA, st.sRecv, 1)
+			}
+		}
+		rk.stage(s.stageX, 1)
+		rk.publish(s.stageY, 1)
+		rk.zeroY()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pack/unpack path allocates %.1f objects per application, want 0", allocs)
+	}
+}
+
+// TestSessionApplySteadyStateAllocs bounds the whole warm Apply: total
+// allocations must not scale with the schedule length — only the small
+// constant host-side overhead (op dispatch, result assembly, meters)
+// remains once the exchange path is warm.
+func TestSessionApplySteadyStateAllocs(t *testing.T) {
+	part := sphericalPart(t, 3)
+	b := 6
+	n := part.M * b
+	rng := rand.New(rand.NewSource(58))
+	a := tensor.Random(n, rng)
+	s, err := OpenSession(a, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x := randVec(n, rng)
+	for i := 0; i < 3; i++ { // warm-up
+		if _, err := s.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The schedule has q³/2+3q²/2−1 = 26 steps and P = 13 ranks; a per-
+	// message or per-step allocation would push this into the thousands.
+	// The observed warm overhead is host-side result assembly plus the
+	// executor's per-op bookkeeping, all independent of schedule length.
+	const budget = 700
+	if allocs > budget {
+		t.Fatalf("warm Session.Apply allocates %.0f objects, budget %d — steady-state path is allocating per step or per message", allocs, budget)
+	}
+}
+
+// TestSessionClosedErrors: operations on a closed session fail cleanly.
+func TestSessionClosedErrors(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 6
+	s, err := OpenSession(nil, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(make([]float64, part.M*b)); err == nil {
+		t.Fatal("Apply on closed session succeeded")
+	}
+	if _, err := s.PowerMethod(PowerOptions{}); err == nil {
+		t.Fatal("PowerMethod on closed session succeeded")
+	}
+}
+
+// TestSessionNilTensor: a tensor-free session still runs the full
+// communication pattern (all blocks zero) — the pure-measurement mode.
+func TestSessionNilTensor(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 5
+	n := part.M * b
+	s, err := OpenSession(nil, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Apply(make([]float64, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Y {
+		if v != 0 {
+			t.Fatal("zero tensor produced nonzero output")
+		}
+	}
+	if res.Report.TotalSentWords() == 0 {
+		t.Fatal("communication pattern did not run")
+	}
+}
+
+// TestSessionWatchdogIdle: an armed stall watchdog must tolerate a
+// session sitting idle (ranks parked on the host queue) longer than the
+// timeout window, then keep serving operations.
+func TestSessionWatchdogIdle(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 5
+	n := part.M * b
+	s, err := OpenSession(nil, Options{
+		Part: part, B: b, Wiring: WiringP2P,
+		Machine: machine.RunConfig{Timeout: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x := make([]float64, n)
+	if _, err := s.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // idle well past the watchdog window
+	if _, err := s.Apply(x); err != nil {
+		t.Fatalf("apply after idle period: %v", err)
+	}
+}

@@ -43,6 +43,16 @@ func (e *Executor) Workers() int { return e.workers }
 // applied directly in input order — identical to the plain sequential
 // loop.
 func (e *Executor) Contribute(blocks []*tensor.Block, b int, xRow, yRow func(int) []float64, stats *Stats) {
+	e.ContributeWith(nil, blocks, b, xRow, yRow, stats)
+}
+
+// ContributeWith is Contribute drawing its per-worker accumulators from sc
+// so repeated applications over the same blocks allocate nothing after the
+// first. A nil sc allocates fresh accumulators per call (Contribute's
+// behaviour). The output bits are identical either way: row tables start
+// all-nil and rows are zeroed on first touch, so the deterministic tree
+// reduction sees exactly the state it would with fresh buffers.
+func (e *Executor) ContributeWith(sc *Scratch, blocks []*tensor.Block, b int, xRow, yRow func(int) []float64, stats *Stats) {
 	if len(blocks) == 0 {
 		return
 	}
@@ -65,6 +75,15 @@ func (e *Executor) Contribute(blocks []*tensor.Block, b int, xRow, yRow func(int
 			maxRow = blk.I
 		}
 	}
+	var workers []workerScratch
+	if sc != nil {
+		workers = sc.acquire(w, maxRow)
+	} else {
+		workers = make([]workerScratch, w)
+		for wi := range workers {
+			workers[wi].rows = make([][]float64, maxRow+1)
+		}
+	}
 	acc := make([][][]float64, w) // acc[worker][row block] — private accumulators
 	counts := make([]int64, w)
 	var wg sync.WaitGroup
@@ -72,13 +91,8 @@ func (e *Executor) Contribute(blocks []*tensor.Block, b int, xRow, yRow func(int
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			mine := make([][]float64, maxRow+1)
-			row := func(i int) []float64 {
-				if mine[i] == nil {
-					mine[i] = make([]float64, b)
-				}
-				return mine[i]
-			}
+			ws := &workers[wi]
+			row := func(i int) []float64 { return ws.row(i, b) }
 			var st Stats
 			for bi := wi; bi < len(blocks); bi += w {
 				blk := blocks[bi]
@@ -86,7 +100,7 @@ func (e *Executor) Contribute(blocks []*tensor.Block, b int, xRow, yRow func(int
 					xRow(blk.I), xRow(blk.J), xRow(blk.K),
 					row(blk.I), row(blk.J), row(blk.K), &st)
 			}
-			acc[wi] = mine
+			acc[wi] = ws.rows
 			counts[wi] = st.TernaryMults
 		}(wi)
 	}
@@ -126,4 +140,19 @@ func (e *Executor) Contribute(blocks []*tensor.Block, b int, xRow, yRow func(int
 		total += c
 	}
 	stats.add(total)
+}
+
+// ContributeCols applies the block list to cols independent right-hand
+// sides: xRow(i, l) and yRow(i, l) address the length-b row block of row i
+// for column l. Columns are processed one at a time through ContributeWith,
+// so column l's output bits are identical to a single-column Contribute
+// over that column — batching changes the communication schedule (see
+// parallel.Session.ApplyBatch), never the arithmetic.
+func (e *Executor) ContributeCols(sc *Scratch, blocks []*tensor.Block, b, cols int, xRow, yRow func(i, l int) []float64, stats *Stats) {
+	for l := 0; l < cols; l++ {
+		l := l
+		e.ContributeWith(sc, blocks, b,
+			func(i int) []float64 { return xRow(i, l) },
+			func(i int) []float64 { return yRow(i, l) }, stats)
+	}
 }

@@ -1,0 +1,69 @@
+package sttsv
+
+// Scratch holds the per-worker accumulator state of Executor.Contribute so
+// a caller that applies the same block list repeatedly (a resident
+// parallel.Session rank) performs no allocations after the first
+// application. A Scratch grows to the high-water mark of whatever calls it
+// serves and is then reused verbatim.
+//
+// Reproducibility: Contribute's bit-exactness contract relies on rows that
+// no block touches staying nil in each worker's accumulator table (the
+// tree reduction moves or skips nil rows). Scratch preserves that exactly:
+// the row-pointer tables are reset to nil on every acquisition and row
+// buffers are zeroed when first touched, so a warm Scratch produces the
+// same bits as freshly allocated accumulators.
+//
+// A Scratch is NOT safe for concurrent use — each concurrent caller (each
+// simulated rank) owns its own.
+type Scratch struct {
+	perWorker []workerScratch
+}
+
+type workerScratch struct {
+	rows  [][]float64 // row-block index → accumulator row, nil until touched
+	arena []float64   // backing storage carved into b-word rows
+	used  int         // words of arena handed out this application
+}
+
+// NewScratch returns an empty Scratch; buffers are grown on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// acquire readies w worker tables covering row blocks 0..maxRow, reusing
+// prior capacity. Returned tables have every row pointer nil.
+func (sc *Scratch) acquire(w, maxRow int) []workerScratch {
+	if cap(sc.perWorker) < w {
+		grown := make([]workerScratch, w)
+		copy(grown, sc.perWorker)
+		sc.perWorker = grown
+	}
+	sc.perWorker = sc.perWorker[:w]
+	for wi := range sc.perWorker {
+		ws := &sc.perWorker[wi]
+		if cap(ws.rows) < maxRow+1 {
+			ws.rows = make([][]float64, maxRow+1)
+		}
+		ws.rows = ws.rows[:maxRow+1]
+		for i := range ws.rows {
+			ws.rows[i] = nil
+		}
+		ws.used = 0
+	}
+	return sc.perWorker
+}
+
+// row returns the worker's accumulator for row block i, carving a zeroed
+// b-word row out of the arena on first touch.
+func (ws *workerScratch) row(i, b int) []float64 {
+	if ws.rows[i] == nil {
+		if ws.used+b > len(ws.arena) {
+			grown := make([]float64, ws.used+b, 2*(ws.used+b))
+			copy(grown, ws.arena[:ws.used])
+			ws.arena = grown
+		}
+		buf := ws.arena[ws.used : ws.used+b : ws.used+b]
+		ws.used += b
+		clear(buf)
+		ws.rows[i] = buf
+	}
+	return ws.rows[i]
+}

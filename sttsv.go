@@ -203,6 +203,26 @@ func ParallelCompute(a *Tensor, x []float64, opts ParallelOptions) (*ParallelRes
 	return parallel.Run(a, x, opts)
 }
 
+// Session is a persistent parallel STTSV engine: the simulated machine is
+// launched once against a fixed (tensor, partition, schedule, block edge,
+// wiring) configuration and then serves a stream of operations — Apply,
+// ApplyBatch, PowerMethod, MTTKRP — until Close. Every result is
+// bit-identical to the corresponding one-shot call (ParallelCompute,
+// DistributedPowerMethod, ParallelMTTKRP), but the machine launch, plan
+// precomputation and all message buffers are paid once: the steady-state
+// exchange path performs no allocations.
+type Session = parallel.Session
+
+// BatchResult reports a multi-column session application.
+type BatchResult = parallel.BatchResult
+
+// OpenSession launches a persistent session. The tensor may be nil for
+// pure communication measurements. Callers must Close the session to stop
+// the resident ranks.
+func OpenSession(a *Tensor, opts ParallelOptions) (*Session, error) {
+	return parallel.OpenSession(a, opts)
+}
+
 // RankBlocks caches per-rank extracted block sets so repeated
 // ParallelCompute calls on one tensor skip re-extraction (set
 // ParallelOptions.Blocks).

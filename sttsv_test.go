@@ -163,3 +163,45 @@ func TestFacadeHypergraph(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeSession(t *testing.T) {
+	part, err := NewPartition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 6
+	n := part.M * b
+	a := RandomTensor(n, 3)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	want := Compute(a, x, nil)
+	s, err := OpenSession(a, ParallelOptions{Part: part, B: b, MaxCols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 3; round++ {
+		res, err := s.Apply(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(res.Y[i]-want[i]) > 1e-9 {
+				t.Fatalf("round %d differs at %d", round, i)
+			}
+		}
+	}
+	batch, err := s.ApplyBatch([][]float64{x, x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range batch.Y {
+		for i := range want {
+			if math.Abs(col[i]-want[i]) > 1e-9 {
+				t.Fatal("batch column differs")
+			}
+		}
+	}
+}
