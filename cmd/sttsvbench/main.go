@@ -135,7 +135,12 @@ func main() {
 	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "per-measurement budget")
 	parallelMode := flag.Bool("parallel", false, "benchmark the session engine instead of the local kernels")
 	check := flag.String("check", "", "with -parallel: compare against this baseline JSON and fail on >20% regression instead of writing output")
+	recoverDrill := flag.Bool("recover", false, "run the crash-recovery drill: a resident session under a seeded multi-rank crash plan, reporting recovery cost against the clean run")
 	flag.Parse()
+	if *recoverDrill {
+		runRecoveryDrill()
+		return
+	}
 	if *parallelMode {
 		if *out == "" {
 			*out = "BENCH_parallel.json"

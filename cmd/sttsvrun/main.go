@@ -62,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	q := flag.Int("q", 0, "also run parallel Algorithm 5 with this prime power (0 = skip)")
 	faults := flag.String("faults", "", "fault schedule for the simulated machine (with -q), e.g. seed=7,drop=0.2,dup=0.1,reorder=0.1,corrupt=0.05,stall=0.01,crash=2@40")
+	rec := flag.Bool("recover", false, "run the faulted configuration through a crash-recovering session: rank deaths are respawned and replayed instead of failing the run (with -q and -faults)")
 	runHopm := flag.Bool("hopm", false, "run the higher-order power method")
 	shift := flag.Float64("shift", 0, "SS-HOPM shift (with -hopm)")
 	def := obs.DefaultTimeModel()
@@ -113,8 +114,12 @@ func main() {
 	fmt.Printf("Algorithm 4 (symmetric): %12d ternary mults  %v\n", stPacked.TernaryMults, tPacked)
 	fmt.Printf("agreement: max |Δy| = %.3g\n", maxDiff)
 
+	if *rec && !plan.Active() {
+		fmt.Fprintln(os.Stderr, "sttsvrun: -recover requires -faults (it changes how fault-injected runs handle crashes)")
+		os.Exit(2)
+	}
 	if *q > 0 {
-		runParallel(a, x, yp, *q, plan, &oc)
+		runParallel(a, x, yp, *q, plan, *rec, &oc)
 	} else if plan.Active() {
 		fmt.Fprintln(os.Stderr, "sttsvrun: -faults requires -q (faults apply to the simulated machine)")
 		os.Exit(2)
@@ -130,7 +135,7 @@ func main() {
 	}
 }
 
-func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan, oc *obsConfig) {
+func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan, recoverCrash bool, oc *obsConfig) {
 	part, err := partition.NewSpherical(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sttsvrun:", err)
@@ -165,7 +170,7 @@ func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan,
 			exportObservability(rec.Trace(), res, wiring, oc)
 		}
 		if plan.Active() {
-			runFaulted(a, x, wiring, part, b, plan, res)
+			runFaulted(a, x, wiring, part, b, plan, recoverCrash, res)
 		}
 	}
 }
@@ -240,19 +245,41 @@ func writeFile(path string, write func(*os.File) error) {
 // transport with the plan's faults injected and compares it against the
 // fault-free run just completed.
 func runFaulted(a *tensor.Symmetric, x []float64, wiring parallel.Wiring,
-	part *partition.Tetrahedral, b int, plan fault.Plan, clean *parallel.Result) {
+	part *partition.Tetrahedral, b int, plan fault.Plan, recoverCrash bool, clean *parallel.Result) {
 	fmt.Printf("  %-11s faults: %s\n", wiring, plan)
 	// A retry budget far beyond the watchdog window: a crashed rank is
 	// then reported by the progress monitor as one structured deadlock
 	// (naming the crashed rank and every blocked peer) instead of a slow
 	// cascade of per-sender retry exhaustions.
-	res, err := parallel.Run(a, x, parallel.Options{
+	opts := parallel.Options{
 		Part: part, B: b, Wiring: wiring,
 		Machine: machine.RunConfig{
 			Transport: fault.TransportOpts(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
 			Timeout:   5 * time.Second,
 		},
-	})
+	}
+	var res *parallel.Result
+	var err error
+	if recoverCrash {
+		// The recovering path: crashes are claimed once per rank by the
+		// shared registry, so a respawned rank does not re-crash on the
+		// replay.
+		opts.Machine.Transport = fault.TransportRecoverable(plan, fault.ReliableOptions{MaxAttempts: 1 << 20})
+		opts.Recovery = &parallel.RecoveryOptions{}
+		var s *parallel.Session
+		s, err = parallel.OpenSession(a, opts)
+		if err == nil {
+			res, err = s.Apply(x)
+			if err == nil {
+				st := s.RecoveryStats()
+				fmt.Printf("              recovery: %d rank deaths, %d retries, %d rollbacks, %d respawns, %d relaunches (epoch %d)\n",
+					st.RankDowns, st.Retries, st.Rollbacks, st.Restarts, st.Relaunches, st.Epoch)
+			}
+			s.Close()
+		}
+	} else {
+		res, err = parallel.Run(a, x, opts)
+	}
 	if err != nil {
 		fmt.Printf("              failed: %v\n", err)
 		return

@@ -61,6 +61,8 @@ func (w *recordWire) Size() int                      { return w.size }
 func (w *recordWire) Deliver(p machine.Packet)       { w.delivered = append(w.delivered, p) }
 func (w *recordWire) Pull() machine.Packet           { panic("recordWire: Pull") }
 func (w *recordWire) Pending([]machine.PendingEntry) {}
+func (w *recordWire) Aborting() bool                 { return false }
+func (w *recordWire) Epoch() int64                   { return 0 }
 func (w *recordWire) PullTimeout(time.Duration) (machine.Packet, bool) {
 	return machine.Packet{}, false
 }

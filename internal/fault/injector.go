@@ -33,8 +33,9 @@ type injector struct {
 	machine.Wire
 	plan   Plan
 	rng    *rand.Rand
-	ops    int // Deliver calls so far (crash clock)
-	faults int // injected faults so far (MaxFaults budget)
+	ops    int            // Deliver calls so far (crash clock)
+	faults int            // injected faults so far (MaxFaults budget)
+	reg    *CrashRegistry // non-nil: crashes fire once per rank per registry
 	held   *machine.Packet
 }
 
@@ -50,7 +51,9 @@ func (i *injector) budget() bool {
 func (i *injector) Deliver(pkt machine.Packet) {
 	i.ops++
 	if at, ok := i.plan.Crash[i.Rank()]; ok && i.ops >= at {
-		panic(machine.CrashError{Rank: i.Rank(), Op: i.ops})
+		if i.reg == nil || i.reg.claim(i.Rank()) {
+			panic(machine.CrashError{Rank: i.Rank(), Op: i.ops})
+		}
 	}
 	// Draw every decision up front so the random stream advances the
 	// same way regardless of which faults fire.

@@ -1,0 +1,291 @@
+package fault_test
+
+// The chaos-recovery suite: for a grid of seeded crash schedules ×
+// wirings × partition sizes, a session opened with Options.Recovery must
+// absorb rank deaths mid-run — respawn the dead ranks, fence the stale
+// wire traffic behind a new epoch, roll every rank back to the last
+// checkpoint, and replay — and still reproduce the crash-free session
+// bit-identically: same Y bits, same per-phase meters, same logical
+// per-rank communication counts. All recovery work is visible only on
+// the wire meters, in RecoveryStats, and in the obs trace markers.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// recoveryPlans are the seeded crash schedules of the acceptance grid:
+// an early mid-operation crash, a late crash (second or third Apply,
+// depending on machine size), a multi-rank crash, and a crash layered
+// over packet loss (so recovery interleaves with retransmission).
+var recoveryPlans = []fault.Plan{
+	{Seed: 1, Crash: map[int]int{1: 4}},
+	{Seed: 2, Crash: map[int]int{2: 60}},
+	{Seed: 3, Crash: map[int]int{0: 10, 3: 25}},
+	{Seed: 4, Drop: 0.05, Crash: map[int]int{1: 8}},
+}
+
+// recoverySetup builds a small deterministic problem for partition
+// parameter q plus three distinct input vectors.
+func recoverySetup(t *testing.T, q int) (*partition.Tetrahedral, *tensor.Symmetric, [][]float64, int) {
+	t.Helper()
+	part, err := partition.NewSpherical(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 2
+	n := part.M * b
+	rng := newRng(int64(1000 + q))
+	a := tensor.Random(n, rng)
+	xs := make([][]float64, 3)
+	for k := range xs {
+		xs[k] = make([]float64, n)
+		for i := range xs[k] {
+			xs[k][i] = rng.NormFloat64()
+		}
+	}
+	return part, a, xs, b
+}
+
+// sessionOutcome is everything the suite compares between a crash-free
+// and a recovering session.
+type sessionOutcome struct {
+	ys      [][]float64
+	phases  [][]parallel.PhaseMeter
+	reports []*machine.Report
+	final   *machine.Report
+	stats   parallel.RecoveryStats
+}
+
+// runSession applies each vector through one resident session and
+// collects per-operation results plus the session-lifetime report.
+func runSession(t *testing.T, opts parallel.Options, a *tensor.Symmetric, xs [][]float64) *sessionOutcome {
+	t.Helper()
+	s, err := parallel.OpenSession(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &sessionOutcome{}
+	for _, x := range xs {
+		res, err := s.Apply(x)
+		if err != nil {
+			s.Close()
+			t.Fatalf("Apply: %v", err)
+		}
+		out.ys = append(out.ys, res.Y)
+		out.phases = append(out.phases, res.Phases)
+		out.reports = append(out.reports, res.Report)
+	}
+	out.stats = s.RecoveryStats()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out.final = s.Report()
+	return out
+}
+
+// TestChaosRecoverySession is the tentpole acceptance check: under every
+// seeded crash plan, both wirings, q ∈ {2, 3}, a recovering session
+// reproduces the crash-free session bit-for-bit with unchanged logical
+// meters, and the supervisor's interventions appear in RecoveryStats.
+func TestChaosRecoverySession(t *testing.T) {
+	for _, q := range []int{2, 3} {
+		part, a, xs, b := recoverySetup(t, q)
+		_ = part
+		for _, wiring := range []parallel.Wiring{parallel.WiringP2P, parallel.WiringAllToAll} {
+			name := "p2p"
+			if wiring == parallel.WiringAllToAll {
+				name = "alltoall"
+			}
+			t.Run(name+"/q="+string(rune('0'+q)), func(t *testing.T) {
+				want := runSession(t, parallel.Options{Part: part, B: b, Wiring: wiring}, a, xs)
+				for _, plan := range recoveryPlans {
+					plan := plan
+					t.Run(plan.String(), func(t *testing.T) {
+						got := runSession(t, parallel.Options{
+							Part: part, B: b, Wiring: wiring,
+							Machine: machine.RunConfig{
+								Transport: fault.TransportRecoverable(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
+								Timeout:   2 * time.Second,
+							},
+							Recovery: &parallel.RecoveryOptions{},
+						}, a, xs)
+
+						for k := range want.ys {
+							for i := range want.ys[k] {
+								if got.ys[k][i] != want.ys[k][i] {
+									t.Fatalf("apply %d: Y[%d] = %g differs from crash-free %g",
+										k, i, got.ys[k][i], want.ys[k][i])
+								}
+							}
+							if !reflect.DeepEqual(got.phases[k], want.phases[k]) {
+								t.Errorf("apply %d: per-phase meters differ from crash-free session", k)
+							}
+							assertSameLogicalMeters(t, want.reports[k], got.reports[k])
+						}
+						// Session-lifetime wire meters carry the recovery
+						// traffic; logical meters stay those of committed work.
+						assertSameLogicalMeters(t, want.final, got.final)
+						if gotW, wantW := got.final.TotalWireSentWords(), got.final.TotalSentWords(); gotW < wantW {
+							t.Errorf("lifetime wire words %d below logical words %d", gotW, wantW)
+						}
+						if got.stats.RankDowns < 1 {
+							t.Errorf("RecoveryStats.RankDowns = %d, want ≥ 1", got.stats.RankDowns)
+						}
+						if got.stats.Rollbacks < 1 {
+							t.Errorf("RecoveryStats.Rollbacks = %d, want ≥ 1", got.stats.Rollbacks)
+						}
+						if got.stats.Retries < 1 {
+							t.Errorf("RecoveryStats.Retries = %d, want ≥ 1", got.stats.Retries)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestChaosRecoveryPowerMethod: a crash mid power-method must replay the
+// interrupted iteration and converge to the crash-free result exactly —
+// same λ, same eigenvector bits, same iteration count.
+func TestChaosRecoveryPowerMethod(t *testing.T) {
+	part, a, _, b := recoverySetup(t, 2)
+	po := parallel.PowerOptions{MaxIter: 6, Seed: 3}
+	runPM := func(opts parallel.Options) (*parallel.EigenResult, parallel.RecoveryStats) {
+		s, err := parallel.OpenSession(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := s.PowerMethod(po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.RecoveryStats()
+	}
+	want, _ := runPM(parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
+	got, stats := runPM(parallel.Options{
+		Part: part, B: b, Wiring: parallel.WiringP2P,
+		Machine: machine.RunConfig{
+			Transport: fault.TransportRecoverable(fault.Plan{Seed: 5, Crash: map[int]int{2: 30}},
+				fault.ReliableOptions{MaxAttempts: 1 << 20}),
+			Timeout: 2 * time.Second,
+		},
+		Recovery: &parallel.RecoveryOptions{},
+	})
+	if got.Lambda != want.Lambda {
+		t.Errorf("Lambda = %g, crash-free %g", got.Lambda, want.Lambda)
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Errorf("exit (%d iters, converged=%v), crash-free (%d, %v)",
+			got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("X[%d] = %g differs from crash-free %g", i, got.X[i], want.X[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Phases, want.Phases) {
+		t.Errorf("per-phase meters differ from crash-free power method")
+	}
+	if stats.RankDowns < 1 || stats.Rollbacks < 1 {
+		t.Errorf("stats %+v: expected at least one rank death and rollback", stats)
+	}
+}
+
+// TestChaosRecoveryObservability: recovery must be visible in the obs
+// layer — rank-down and recovery span markers in the trace, an epoch
+// fence > 0 after an in-place recovery, and a "recovery" scope record in
+// the metrics export.
+func TestChaosRecoveryObservability(t *testing.T) {
+	part, a, xs, b := recoverySetup(t, 2)
+	var rec obs.Recorder
+	s, err := parallel.OpenSession(a, parallel.Options{
+		Part: part, B: b, Wiring: parallel.WiringP2P,
+		Machine: machine.RunConfig{
+			Transport: fault.TransportRecoverable(fault.Plan{Seed: 1, Crash: map[int]int{1: 4}},
+				fault.ReliableOptions{MaxAttempts: 1 << 20}),
+			Timeout:  2 * time.Second,
+			Observer: rec.Observer(),
+		},
+		Recovery: &parallel.RecoveryOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if _, err := s.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := s.RecoveryStats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := rec.Trace()
+	rc := tr.RecoveryCounts()
+	if rc.RankDowns < 1 || rc.Recoveries < 1 || rc.Rollbacks < 1 {
+		t.Fatalf("trace recovery counts %+v: want every marker kind present", rc)
+	}
+	if rc.RankDowns != stats.RankDowns || rc.Rollbacks != stats.Rollbacks {
+		t.Errorf("trace counts %+v disagree with RecoveryStats %+v", rc, stats)
+	}
+	if rc.MaxEpoch < 1 {
+		t.Errorf("trace max epoch %d: in-place recovery must fence a new epoch", rc.MaxEpoch)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteMetricsJSONL(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"scope":"recovery"`) {
+		t.Errorf("metrics export missing the recovery record:\n%s", buf.String())
+	}
+
+	// The JSONL trace round-trips the recovery markers (kind names and
+	// epochs survive).
+	buf.Reset()
+	if err := obs.WriteTraceJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc2 := back.RecoveryCounts(); rc2 != rc {
+		t.Errorf("recovery counts changed across JSONL round-trip: %+v vs %+v", rc2, rc)
+	}
+}
+
+// TestRecoveryDisabledStaysFailFast pins the opt-in contract: without
+// Options.Recovery a session surfaces a crash as a structured error
+// exactly like a one-shot run (TestChaosCrash), never a silent retry.
+func TestRecoveryDisabledStaysFailFast(t *testing.T) {
+	part, a, xs, b := recoverySetup(t, 2)
+	s, err := parallel.OpenSession(a, parallel.Options{
+		Part: part, B: b, Wiring: parallel.WiringP2P,
+		Machine: machine.RunConfig{
+			Transport: fault.TransportRecoverable(fault.Plan{Seed: 1, Crash: map[int]int{1: 4}},
+				fault.ReliableOptions{MaxAttempts: 1 << 20}),
+			Timeout: 2 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Apply(xs[0]); err == nil {
+		t.Fatal("Apply succeeded under a crash plan with recovery disabled")
+	}
+}

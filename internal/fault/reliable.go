@@ -64,7 +64,7 @@ func TransportOpts(plan Plan, opt ReliableOptions) machine.TransportFactory {
 // so that two ranks sending to each other cannot deadlock.
 func NewReliable(w machine.Wire, opt ReliableOptions) machine.Transport {
 	p := w.Size()
-	r := &reliable{w: w, opt: opt.withDefaults(),
+	r := &reliable{w: w, opt: opt.withDefaults(), epoch: w.Epoch(),
 		nextSeq: make([]int, p),
 		expect:  make([]int, p),
 		parked:  make([]map[int]machine.Packet, p),
@@ -80,6 +80,14 @@ func NewReliable(w machine.Wire, opt ReliableOptions) machine.Transport {
 type reliable struct {
 	w   machine.Wire
 	opt ReliableOptions
+	// epoch is the machine epoch this incarnation was built in. Packets
+	// from any other epoch are ignored without acknowledgement: after a
+	// crash recovery a parked pre-recovery incarnation would otherwise
+	// service the replay's fresh traffic with stale sequence state —
+	// dup-acking a replayed message and silently discarding it. Leaving
+	// the packet unacknowledged makes the sender retransmit until this
+	// rank rebinds into the new epoch.
+	epoch int64
 	// nextSeq[to] is the sequence number for the next message to rank to.
 	nextSeq []int
 	// expect[from] is the next in-order sequence number from rank from.
@@ -102,7 +110,15 @@ func (r *reliable) Send(to, tag int, data []float64) {
 	attempts := 1
 	timeout := r.opt.AckTimeout
 	for {
+		if r.w.Aborting() {
+			// The ack we are waiting for was rolled back with the rest of
+			// the epoch; unwind instead of retransmitting into the fence.
+			machine.Aborted()
+		}
 		in, ok := r.w.PullTimeout(timeout)
+		if ok && in.Epoch != r.epoch {
+			continue // cross-epoch packet: not ours to acknowledge
+		}
 		if !ok {
 			if attempts >= r.opt.MaxAttempts {
 				panic(machine.UnreachableError{Rank: r.w.Rank(), Peer: to, Tag: tag, Attempts: attempts})
@@ -137,7 +153,7 @@ func (r *reliable) Recv(from, tag int) []float64 {
 			return data
 		}
 		in := r.w.Pull()
-		if in.Kind == machine.PacketData {
+		if in.Kind == machine.PacketData && in.Epoch == r.epoch {
 			r.handleData(in)
 		}
 		// Stray acks while not sending are duplicates; drop them.
@@ -201,7 +217,7 @@ func (r *reliable) service(stop <-chan struct{}, dupOnly bool) {
 		default:
 		}
 		in, ok := r.w.PullTimeout(200 * time.Microsecond)
-		if !ok || in.Kind != machine.PacketData {
+		if !ok || in.Kind != machine.PacketData || in.Epoch != r.epoch {
 			continue
 		}
 		if dupOnly && in.Seq >= r.expect[in.From] {

@@ -183,6 +183,18 @@ func (d *rankDiag) setDone() {
 	d.mu.Unlock()
 }
 
+// reset returns the slot to its launch state; the recovery supervisor
+// calls it when respawning a crashed rank so the eventual machine report
+// does not resurrect an already-recovered panic.
+func (d *rankDiag) reset() {
+	d.mu.Lock()
+	d.kind = BlockNone
+	d.peer, d.tag = 0, 0
+	d.pending = nil
+	d.panicVal = nil
+	d.mu.Unlock()
+}
+
 func (d *rankDiag) setPanic(v any) {
 	d.mu.Lock()
 	d.kind = BlockCrashed

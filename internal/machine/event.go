@@ -31,6 +31,18 @@ const (
 	// EventLocalCompute records a completed local-compute stage with its
 	// ternary-multiplication count in Event.Ternary.
 	EventLocalCompute
+	// EventRankDown records a rank's body dying (an injected crash or a
+	// genuine panic) as observed by a recovery supervisor; From and To
+	// are the dead rank. Emitted from the host, not the dead rank's
+	// goroutine.
+	EventRankDown
+	// EventRecoveryBegin and EventRecoveryEnd bracket one recovery span:
+	// the supervisor's abort-rollback-restart sequence between the crash
+	// and the replay dispatch. Step carries the retry attempt index
+	// (1-based) on EventRecoveryBegin. Replay-transparent: the α-β-γ
+	// engine ignores kinds it does not model.
+	EventRecoveryBegin
+	EventRecoveryEnd
 )
 
 func (k EventKind) String() string {
@@ -47,6 +59,12 @@ func (k EventKind) String() string {
 		return "phase-end"
 	case EventLocalCompute:
 		return "local-compute"
+	case EventRankDown:
+		return "rank-down"
+	case EventRecoveryBegin:
+		return "recovery-begin"
+	case EventRecoveryEnd:
+		return "recovery-end"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -89,6 +107,10 @@ type Event struct {
 	Ternary int64
 	// Wire marks raw wire datagrams as opposed to logical messages.
 	Wire bool
+	// Epoch is the machine recovery epoch the event was emitted in (0
+	// until the first crash recovery), so post-rollback replays are
+	// distinguishable from the aborted attempts they supersede.
+	Epoch int64
 }
 
 // rankObsState is a rank's event-emission bookkeeping. Each slot is
@@ -114,6 +136,7 @@ func (m *Machine) emit(rank int, e Event) {
 		e.Phase = st.phase
 	}
 	e.Op = st.op
+	e.Epoch = m.epoch.Load()
 	e.Seq = st.seq
 	st.seq++
 	m.observer(e)

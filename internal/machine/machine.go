@@ -31,11 +31,11 @@ import (
 // Machine is the shared state of one simulated run.
 type Machine struct {
 	p          int
-	boxes      []*mailbox
-	sent       []counter // logical, metered at Send
-	recv       []counter // logical, metered at Recv
-	wireSent   []counter // raw packets pushed, retransmits and acks included
-	wireRecv   []counter // raw packets pulled
+	boxes      []atomic.Pointer[mailbox] // swapped on rank restart, hence atomic
+	sent       []counter                 // logical, metered at Send
+	recv       []counter                 // logical, metered at Recv
+	wireSent   []counter                 // raw packets pushed, retransmits and acks included
+	wireRecv   []counter                 // raw packets pulled
 	barrier    *barrier
 	observer   func(Event)
 	wireEvents bool
@@ -43,20 +43,88 @@ type Machine struct {
 	diags      []rankDiag
 	progress   atomic.Int64 // bumped on every completed logical operation
 	pool       payloadPool  // recycles Send's payload copies (see pool.go)
+
+	// Crash-recovery state (see handle.go). epoch fences stale wire
+	// traffic across recoveries; aborting/abortCh unwind blocked ranks out
+	// of the current operation; recovering relaxes the watchdog's treatment
+	// of crashed ranks, because a supervisor will restart them.
+	epoch      atomic.Int64
+	aborting   atomic.Bool
+	abortMu    sync.Mutex
+	abortCh    chan struct{}
+	recovering bool
 }
 
+// box returns rank r's current mailbox (swapped atomically on restart).
+func (m *Machine) box(r int) *mailbox { return m.boxes[r].Load() }
+
+// abortChan returns the current epoch's abort channel; closed while an
+// abort is in progress.
+func (m *Machine) abortChan() <-chan struct{} {
+	m.abortMu.Lock()
+	ch := m.abortCh
+	m.abortMu.Unlock()
+	return ch
+}
+
+// checkAbort unwinds the calling rank out of the current operation when
+// an epoch abort is in progress.
+func (m *Machine) checkAbort() {
+	if m.aborting.Load() {
+		panic(abortPanic{})
+	}
+}
+
+// abortPanic is the sentinel a rank panics with to unwind out of a
+// blocking machine operation during an epoch abort. A resident body
+// recovers it and re-parks; it is never a run error.
+type abortPanic struct{}
+
+// IsAbort reports whether a recovered panic value is the epoch-abort
+// sentinel (see Handle.Abort). Resident bodies use it to tell "this
+// operation was rolled back, re-park and wait for the replay" from a
+// genuine rank death.
+func IsAbort(v any) bool {
+	_, ok := v.(abortPanic)
+	return ok
+}
+
+// Aborted panics with the epoch-abort sentinel. Transports that loop on
+// PullTimeout call it when Wire.Aborting reports an abort, since the
+// timeout path deliberately never panics on its own.
+func Aborted() {
+	panic(abortPanic{})
+}
+
+// counter is one direction of a rank's traffic meter. The fields are
+// atomic because a recovery supervisor reads (and rolls back) counters
+// from the host while a parked rank's transport may still be servicing
+// a peer's late retransmission; everything else is single-writer per
+// rank.
 type counter struct {
-	words int64
-	msgs  int64
+	words atomic.Int64
+	msgs  atomic.Int64
+}
+
+func (c *counter) add(words int64) {
+	c.words.Add(words)
+	c.msgs.Add(1)
+}
+
+func (c *counter) set(words, msgs int64) {
+	c.words.Store(words)
+	c.msgs.Store(msgs)
 }
 
 // Comm is a rank's handle to the machine. Exactly one goroutine may use a
 // given Comm.
 type Comm struct {
-	m    *Machine
-	rank int
-	t    Transport
-	diag *rankDiag
+	m       *Machine
+	rank    int
+	t       Transport
+	diag    *rankDiag
+	w       Wire             // raw endpoint, retained for Rebind
+	factory TransportFactory // retained for Rebind
 }
 
 // Rank returns this processor's id in 0..P-1.
@@ -64,6 +132,21 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns P.
 func (c *Comm) Size() int { return c.m.p }
+
+// Epoch returns the machine's current recovery epoch (0 until the first
+// crash recovery). A resident body compares it against the epoch it last
+// ran an operation in to decide whether its transport needs a Rebind.
+func (c *Comm) Epoch() int64 { return c.m.epoch.Load() }
+
+// Rebind rebuilds this rank's transport over its raw wire endpoint. A
+// surviving rank calls it when it picks up the first operation of a new
+// epoch: the old transport's protocol state (sequence numbers, parked
+// out-of-order packets, retransmission windows) refers to conversations
+// that were rolled back, and a respawned peer starts from fresh protocol
+// state, so the two would disagree forever without the rebind.
+func (c *Comm) Rebind() {
+	c.t = c.factory(c.w)
+}
 
 // Send transmits a copy of data to the destination rank with the given
 // tag, metering len(data) words. Sending to self is an error by panic —
@@ -77,10 +160,10 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	if to < 0 || to >= c.m.p {
 		panic(fmt.Sprintf("machine: send to rank %d of %d", to, c.m.p))
 	}
+	c.m.checkAbort()
 	cp := c.m.pool.get(len(data))
 	copy(cp, data)
-	c.m.sent[c.rank].words += int64(len(data))
-	c.m.sent[c.rank].msgs++
+	c.m.sent[c.rank].add(int64(len(data)))
 	c.m.emit(c.rank, Event{Kind: EventSend, From: c.rank, To: to, Tag: tag, Words: len(data), Step: -1})
 	c.diag.setBlocked(BlockSend, to, tag)
 	c.t.Send(to, tag, cp)
@@ -92,11 +175,11 @@ func (c *Comm) Send(to, tag int, data []float64) {
 // returns its payload. Messages from the same (source, tag) are delivered
 // in send order.
 func (c *Comm) Recv(from, tag int) []float64 {
+	c.m.checkAbort()
 	c.diag.setBlocked(BlockRecv, from, tag)
 	data := c.t.Recv(from, tag)
 	c.diag.setRunning()
-	c.m.recv[c.rank].words += int64(len(data))
-	c.m.recv[c.rank].msgs++
+	c.m.recv[c.rank].add(int64(len(data)))
 	c.m.emit(c.rank, Event{Kind: EventRecv, From: from, To: c.rank, Tag: tag, Words: len(data), Step: -1})
 	c.m.progress.Add(1)
 	return data
@@ -114,6 +197,7 @@ func (c *Comm) Recv(from, tag int) []float64 {
 // receiver that preplans exact message sizes (parallel.Session) can only
 // reach that state through a protocol bug.
 func (c *Comm) RecvInto(from, tag int, dst []float64) int {
+	c.m.checkAbort()
 	c.diag.setBlocked(BlockRecv, from, tag)
 	var data []float64
 	recycle := false
@@ -127,8 +211,7 @@ func (c *Comm) RecvInto(from, tag int, dst []float64) int {
 		panic(fmt.Sprintf("machine: rank %d RecvInto(%d, %d): payload %d words, buffer %d",
 			c.rank, from, tag, len(data), len(dst)))
 	}
-	c.m.recv[c.rank].words += int64(len(data))
-	c.m.recv[c.rank].msgs++
+	c.m.recv[c.rank].add(int64(len(data)))
 	c.m.emit(c.rank, Event{Kind: EventRecv, From: from, To: c.rank, Tag: tag, Words: len(data), Step: -1})
 	copy(dst, data)
 	if recycle {
@@ -150,14 +233,22 @@ func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
 // implements Idler keeps servicing the wire while waiting, so peers
 // retransmitting a message whose ack was lost are still answered.
 func (c *Comm) Barrier() {
+	c.m.checkAbort()
 	c.diag.setBlocked(BlockBarrier, -1, -1)
 	var gen int
 	if idler, ok := c.t.(Idler); ok {
 		ch, g := c.m.barrier.arriveChan()
 		idler.Idle(ch)
+		// An abort closes the release channel early; a barrier that
+		// happened to complete at the same moment is retried with the rest
+		// of the operation, which is harmless — the replay reruns it.
+		c.m.checkAbort()
 		gen = g
 	} else {
 		gen = c.m.barrier.await()
+		if gen < 0 {
+			panic(abortPanic{})
+		}
 	}
 	c.diag.setRunning()
 	c.m.emit(c.rank, Event{Kind: EventBarrier, From: c.rank, To: c.rank, Step: gen})
@@ -213,28 +304,28 @@ func (m Meters) Sub(o Meters) Meters {
 func (c *Comm) Meters() Meters {
 	r := c.rank
 	return Meters{
-		SentWords: c.m.sent[r].words, RecvWords: c.m.recv[r].words,
-		SentMsgs: c.m.sent[r].msgs, RecvMsgs: c.m.recv[r].msgs,
-		WireSentWords: c.m.wireSent[r].words, WireRecvWords: c.m.wireRecv[r].words,
-		WireSentMsgs: c.m.wireSent[r].msgs, WireRecvMsgs: c.m.wireRecv[r].msgs,
+		SentWords: c.m.sent[r].words.Load(), RecvWords: c.m.recv[r].words.Load(),
+		SentMsgs: c.m.sent[r].msgs.Load(), RecvMsgs: c.m.recv[r].msgs.Load(),
+		WireSentWords: c.m.wireSent[r].words.Load(), WireRecvWords: c.m.wireRecv[r].words.Load(),
+		WireSentMsgs: c.m.wireSent[r].msgs.Load(), WireRecvMsgs: c.m.wireRecv[r].msgs.Load(),
 	}
 }
 
 // SentWords returns the words this rank has sent so far.
-func (c *Comm) SentWords() int64 { return c.m.sent[c.rank].words }
+func (c *Comm) SentWords() int64 { return c.m.sent[c.rank].words.Load() }
 
 // RecvWords returns the words this rank has received so far.
-func (c *Comm) RecvWords() int64 { return c.m.recv[c.rank].words }
+func (c *Comm) RecvWords() int64 { return c.m.recv[c.rank].words.Load() }
 
 // SentMsgs returns the number of messages this rank has sent so far.
-func (c *Comm) SentMsgs() int64 { return c.m.sent[c.rank].msgs }
+func (c *Comm) SentMsgs() int64 { return c.m.sent[c.rank].msgs.Load() }
 
 // RecvMsgs returns the number of messages this rank has received so far.
-func (c *Comm) RecvMsgs() int64 { return c.m.recv[c.rank].msgs }
+func (c *Comm) RecvMsgs() int64 { return c.m.recv[c.rank].msgs.Load() }
 
 // WireSentWords returns the raw words this rank has pushed onto the wire
 // so far, retransmissions included.
-func (c *Comm) WireSentWords() int64 { return c.m.wireSent[c.rank].words }
+func (c *Comm) WireSentWords() int64 { return c.m.wireSent[c.rank].words.Load() }
 
 // barrier is a reusable counting barrier with two wait paths: a
 // condition-variable path for plain transports (no allocation per
@@ -250,6 +341,7 @@ type barrier struct {
 	count   int
 	gen     int
 	release chan struct{} // nil until an Idler arrives this generation
+	aborted bool          // epoch abort in progress: release everyone, arrivals void
 }
 
 func newBarrier(p int) *barrier {
@@ -276,13 +368,20 @@ func (b *barrier) arriveLocked() {
 // await arrives and blocks until the generation completes, returning the
 // generation index (identical for all P participants of one
 // synchronization — the trace's step identifier). Allocation-free.
+// Returns -1 when the wait was cut short by an epoch abort.
 func (b *barrier) await() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.aborted {
+		return -1
+	}
 	gen := b.gen
 	b.arriveLocked()
-	for b.gen == gen {
+	for b.gen == gen && !b.aborted {
 		b.cond.Wait()
+	}
+	if b.gen == gen {
+		return -1 // released by the abort, not by the last arriver
 	}
 	return gen
 }
@@ -293,12 +392,44 @@ func (b *barrier) await() int {
 func (b *barrier) arriveChan() (<-chan struct{}, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.aborted {
+		ch := make(chan struct{})
+		close(ch)
+		return ch, -1
+	}
 	if b.release == nil {
 		b.release = make(chan struct{})
 	}
 	ch, gen := b.release, b.gen
 	b.arriveLocked()
 	return ch, gen
+}
+
+// abort releases every waiter with a void generation; arrivals until
+// reset are void too. The generation counter is NOT reset across
+// recoveries — keeping it monotonic keeps barrier step identifiers
+// globally unique in the trace, so a replayed operation's barriers are
+// distinguishable from the aborted attempt's.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	if b.release != nil {
+		close(b.release)
+		b.release = nil
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset re-arms the barrier for a new epoch: the partial arrivals of the
+// aborted generation are discarded. Callers guarantee no rank is inside
+// the barrier (Handle.Quiesce).
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.aborted = false
+	b.count = 0
+	b.release = nil
+	b.mu.Unlock()
 }
 
 // RunConfig bundles the optional knobs of a simulated run.
@@ -329,6 +460,14 @@ type RunConfig struct {
 	// means unbounded (the default) — no correct protocol can deadlock
 	// on mailbox space.
 	InboxCap int
+	// OnRankDown, when set, is invoked once from a dying rank's goroutine
+	// after its body panics with anything other than the epoch-abort
+	// sentinel. Setting it marks the run as supervised: the stall watchdog
+	// then treats crashed ranks as non-blocking while the survivors park,
+	// because a supervisor (parallel.Session's recovery loop) is expected
+	// to restart them. The callback must not block for long and must be
+	// safe for concurrent invocation from multiple dying ranks.
+	OnRankDown func(rank int, err error)
 }
 
 // Run executes body on P simulated processors and returns the metered
@@ -364,91 +503,20 @@ func RunTraced(p int, timeout time.Duration, observer func(Event), body func(c *
 // RunWith is the single run entry point: it executes body on P simulated
 // processors under the given configuration (transport selection, stall
 // watchdog, trace observer, mailbox capacity) and returns the metered
-// report.
+// report. It is StartWith followed by Wait; callers that supervise the
+// run — restarting crashed ranks, rolling epochs — use the Handle form
+// directly (see handle.go).
 func RunWith(p int, cfg RunConfig, body func(c *Comm)) (*Report, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("machine: P = %d", p)
-	}
-	m := &Machine{
-		p:          p,
-		boxes:      make([]*mailbox, p),
-		sent:       make([]counter, p),
-		recv:       make([]counter, p),
-		wireSent:   make([]counter, p),
-		wireRecv:   make([]counter, p),
-		barrier:    newBarrier(p),
-		observer:   cfg.Observer,
-		wireEvents: cfg.WireEvents,
-		obsState:   make([]rankObsState, p),
-		diags:      make([]rankDiag, p),
-	}
-	for i := range m.boxes {
-		m.boxes[i] = newMailbox(cfg.InboxCap)
-	}
-	factory := cfg.Transport
-	if factory == nil {
-		factory = NewDirectTransport
-	}
-
-	// Two completion stages: bodies counts returned (or panicked) rank
-	// bodies; wg counts fully exited goroutines. Between the two, a rank
-	// whose transport implements Idler lingers — answering peers'
-	// retransmissions — until every body has returned, so a lost final
-	// ack cannot strand a still-running sender. Crashed ranks do not
-	// linger: their silence is the fault being modelled.
-	var bodies, wg sync.WaitGroup
-	stopLinger := make(chan struct{})
-	var stopOnce sync.Once
-	endLinger := func() { stopOnce.Do(func() { close(stopLinger) }) }
-	bodies.Add(p)
-	wg.Add(p)
-	for rank := 0; rank < p; rank++ {
-		go func(rank int) {
-			defer wg.Done()
-			d := &m.diags[rank]
-			tp := factory(&link{m: m, rank: rank})
-			panicked := func() (panicked bool) {
-				defer bodies.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						d.setPanic(r)
-						panicked = true
-					}
-				}()
-				body(&Comm{m: m, rank: rank, t: tp, diag: d})
-				return false
-			}()
-			if panicked {
-				return
-			}
-			d.setDone()
-			if idler, ok := tp.(Idler); ok {
-				idler.Linger(stopLinger)
-			}
-		}(rank)
-	}
-	go func() {
-		bodies.Wait()
-		endLinger()
-	}()
-
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	if cfg.Timeout > 0 {
-		if err := m.watch(done, cfg.Timeout); err != nil {
-			endLinger() // release finished ranks still answering retransmits
-			return nil, err
-		}
-	} else {
-		<-done
-	}
-
-	if err := m.panicError(); err != nil {
+	h, err := StartWith(p, cfg, body)
+	if err != nil {
 		return nil, err
 	}
+	return h.Wait()
+}
+
+// report snapshots the machine's cumulative counters.
+func (m *Machine) reportNow() *Report {
+	p := m.p
 	rep := &Report{
 		P:             p,
 		SentWords:     make([]int64, p),
@@ -461,16 +529,16 @@ func RunWith(p int, cfg RunConfig, body func(c *Comm)) (*Report, error) {
 		WireRecvMsgs:  make([]int64, p),
 	}
 	for i := 0; i < p; i++ {
-		rep.SentWords[i] = m.sent[i].words
-		rep.RecvWords[i] = m.recv[i].words
-		rep.SentMsgs[i] = m.sent[i].msgs
-		rep.RecvMsgs[i] = m.recv[i].msgs
-		rep.WireSentWords[i] = m.wireSent[i].words
-		rep.WireRecvWords[i] = m.wireRecv[i].words
-		rep.WireSentMsgs[i] = m.wireSent[i].msgs
-		rep.WireRecvMsgs[i] = m.wireRecv[i].msgs
+		rep.SentWords[i] = m.sent[i].words.Load()
+		rep.RecvWords[i] = m.recv[i].words.Load()
+		rep.SentMsgs[i] = m.sent[i].msgs.Load()
+		rep.RecvMsgs[i] = m.recv[i].msgs.Load()
+		rep.WireSentWords[i] = m.wireSent[i].words.Load()
+		rep.WireRecvWords[i] = m.wireRecv[i].words.Load()
+		rep.WireSentMsgs[i] = m.wireSent[i].msgs.Load()
+		rep.WireRecvMsgs[i] = m.wireRecv[i].msgs.Load()
 	}
-	return rep, nil
+	return rep
 }
 
 // watch is the per-rank progress monitor: it polls the global progress
@@ -525,8 +593,12 @@ func (m *Machine) hostQuiescent() bool {
 		case BlockCrashed:
 			// A crashed rank can never finish its operation, so parked
 			// survivors are not "idle" — they are waiting for a completion
-			// that will never come. Let the watchdog report it.
-			return false
+			// that will never come. Let the watchdog report it — unless a
+			// supervisor is attached (OnRankDown), in which case the crash
+			// is being handled and parked survivors really are idle.
+			if !m.recovering {
+				return false
+			}
 		case BlockHost:
 			idle = true
 		default:
@@ -553,7 +625,7 @@ func (m *Machine) deadlockError(timeout time.Duration) *DeadlockError {
 			Kind:         kind,
 			Peer:         peer,
 			Tag:          tag,
-			InboxPackets: m.boxes[r].depth(),
+			InboxPackets: m.box(r).depth(),
 			Pending:      pending,
 		})
 	}

@@ -41,6 +41,12 @@ type Packet struct {
 	// Check is a payload checksum set and verified by transports that
 	// detect corruption; the direct transport ignores it.
 	Check uint64
+	// Epoch is the machine epoch the packet was delivered in, stamped by
+	// the wire on Deliver. After a crash recovery advances the epoch
+	// (Handle.BeginEpoch), packets stamped with an earlier epoch — stale
+	// retransmissions from before the rollback — are fenced at the
+	// receiving end and never reach a transport.
+	Epoch int64
 	// Recycle marks Data as eligible for the machine's payload pool once
 	// the final consumer has copied it out (see Comm.RecvInto). Only a
 	// transport that retains no reference to Data after delivery may set
@@ -73,6 +79,20 @@ type Wire interface {
 	// Pending publishes a snapshot of the transport's buffered-but-
 	// undelivered messages for the deadlock monitor's diagnostics.
 	Pending(entries []PendingEntry)
+	// Aborting reports whether the machine is unwinding the current epoch
+	// (a crash-recovery abort). A transport looping on PullTimeout —
+	// waiting for an acknowledgement, say — must check it each iteration
+	// and call Aborted() to unwind, because PullTimeout itself never
+	// panics (it also runs inside park/linger loops that must survive the
+	// abort).
+	Aborting() bool
+	// Epoch returns the machine's current recovery epoch. A transport
+	// incarnation records it at construction and must ignore packets
+	// stamped with any other epoch: a parked pre-recovery incarnation
+	// otherwise services a replay's fresh traffic with stale protocol
+	// state (acknowledging a replayed sequence number as a duplicate and
+	// discarding it — a silently lost message).
+	Epoch() int64
 }
 
 // Transport mediates a rank's logical Send/Recv over the raw wire. The
@@ -131,35 +151,54 @@ func (l *link) Deliver(pkt Packet) {
 	if pkt.To < 0 || pkt.To >= l.m.p {
 		panic(fmt.Sprintf("machine: deliver to rank %d of %d", pkt.To, l.m.p))
 	}
-	l.m.wireSent[l.rank].words += int64(len(pkt.Data))
-	l.m.wireSent[l.rank].msgs++
+	pkt.Epoch = l.m.epoch.Load()
+	l.m.wireSent[l.rank].add(int64(len(pkt.Data)))
 	if l.m.wireEvents {
 		l.m.emit(l.rank, Event{Kind: EventSend, From: l.rank, To: pkt.To, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
 	}
-	l.m.boxes[pkt.To].push(pkt)
+	l.m.box(pkt.To).push(pkt)
 }
 
 func (l *link) Pull() Packet {
-	pkt, _ := l.m.boxes[l.rank].pull(0)
-	l.m.wireRecv[l.rank].words += int64(len(pkt.Data))
-	l.m.wireRecv[l.rank].msgs++
-	if l.m.wireEvents {
-		l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
+	for {
+		if l.m.aborting.Load() {
+			panic(abortPanic{})
+		}
+		pkt, ok := l.m.box(l.rank).pull(0, l.m.abortChan())
+		if !ok {
+			continue // the abort channel woke us; the check above unwinds
+		}
+		if pkt.Epoch != l.m.epoch.Load() {
+			continue // stale retransmission from a pre-recovery epoch
+		}
+		l.m.wireRecv[l.rank].add(int64(len(pkt.Data)))
+		if l.m.wireEvents {
+			l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
+		}
+		return pkt
 	}
-	return pkt
 }
 
 func (l *link) PullTimeout(d time.Duration) (Packet, bool) {
-	pkt, ok := l.m.boxes[l.rank].pull(d)
+	pkt, ok := l.m.box(l.rank).pull(d, nil)
+	if ok && pkt.Epoch != l.m.epoch.Load() {
+		// A stale-epoch packet reads as silence, never as a panic: this
+		// path also serves the Idle/Linger/park loops, which must survive
+		// an epoch abort intact.
+		return Packet{}, false
+	}
 	if ok {
-		l.m.wireRecv[l.rank].words += int64(len(pkt.Data))
-		l.m.wireRecv[l.rank].msgs++
+		l.m.wireRecv[l.rank].add(int64(len(pkt.Data)))
 		if l.m.wireEvents {
 			l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
 		}
 	}
 	return pkt, ok
 }
+
+func (l *link) Aborting() bool { return l.m.aborting.Load() }
+
+func (l *link) Epoch() int64 { return l.m.epoch.Load() }
 
 func (l *link) Pending(entries []PendingEntry) {
 	l.m.diags[l.rank].setPending(entries)
@@ -210,8 +249,10 @@ func (b *mailbox) push(p Packet) {
 }
 
 // pull removes the oldest packet, blocking indefinitely when d == 0 and
-// giving up after d otherwise.
-func (b *mailbox) pull(d time.Duration) (Packet, bool) {
+// giving up after d otherwise. A close of the abort channel (nil outside
+// recovery-capable paths) wakes a d == 0 wait with ok == false so a rank
+// blocked on an empty mailbox can unwind during an epoch abort.
+func (b *mailbox) pull(d time.Duration, abort <-chan struct{}) (Packet, bool) {
 	var deadline time.Time
 	if d > 0 {
 		deadline = time.Now().Add(d)
@@ -232,7 +273,11 @@ func (b *mailbox) pull(d time.Duration) (Packet, bool) {
 		}
 		b.mu.Unlock()
 		if d == 0 {
-			<-b.notify
+			select {
+			case <-b.notify:
+			case <-abort:
+				return Packet{}, false
+			}
 			continue
 		}
 		remain := time.Until(deadline)
@@ -247,6 +292,21 @@ func (b *mailbox) pull(d time.Duration) (Packet, bool) {
 			return Packet{}, false
 		}
 	}
+}
+
+// drain discards every queued packet. Discarded payloads go to the
+// garbage collector, never back to the payload pool: a pre-crash sender's
+// transport may still hold a retransmission reference to the buffer, so
+// recycling here could alias a pooled buffer into a post-recovery Send.
+func (b *mailbox) drain() {
+	b.mu.Lock()
+	for i := range b.q {
+		b.q[i] = Packet{}
+	}
+	b.q = b.q[:0]
+	b.head = 0
+	b.space.Broadcast()
+	b.mu.Unlock()
 }
 
 func (b *mailbox) depth() int {

@@ -105,15 +105,19 @@ type jsonlEvent struct {
 	Step    int    `json:"step,omitempty"`
 	Ternary int64  `json:"ternary,omitempty"`
 	Wire    bool   `json:"wire,omitempty"`
+	Epoch   int64  `json:"epoch,omitempty"`
 }
 
 var kindNames = map[machine.EventKind]string{
-	machine.EventSend:         "send",
-	machine.EventRecv:         "recv",
-	machine.EventBarrier:      "barrier",
-	machine.EventPhaseBegin:   "phase-begin",
-	machine.EventPhaseEnd:     "phase-end",
-	machine.EventLocalCompute: "local-compute",
+	machine.EventSend:          "send",
+	machine.EventRecv:          "recv",
+	machine.EventBarrier:       "barrier",
+	machine.EventPhaseBegin:    "phase-begin",
+	machine.EventPhaseEnd:      "phase-end",
+	machine.EventLocalCompute:  "local-compute",
+	machine.EventRankDown:      "rank-down",
+	machine.EventRecoveryBegin: "recovery-begin",
+	machine.EventRecoveryEnd:   "recovery-end",
 }
 
 var kindValues = func() map[string]machine.EventKind {
@@ -134,10 +138,13 @@ func WriteTraceJSONL(w io.Writer, t *Trace) error {
 		je := jsonlEvent{
 			Kind: kindNames[e.Kind], Rank: e.Rank, From: e.From, To: e.To,
 			Tag: e.Tag, Words: e.Words, Phase: e.Phase, Op: e.Op,
-			Seq: e.Seq, Ternary: e.Ternary, Wire: e.Wire,
+			Seq: e.Seq, Ternary: e.Ternary, Wire: e.Wire, Epoch: e.Epoch,
 		}
-		if e.Kind == machine.EventBarrier {
+		switch e.Kind {
+		case machine.EventBarrier:
 			je.Step = e.Step + 1 // shift so generation 0 survives omitempty
+		case machine.EventRecoveryBegin:
+			je.Step = e.Step // retry attempt index, 1-based
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -170,9 +177,13 @@ func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 			Kind: kind, Rank: je.Rank, From: je.From, To: je.To,
 			Tag: je.Tag, Words: je.Words, Phase: je.Phase, Op: je.Op,
 			Seq: je.Seq, Step: -1, Ternary: je.Ternary, Wire: je.Wire,
+			Epoch: je.Epoch,
 		}
-		if kind == machine.EventBarrier {
+		switch kind {
+		case machine.EventBarrier:
 			e.Step = je.Step - 1
+		case machine.EventRecoveryBegin:
+			e.Step = je.Step
 		}
 		events = append(events, e)
 	}
@@ -182,8 +193,9 @@ func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 	return NewTrace(events), nil
 }
 
-// metricsRecord is one flat metrics line: either a per-phase or a
-// per-rank aggregate. Scope is "phase" or "rank".
+// metricsRecord is one flat metrics line: a per-phase aggregate, a
+// per-rank aggregate, or the run's recovery summary. Scope is "phase",
+// "rank", or "recovery".
 type metricsRecord struct {
 	Scope     string  `json:"scope"`
 	Phase     string  `json:"phase,omitempty"`
@@ -199,6 +211,10 @@ type metricsRecord struct {
 	SendTime  float64 `json:"send_s,omitempty"`
 	Idle      float64 `json:"idle_s,omitempty"`
 	Overlap   float64 `json:"overlap_s,omitempty"`
+	RankDowns int     `json:"rank_downs,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	Rollbacks int     `json:"rollbacks,omitempty"`
+	MaxEpoch  int64   `json:"max_epoch,omitempty"`
 }
 
 // WriteMetricsJSONL writes flat per-phase-per-rank and per-rank metric
@@ -237,6 +253,16 @@ func WriteMetricsJSONL(w io.Writer, t *Trace, tl *Timeline) error {
 			rec.SendTime = tl.SendTime[r]
 			rec.Idle = tl.Idle(r)
 			rec.Overlap = tl.Overlap[r]
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	if rc := t.RecoveryCounts(); rc.RankDowns > 0 || rc.Recoveries > 0 || rc.Rollbacks > 0 {
+		rec := metricsRecord{
+			Scope: "recovery",
+			RankDowns: rc.RankDowns, Retries: rc.Recoveries, Rollbacks: rc.Rollbacks,
+			MaxEpoch: rc.MaxEpoch,
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

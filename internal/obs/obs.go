@@ -206,6 +206,37 @@ func (t *Trace) RankTotals() *PhaseTotals {
 	return out
 }
 
+// RecoveryCounts summarizes the recovery markers a supervised session
+// left in the trace: rank deaths, recovery spans (one per replay
+// attempt or degraded relaunch), completed rollbacks, and the highest
+// wire epoch reached.
+type RecoveryCounts struct {
+	RankDowns  int
+	Recoveries int // EventRecoveryBegin markers
+	Rollbacks  int // EventRecoveryEnd markers
+	MaxEpoch   int64
+}
+
+// RecoveryCounts scans the trace for recovery markers. All-zero for a
+// crash-free run.
+func (t *Trace) RecoveryCounts() RecoveryCounts {
+	var rc RecoveryCounts
+	for _, e := range t.Events {
+		switch e.Kind {
+		case machine.EventRankDown:
+			rc.RankDowns++
+		case machine.EventRecoveryBegin:
+			rc.Recoveries++
+		case machine.EventRecoveryEnd:
+			rc.Rollbacks++
+		}
+		if e.Epoch > rc.MaxEpoch {
+			rc.MaxEpoch = e.Epoch
+		}
+	}
+	return rc
+}
+
 // CheckAgainstReport verifies the trace-conformance invariant: the summed
 // logical trace events equal the report's logical meters exactly, per
 // rank. A mismatch means the event stream and the counters disagree about

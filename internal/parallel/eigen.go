@@ -24,16 +24,23 @@ type EigenResult struct {
 	// X is the unit eigenvector estimate (assembled on the host at the
 	// end).
 	X []float64
-	// Iterations is the number of STTSV rounds executed.
+	// Iterations is the number of STTSV rounds executed. A run stopped by
+	// the MaxIter cap reports exactly MaxIter.
 	Iterations int
-	// Converged reports whether the eigenvalue stabilized within Tol.
+	// Converged reports whether the eigenvalue stabilized within Tol. It
+	// stays false for the MaxIter cap exit and for the singular exit.
 	Converged bool
+	// Singular reports the degenerate exit: ‖y‖ vanished, so the iterate
+	// could not be renormalized and the method stopped without
+	// converging.
+	Singular bool
 	// Report carries the communication meters for the whole run, all
 	// iterations included.
 	Report *machine.Report
 	// Phases carries the per-phase meters summed over all iterations:
 	// "gather", "local", "reduce-scatter", "all-reduce". Steps on the two
-	// exchange meters is the per-iteration schedule length.
+	// exchange meters is the schedule length scaled by the iterations
+	// executed.
 	Phases []PhaseMeter
 }
 

@@ -116,6 +116,44 @@ func (pr *phaseRecorder) local(c *machine.Comm, label string, body func() int64)
 	m.Ternary[c.Rank()] += t
 }
 
+// phaseSnap is one phase meter's counters at a checkpoint. The recovery
+// supervisor snapshots the recorder at each dispatch boundary and rolls
+// it back before a replay: ranks that completed phases of the aborted
+// attempt already accumulated into the meters, and without the rollback
+// the replay would double-count them.
+type phaseSnap struct {
+	sentW, recvW, sentM, recvM, tern []int64
+}
+
+// snapshot copies every registered meter's per-rank counters.
+func (pr *phaseRecorder) snapshot() []phaseSnap {
+	out := make([]phaseSnap, len(pr.meters))
+	for i, m := range pr.meters {
+		out[i] = phaseSnap{
+			sentW: append([]int64(nil), m.SentWords...),
+			recvW: append([]int64(nil), m.RecvWords...),
+			sentM: append([]int64(nil), m.SentMsgs...),
+			recvM: append([]int64(nil), m.RecvMsgs...),
+			tern:  append([]int64(nil), m.Ternary...),
+		}
+	}
+	return out
+}
+
+// restore overwrites the meters with a snapshot taken by the same
+// recorder (label registration is fixed at construction, so index i in
+// the snapshot is meter i).
+func (pr *phaseRecorder) restore(snaps []phaseSnap) {
+	for i, sn := range snaps {
+		m := pr.meters[i]
+		copy(m.SentWords, sn.sentW)
+		copy(m.RecvWords, sn.recvW)
+		copy(m.SentMsgs, sn.sentM)
+		copy(m.RecvMsgs, sn.recvM)
+		copy(m.Ternary, sn.tern)
+	}
+}
+
 // results finalizes the meters in registration order.
 func (pr *phaseRecorder) results() []PhaseMeter {
 	out := make([]PhaseMeter, len(pr.meters))

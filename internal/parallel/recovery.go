@@ -1,0 +1,437 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// ErrSessionBusy is returned by Session operations invoked while another
+// operation is still in flight. A Session is a single-host-goroutine
+// engine; the guard turns concurrent misuse into a structured error
+// instead of a data race on the staging buffers.
+var ErrSessionBusy = errors.New("parallel: session operation already in flight")
+
+// RecoveryOptions tunes the session crash-recovery supervisor (see
+// Options.Recovery). The zero value selects all defaults.
+type RecoveryOptions struct {
+	// MaxRetries bounds in-place replays of one operation (abort, respawn
+	// dead ranks, roll back, re-dispatch). Exhausting it triggers the
+	// degraded path: one full machine relaunch and a final replay.
+	// Default 3.
+	MaxRetries int
+	// Backoff is the pause before the first replay; it doubles per retry.
+	// Default 1ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Default 50ms.
+	MaxBackoff time.Duration
+	// QuiesceTimeout bounds how long the supervisor waits for surviving
+	// ranks to unwind to their park after an abort. Default 2s.
+	QuiesceTimeout time.Duration
+}
+
+func (o RecoveryOptions) withDefaults() RecoveryOptions {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 50 * time.Millisecond
+	}
+	if o.QuiesceTimeout <= 0 {
+		o.QuiesceTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// RecoveryStats counts the supervisor's interventions over a session's
+// lifetime. Logical meters are unaffected by any of them — recovery work
+// shows only on the wire meters and in these counters.
+type RecoveryStats struct {
+	// RankDowns counts rank deaths observed (one crash hitting three
+	// ranks counts three).
+	RankDowns int
+	// Retries counts replay attempts after a failed dispatch.
+	Retries int
+	// Rollbacks counts checkpoint restorations.
+	Rollbacks int
+	// Restarts counts individual rank respawns (in-place recovery).
+	Restarts int
+	// Relaunches counts degraded-mode full machine relaunches.
+	Relaunches int
+	// Epoch is the machine's wire epoch (0 until the first in-place
+	// recovery; resets with a relaunch).
+	Epoch int64
+}
+
+// RecoveryStats reports the supervisor counters so far. Call between
+// operations (or after Close).
+func (s *Session) RecoveryStats() RecoveryStats {
+	st := s.stats
+	if s.cur != nil {
+		st.Epoch = s.cur.h.Epoch()
+	}
+	return st
+}
+
+// launch is one incarnation of the resident machine. A fail-fast session
+// has exactly one; a recovering session replaces it wholesale when it
+// degrades (the in-place path keeps the launch and respawns ranks inside
+// it).
+type launch struct {
+	h       *machine.Handle
+	ops     []chan *sessionOp
+	runDone chan struct{}
+	report  *machine.Report
+	runErr  error
+}
+
+// rankDown is a crash notification from the machine's OnRankDown hook.
+type rankDown struct {
+	rank int
+	err  error
+}
+
+// launchMachine starts a fresh machine incarnation and installs it as
+// s.cur. For recovering sessions the config gains the OnRankDown hook
+// that feeds s.crashCh (which also flips the machine into supervised
+// mode: a crashed rank no longer poisons host-quiescence detection).
+func (s *Session) launchMachine() error {
+	ops := make([]chan *sessionOp, s.part.P)
+	for r := range ops {
+		ops[r] = make(chan *sessionOp, 1)
+	}
+	l := &launch{ops: ops, runDone: make(chan struct{})}
+	cfg := s.opts.Machine
+	if s.rec != nil {
+		cfg.OnRankDown = func(rank int, err error) {
+			select {
+			case s.crashCh <- rankDown{rank: rank, err: err}:
+			default: // supervisor scans diagnostics anyway; never block a dying rank
+			}
+		}
+	}
+	h, err := machine.StartWith(s.part.P, cfg, s.rankBodyFor(l))
+	if err != nil {
+		return err
+	}
+	l.h = h
+	go func() {
+		l.report, l.runErr = h.Wait()
+		close(l.runDone)
+	}()
+	s.cur = l
+	return nil
+}
+
+// rankBodyFor is the resident body every simulated rank of launch l runs:
+// serve host-fed operations until the op channel closes. The body tracks
+// the machine's wire epoch; when a recovery advanced it while the rank
+// was parked, the rank rebuilds its transport before touching the wire,
+// so protocol state (sequence numbers, parked packets, retransmission
+// windows) never crosses an epoch fence. A rank respawned by RestartRank
+// starts inside the new epoch and needs no rebind.
+func (s *Session) rankBodyFor(l *launch) func(c *machine.Comm) {
+	return func(c *machine.Comm) {
+		me := c.Rank()
+		epoch := c.Epoch()
+		for {
+			var op *sessionOp
+			c.AwaitHost(func() { op = <-l.ops[me] })
+			if op == nil {
+				return
+			}
+			if e := c.Epoch(); e != epoch {
+				c.Rebind()
+				epoch = e
+			}
+			runSessionOp(op, me, c)
+		}
+	}
+}
+
+// runSessionOp runs one op, absorbing an epoch abort: the sentinel
+// unwinds the op body mid-communication, and the rank re-parks without
+// completing the op (no pending decrement — the supervisor abandoned
+// that op object and will dispatch a fresh one after rollback). Any
+// other panic (an injected CrashError, a genuine bug) propagates and
+// kills the rank.
+func runSessionOp(op *sessionOp, me int, c *machine.Comm) {
+	aborted := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if machine.IsAbort(r) {
+					aborted = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		op.run(me, c)
+	}()
+	if !aborted {
+		if op.pending.Add(-1) == 0 {
+			close(op.done)
+		}
+	}
+}
+
+// dispatch hands one operation to every rank and waits for completion,
+// supervising the run when recovery is armed. pr may be nil for
+// operations without phase meters.
+func (s *Session) dispatch(pr *phaseRecorder, run func(me int, c *machine.Comm)) error {
+	if s.rec == nil {
+		return s.dispatchOnce(run)
+	}
+	return s.dispatchRecover(pr, run)
+}
+
+// dispatchOnce is the fail-fast path: one attempt, any machine death is
+// the operation's error.
+func (s *Session) dispatchOnce(run func(me int, c *machine.Comm)) error {
+	l := s.cur
+	op := &sessionOp{run: run, done: make(chan struct{})}
+	op.pending.Store(int64(s.part.P))
+	for r := range l.ops {
+		select {
+		case l.ops[r] <- op:
+		case <-l.runDone:
+			return s.sessionErr()
+		}
+	}
+	select {
+	case <-op.done:
+		return nil
+	case <-l.runDone:
+		return s.sessionErr()
+	}
+}
+
+func (s *Session) sessionErr() error {
+	if err := s.cur.runErr; err != nil {
+		return err
+	}
+	return fmt.Errorf("parallel: session machine exited")
+}
+
+// dispatchRecover is the supervised path: checkpoint, attempt, and on a
+// rank death abort the epoch, respawn the dead ranks, roll every rank
+// back to the checkpoint and replay — up to MaxRetries times with
+// exponential backoff. If the retry budget runs out or the machine
+// itself dies (watchdog fired, or survivors would not quiesce), it
+// degrades: a fresh machine is launched carrying the committed meters,
+// and the operation replays once more from the same checkpoint.
+func (s *Session) dispatchRecover(pr *phaseRecorder, run func(me int, c *machine.Comm)) error {
+	ck := s.checkpoint(pr)
+	backoff := s.rec.Backoff
+	attempt := 0
+	for {
+		if attempt == 0 && len(s.cur.h.CrashedRanks()) > 0 {
+			// A rank died while parked (crashes can fire while a parked
+			// transport services a peer's retransmission): recover before
+			// feeding it an operation it can never run.
+			s.stats.Retries++
+			if !s.recoverInPlace(1) {
+				break
+			}
+			s.restore(ck, pr)
+			attempt = 1
+		}
+		ok, dead := s.tryOnce(run)
+		if ok {
+			return nil
+		}
+		if dead {
+			break
+		}
+		attempt++
+		if attempt > s.rec.MaxRetries {
+			break
+		}
+		s.stats.Retries++
+		if !s.recoverInPlace(attempt) {
+			break
+		}
+		s.restore(ck, pr)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > s.rec.MaxBackoff {
+			backoff = s.rec.MaxBackoff
+		}
+	}
+	if err := s.degrade(ck); err != nil {
+		return err
+	}
+	s.restore(ck, pr)
+	return s.dispatchOnce(run)
+}
+
+// tryOnce feeds one op to every rank and waits for completion, a crash
+// notification, or machine death.
+func (s *Session) tryOnce(run func(me int, c *machine.Comm)) (ok, dead bool) {
+	l := s.cur
+	op := &sessionOp{run: run, done: make(chan struct{})}
+	op.pending.Store(int64(s.part.P))
+	for r := range l.ops {
+		select {
+		case l.ops[r] <- op:
+		case <-l.runDone:
+			return false, true
+		}
+	}
+	select {
+	case <-op.done:
+		return true, false
+	case <-l.runDone:
+		return false, true
+	case <-s.crashCh:
+		return false, false
+	}
+}
+
+// recoverInPlace executes one abort-respawn-refence cycle on the current
+// launch: abort the epoch (every rank blocked in a machine operation
+// unwinds to its park), wait for quiescence, respawn each crashed rank
+// on a fresh mailbox, and roll the machine into a new epoch that fences
+// all stale wire traffic. Returns false when the machine cannot be
+// saved in place (survivors stuck past the quiesce window, or a respawn
+// failed) — the caller degrades to a relaunch.
+func (s *Session) recoverInPlace(attempt int) bool {
+	l := s.cur
+	l.h.Abort()
+	if err := l.h.Quiesce(s.rec.QuiesceTimeout); err != nil {
+		return false
+	}
+	s.drainCrashes()
+	dead := l.h.CrashedRanks()
+	for _, r := range dead {
+		l.h.Emit(r, machine.Event{Kind: machine.EventRankDown, From: r, To: r, Step: -1})
+		// A rank that crashed before consuming a fed op leaves it in the
+		// channel buffer; the respawned body must not replay a stale op.
+		select {
+		case <-l.ops[r]:
+		default:
+		}
+	}
+	l.h.Emit(0, machine.Event{Kind: machine.EventRecoveryBegin, From: 0, To: 0, Step: attempt})
+	l.h.BeginEpoch()
+	for _, r := range dead {
+		if err := l.h.RestartRank(r); err != nil {
+			return false
+		}
+	}
+	s.stats.RankDowns += len(dead)
+	s.stats.Restarts += len(dead)
+	return true
+}
+
+// degrade retires the current machine incarnation entirely and launches
+// a fresh one that carries the meters forward: logical counters resume
+// from the checkpoint (committed work only), wire counters resume from
+// the old machine's cumulative totals (recovery traffic stays visible).
+func (s *Session) degrade(ck *sessionCheckpoint) error {
+	old := s.cur
+	dead := old.h.CrashedRanks()
+	// Unstick anything still blocked in a machine operation, then release
+	// the parked survivors; the old machine's goroutines all exit.
+	old.h.Abort()
+	for r := range old.ops {
+		close(old.ops[r])
+	}
+	<-old.runDone
+	s.drainCrashes()
+
+	carried := make([]machine.Meters, s.part.P)
+	for r := range carried {
+		mt := ck.meters[r]
+		wm := old.h.RankMeters(r)
+		mt.WireSentWords, mt.WireRecvWords = wm.WireSentWords, wm.WireRecvWords
+		mt.WireSentMsgs, mt.WireRecvMsgs = wm.WireSentMsgs, wm.WireRecvMsgs
+		carried[r] = mt
+	}
+	if err := s.launchMachine(); err != nil {
+		return err
+	}
+	for r, mt := range carried {
+		s.cur.h.RestoreMeters(r, mt, true)
+	}
+	s.stats.Relaunches++
+	s.stats.RankDowns += len(dead)
+	for _, r := range dead {
+		s.cur.h.Emit(r, machine.Event{Kind: machine.EventRankDown, From: r, To: r, Step: -1})
+	}
+	s.cur.h.Emit(0, machine.Event{Kind: machine.EventRecoveryBegin, From: 0, To: 0, Step: s.rec.MaxRetries + 1})
+	return nil
+}
+
+func (s *Session) drainCrashes() {
+	for {
+		select {
+		case <-s.crashCh:
+		default:
+			return
+		}
+	}
+}
+
+// sessionCheckpoint is the state needed to replay one dispatch: per-rank
+// logical meters, the distributed power-method iterate and its
+// convergence scalars, and the phase recorder's accumulated rows. The
+// x/y arenas need no checkpoint — stage+gather rebuild the x arena from
+// host staging (or the chunk iterate) and zeroY+publish fully overwrite
+// the y path on every attempt.
+type sessionCheckpoint struct {
+	meters   []machine.Meters
+	chunk    [][]float64
+	pmLambda []float64
+	pmPrev   []float64
+	phases   []phaseSnap
+}
+
+// checkpoint captures the committed state at a dispatch boundary (all
+// ranks parked, so the host may read their counters and chunk state).
+func (s *Session) checkpoint(pr *phaseRecorder) *sessionCheckpoint {
+	p := s.part.P
+	ck := &sessionCheckpoint{
+		meters:   make([]machine.Meters, p),
+		chunk:    make([][]float64, p),
+		pmLambda: make([]float64, p),
+		pmPrev:   make([]float64, p),
+	}
+	for r := 0; r < p; r++ {
+		ck.meters[r] = s.cur.h.RankMeters(r)
+		ck.chunk[r] = append([]float64(nil), s.rk[r].chunk...)
+		ck.pmLambda[r] = s.rk[r].pmLambda
+		ck.pmPrev[r] = s.rk[r].pmPrev
+	}
+	if pr != nil {
+		ck.phases = pr.snapshot()
+	}
+	return ck
+}
+
+// restore rolls every rank back to the checkpoint: logical meters (wire
+// meters keep running — that is where recovery overhead belongs), the
+// chunk iterate and power-method scalars, and the phase recorder rows.
+// Collective groups are dropped so they rebind to the current Comm on
+// the next use (a respawned rank and a relaunched machine both carry
+// fresh Comms).
+func (s *Session) restore(ck *sessionCheckpoint, pr *phaseRecorder) {
+	l := s.cur
+	for r := 0; r < s.part.P; r++ {
+		l.h.RestoreMeters(r, ck.meters[r], false)
+		copy(s.rk[r].chunk, ck.chunk[r])
+		s.rk[r].pmLambda = ck.pmLambda[r]
+		s.rk[r].pmPrev = ck.pmPrev[r]
+		s.rk[r].world = nil
+	}
+	if pr != nil {
+		pr.restore(ck.phases)
+	}
+	s.stats.Rollbacks++
+	l.h.Emit(0, machine.Event{Kind: machine.EventRecoveryEnd, From: 0, To: 0, Step: -1})
+}

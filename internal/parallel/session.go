@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/collective"
 	"repro/internal/la"
@@ -47,9 +48,11 @@ type Session struct {
 	stageX  [][]float64 // host staging, maxCols × padded
 	stageY  [][]float64
 
-	ops      []chan *sessionOp
-	runDone  chan struct{}
-	runErr   error
+	cur      *launch          // current machine incarnation
+	rec      *RecoveryOptions // nil: fail fast on any crash
+	crashCh  chan rankDown
+	stats    RecoveryStats
+	inflight atomic.Bool
 	report   *machine.Report
 	closed   bool
 	closeErr error
@@ -75,6 +78,13 @@ type sessionRank struct {
 	xA    []float64 // input row-block arena
 	yA    []float64 // output row-block arena
 	chunk []float64 // owned-chunk iterate (power method), k·b-indexed
+
+	// pmLambda and pmPrev are the power method's convergence scalars;
+	// they live here (not in an op closure) because the method dispatches
+	// one operation per iteration and the state must survive between
+	// dispatches — and be checkpointable for crash recovery.
+	pmLambda float64
+	pmPrev   float64
 
 	sendBuf []float64 // one message, reused across steps (Send copies)
 	recvBuf []float64
@@ -151,15 +161,21 @@ func OpenSession(a *tensor.Symmetric, opts Options) (*Session, error) {
 	}
 	s.grow(maxCols)
 
-	s.ops = make([]chan *sessionOp, part.P)
-	for r := range s.ops {
-		s.ops[r] = make(chan *sessionOp, 1)
+	if opts.Recovery != nil {
+		rec := opts.Recovery.withDefaults()
+		s.rec = &rec
+		s.crashCh = make(chan rankDown, part.P)
+		if s.opts.Machine.Timeout == 0 {
+			// A crashed rank can strand a peer in a parked transport wait
+			// the abort fence cannot reach; the watchdog is the recovery
+			// supervisor's backstop, so a recovering session always runs
+			// with one.
+			s.opts.Machine.Timeout = 5 * time.Second
+		}
 	}
-	s.runDone = make(chan struct{})
-	go func() {
-		s.report, s.runErr = machine.RunWith(part.P, opts.Machine, s.rankBody)
-		close(s.runDone)
-	}()
+	if err := s.launchMachine(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -211,50 +227,6 @@ func (s *Session) ensureCols(cols int) {
 	}
 }
 
-// rankBody is the resident body every simulated rank runs: serve host-fed
-// operations until the op channel closes.
-func (s *Session) rankBody(c *machine.Comm) {
-	me := c.Rank()
-	for {
-		var op *sessionOp
-		c.AwaitHost(func() { op = <-s.ops[me] })
-		if op == nil {
-			return
-		}
-		op.run(me, c)
-		if op.pending.Add(-1) == 0 {
-			close(op.done)
-		}
-	}
-}
-
-// dispatch hands one operation to every rank and waits for completion (or
-// for the machine to die — a watchdog abort or an injected crash).
-func (s *Session) dispatch(run func(me int, c *machine.Comm)) error {
-	op := &sessionOp{run: run, done: make(chan struct{})}
-	op.pending.Store(int64(s.part.P))
-	for r := range s.ops {
-		select {
-		case s.ops[r] <- op:
-		case <-s.runDone:
-			return s.sessionErr()
-		}
-	}
-	select {
-	case <-op.done:
-		return nil
-	case <-s.runDone:
-		return s.sessionErr()
-	}
-}
-
-func (s *Session) sessionErr() error {
-	if s.runErr != nil {
-		return s.runErr
-	}
-	return fmt.Errorf("parallel: session machine exited")
-}
-
 // Close retires the resident ranks and waits for the machine to finish.
 // Safe to call more than once.
 func (s *Session) Close() error {
@@ -262,11 +234,13 @@ func (s *Session) Close() error {
 		return s.closeErr
 	}
 	s.closed = true
-	for r := range s.ops {
-		close(s.ops[r])
+	l := s.cur
+	for r := range l.ops {
+		close(l.ops[r])
 	}
-	<-s.runDone
-	s.closeErr = s.runErr
+	<-l.runDone
+	s.report = l.report
+	s.closeErr = l.runErr
 	return s.closeErr
 }
 
@@ -501,6 +475,10 @@ func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, er
 			return nil, nil, fmt.Errorf("parallel: tensor dimension %d, vector length %d", s.a.N, len(x))
 		}
 	}
+	if !s.inflight.CompareAndSwap(false, true) {
+		return nil, nil, ErrSessionBusy
+	}
+	defer s.inflight.Store(false)
 	s.ensureCols(cols)
 	for l, x := range X {
 		copy(s.stageX[l], x)
@@ -508,7 +486,7 @@ func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, er
 	}
 	pr := newPhaseRecorder(s.part.P, "gather", "local", "reduce-scatter")
 	deltas := make([]machine.Meters, s.part.P)
-	if err := s.dispatch(s.applyOp(cols, pr, deltas)); err != nil {
+	if err := s.dispatch(pr, s.applyOp(cols, pr, deltas)); err != nil {
 		return nil, nil, err
 	}
 	pr.meter("gather").Steps = s.lay.steps
@@ -567,11 +545,94 @@ func (s *Session) ApplyBatch(X [][]float64) (*BatchResult, error) {
 	}, nil
 }
 
+// powerIterState carries one iteration's per-rank outcome flags from the
+// dispatched op back to the host loop. Every rank writes only its own
+// slot; the slots agree across ranks because the convergence test runs on
+// the all-reduced scalars.
+type powerIterState struct {
+	stop      []bool
+	converged []bool
+	singular  []bool
+}
+
+// powerIterOp is the rank closure of one power-method iteration: stage
+// the owned iterate chunks, gather, local compute, reduce-scatter, then
+// the scalar all-reduce for λ and the normalization. Making each
+// iteration its own dispatch keeps the crash-recovery checkpoint
+// granularity at one STTSV round: a crash replays the iteration it hit,
+// not the whole method.
+func (s *Session) powerIterOp(tol float64, pr *phaseRecorder, st *powerIterState) func(me int, c *machine.Comm) {
+	return func(me int, c *machine.Comm) {
+		st.stop[me], st.converged[me], st.singular[me] = false, false, false
+		rk := s.rk[me]
+		if rk.world == nil {
+			rk.world = collective.World(c)
+		}
+		b := s.b
+		rows := rk.lay.rows
+		stride := rk.stride()
+
+		// Stage the owned chunks; gather fills every other chunk.
+		for k := range rows {
+			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+			copy(rk.xA[k*stride+lo:k*stride+hi], rk.chunk[k*b+lo:k*b+hi])
+		}
+		pr.comm(c, "gather", func() { rk.gatherP2P(c, 1) })
+
+		rk.zeroY()
+		pr.local(c, "local", func() int64 {
+			var stats sttsv.Stats
+			s.exec.ContributeCols(rk.scratch, s.blocks.Rank(me), b, 1, rk.xRowCol, rk.yRowCol, &stats)
+			return stats.TernaryMults
+		})
+
+		pr.comm(c, "reduce-scatter", func() { rk.scatterP2P(c, 1) })
+
+		// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
+		rk.pbuf[0], rk.pbuf[1] = 0, 0
+		for k := range rows {
+			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+			yc := rk.yA[k*stride+lo : k*stride+hi]
+			xc := rk.chunk[k*b+lo : k*b+hi]
+			for t := range yc {
+				rk.pbuf[0] += xc[t] * yc[t]
+				rk.pbuf[1] += yc[t] * yc[t]
+			}
+		}
+		var sums []float64
+		pr.comm(c, "all-reduce", func() { sums = rk.world.AllReduceSum(300, rk.pbuf[:]) })
+		lambda := sums[0]
+		ynorm := math.Sqrt(sums[1])
+		rk.pmLambda = lambda
+
+		if math.Abs(lambda-rk.pmPrev) <= tol*(1+math.Abs(lambda)) {
+			st.stop[me], st.converged[me] = true, true
+			return
+		}
+		rk.pmPrev = lambda
+		if ynorm == 0 {
+			// Singular: y vanished, so the iterate cannot be renormalized.
+			// Keep the current iterate and stop — this is not convergence.
+			st.stop[me], st.singular[me] = true, true
+			return
+		}
+		for k := range rows {
+			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+			yc := rk.yA[k*stride+lo : k*stride+hi]
+			xc := rk.chunk[k*b+lo : k*b+hi]
+			for t := range xc {
+				xc[t] = yc[t] / ynorm
+			}
+		}
+	}
+}
+
 // PowerMethod runs the distributed higher-order power method (Algorithm 1)
-// as one resident operation: the iterate stays distributed in the chunk
-// layout across iterations, and every iteration reuses the session's
-// arenas and message buffers. Results and meters are exactly those of
-// RunPowerMethod.
+// on the resident machine: the iterate stays distributed in the chunk
+// layout across iterations, each iteration is one dispatched operation
+// reusing the session's arenas and message buffers, and the host drives
+// the convergence loop on flags the ranks derive from the all-reduced
+// scalars. Results and meters are exactly those of RunPowerMethod.
 func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 	if s.closed {
 		return nil, fmt.Errorf("parallel: session closed")
@@ -592,6 +653,10 @@ func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 	if po.Tol <= 0 {
 		po.Tol = 1e-12
 	}
+	if !s.inflight.CompareAndSwap(false, true) {
+		return nil, ErrSessionBusy
+	}
+	defer s.inflight.Store(false)
 
 	// Deterministic unit start, padded region zero.
 	x0 := make([]float64, s.padded)
@@ -606,104 +671,59 @@ func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 	}
 
 	p := s.part.P
-	lambdas := make([]float64, p)
-	iters := make([]int, p)
-	converged := make([]bool, p)
-	xOut := make([]float64, s.padded)
-	pr := newPhaseRecorder(p, "gather", "local", "reduce-scatter", "all-reduce")
-	deltas := make([]machine.Meters, p)
-
-	err := s.dispatch(func(me int, c *machine.Comm) {
-		rk := s.rk[me]
-		m0 := c.Meters()
-		if rk.world == nil {
-			rk.world = collective.World(c)
-		}
-		b := s.b
-		rows := rk.lay.rows
-
-		// Owned chunks of the iterate.
-		for k, row := range rows {
+	b := s.b
+	// Seed the distributed iterate host-side (every rank is parked
+	// between operations, so its chunk arena is the host's to write).
+	for _, rk := range s.rk {
+		for k, row := range rk.lay.rows {
 			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
 			copy(rk.chunk[k*b+lo:k*b+hi], x0[row*b+lo:row*b+hi])
 		}
+		rk.pmLambda, rk.pmPrev = 0, math.Inf(1)
+	}
 
-		lambda, prev := 0.0, math.Inf(1)
-		done := false
-		it := 0
-		for it = 1; it <= po.MaxIter && !done; it++ {
-			// Stage the owned chunks; gather fills every other chunk.
-			stride := rk.stride()
-			for k := range rows {
-				lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
-				copy(rk.xA[k*stride+lo:k*stride+hi], rk.chunk[k*b+lo:k*b+hi])
-			}
-			pr.comm(c, "gather", func() { rk.gatherP2P(c, 1) })
+	pr := newPhaseRecorder(p, "gather", "local", "reduce-scatter", "all-reduce")
+	base := make([]machine.Meters, p)
+	for r := range base {
+		base[r] = s.cur.h.RankMeters(r)
+	}
 
-			rk.zeroY()
-			pr.local(c, "local", func() int64 {
-				var st sttsv.Stats
-				s.exec.ContributeCols(rk.scratch, s.blocks.Rank(me), b, 1, rk.xRowCol, rk.yRowCol, &st)
-				return st.TernaryMults
-			})
-
-			pr.comm(c, "reduce-scatter", func() { rk.scatterP2P(c, 1) })
-
-			// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
-			rk.pbuf[0], rk.pbuf[1] = 0, 0
-			for k := range rows {
-				lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
-				yc := rk.yA[k*stride+lo : k*stride+hi]
-				xc := rk.chunk[k*b+lo : k*b+hi]
-				for t := range yc {
-					rk.pbuf[0] += xc[t] * yc[t]
-					rk.pbuf[1] += yc[t] * yc[t]
-				}
-			}
-			var sums []float64
-			pr.comm(c, "all-reduce", func() { sums = rk.world.AllReduceSum(300, rk.pbuf[:]) })
-			lambda = sums[0]
-			ynorm := math.Sqrt(sums[1])
-
-			if math.Abs(lambda-prev) <= po.Tol*(1+math.Abs(lambda)) {
-				done = true
-				break
-			}
-			prev = lambda
-			if ynorm == 0 {
-				done = true // singular tensor; keep current iterate
-				break
-			}
-			for k := range rows {
-				lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
-				yc := rk.yA[k*stride+lo : k*stride+hi]
-				xc := rk.chunk[k*b+lo : k*b+hi]
-				for t := range xc {
-					xc[t] = yc[t] / ynorm
-				}
-			}
+	st := &powerIterState{stop: make([]bool, p), converged: make([]bool, p), singular: make([]bool, p)}
+	iterations := 0
+	for iterations < po.MaxIter {
+		iterations++
+		if err := s.dispatch(pr, s.powerIterOp(po.Tol, pr, st)); err != nil {
+			return nil, err
 		}
+		if st.stop[0] {
+			break
+		}
+	}
 
-		lambdas[me] = lambda
-		iters[me] = it
-		converged[me] = done
-		for k, row := range rows {
+	// Iterations counts dispatched STTSV rounds exactly: a run stopped by
+	// the MaxIter cap reports MaxIter, not MaxIter+1, and Converged stays
+	// false for both the cap exit and the singular exit.
+	deltas := make([]machine.Meters, p)
+	for r := range deltas {
+		deltas[r] = s.cur.h.RankMeters(r).Sub(base[r])
+	}
+	xOut := make([]float64, s.padded)
+	for _, rk := range s.rk {
+		for k, row := range rk.lay.rows {
 			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
 			copy(xOut[row*b+lo:row*b+hi], rk.chunk[k*b+lo:k*b+hi])
 		}
-		deltas[me] = c.Meters().Sub(m0)
-	})
-	if err != nil {
-		return nil, err
 	}
 
-	pr.meter("gather").Steps = s.lay.steps
-	pr.meter("reduce-scatter").Steps = s.lay.steps
+	// The two exchanges ran the full schedule once per iteration.
+	pr.meter("gather").Steps = s.lay.steps * iterations
+	pr.meter("reduce-scatter").Steps = s.lay.steps * iterations
 	return &EigenResult{
-		Lambda:     lambdas[0],
+		Lambda:     s.rk[0].pmLambda,
 		X:          xOut[:n],
-		Iterations: iters[0],
-		Converged:  converged[0],
+		Iterations: iterations,
+		Converged:  st.converged[0],
+		Singular:   st.singular[0],
 		Report:     reportFromDeltas(deltas),
 		Phases:     pr.results(),
 	}, nil

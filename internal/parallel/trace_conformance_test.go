@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/schedule"
+	"repro/internal/tensor"
 )
 
 // checkTraceMatchesPhases verifies the trace-conformance invariant at
@@ -219,5 +221,46 @@ func TestTraceConformanceUnderFaults(t *testing.T) {
 	}
 	if want := schedule.TheoreticalSteps(q); tl.PhaseSteps["gather"] != want {
 		t.Errorf("gather steps %d under faults, want %d", tl.PhaseSteps["gather"], want)
+	}
+}
+
+// TestTraceConformancePowerMethod extends the invariant to the resident
+// power method: the summed trace of a full multi-iteration run matches
+// both the run report and the accumulated per-phase meters — in
+// particular the exchange meters' step counts, which must scale with the
+// iterations executed (the seed reported a single application's worth).
+func TestTraceConformancePowerMethod(t *testing.T) {
+	q := 2
+	part := sphericalPart(t, q)
+	b := q * (q + 1)
+	n := part.M * b
+	rng := rand.New(rand.NewSource(17))
+	a := tensor.Random(n, rng)
+	const iters = 4
+	var rec obs.Recorder
+	res, err := RunPowerMethod(a,
+		Options{
+			Part: part, B: b, Wiring: WiringP2P,
+			Machine: machine.RunConfig{Timeout: 10 * time.Second, Observer: rec.Observer()},
+		},
+		PowerOptions{MaxIter: iters, Tol: 1e-300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != iters {
+		t.Fatalf("Iterations = %d, want the full cap %d", res.Iterations, iters)
+	}
+	tr := rec.Trace()
+	if err := tr.CheckAgainstReport(res.Report); err != nil {
+		t.Fatal(err)
+	}
+	checkTraceMatchesPhases(t, tr, res.Phases, part.P)
+
+	wantSteps := schedule.TheoreticalSteps(q) * iters
+	for _, label := range []string{"gather", "reduce-scatter"} {
+		if m := res.Phase(label); m == nil || m.Steps != wantSteps {
+			t.Errorf("phase %q: meter steps = %+v, want schedule length × iterations = %d",
+				label, m, wantSteps)
+		}
 	}
 }

@@ -216,6 +216,22 @@ type Session = parallel.Session
 // BatchResult reports a multi-column session application.
 type BatchResult = parallel.BatchResult
 
+// RecoveryOptions opts a session into crash recovery (set
+// ParallelOptions.Recovery): rank deaths are absorbed by checkpointed
+// rollback and replay behind an epoch fence, with bounded retries and a
+// degraded full-relaunch fallback. Committed results stay bit-identical
+// to the crash-free session and logical meters count committed work
+// exactly once; recovery overhead appears only on the wire meters.
+type RecoveryOptions = parallel.RecoveryOptions
+
+// RecoveryStats counts the supervisor's interventions over a session's
+// lifetime (Session.RecoveryStats).
+type RecoveryStats = parallel.RecoveryStats
+
+// ErrSessionBusy is returned (wrapped) by Session operations invoked
+// while another operation is in flight; match with errors.Is.
+var ErrSessionBusy = parallel.ErrSessionBusy
+
 // OpenSession launches a persistent session. The tensor may be nil for
 // pure communication measurements. Callers must Close the session to stop
 // the resident ranks.
