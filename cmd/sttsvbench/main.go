@@ -23,6 +23,9 @@
 //	sttsvbench -benchtime 2s        # longer per-measurement budget
 //	sttsvbench -parallel            # session engine, writes BENCH_parallel.json
 //	sttsvbench -parallel -check BENCH_parallel.json   # regression gate
+//	sttsvbench -recover             # crash-recovery drill + checkpoint overhead,
+//	                                # merges a recovery section into BENCH_parallel.json
+//	sttsvbench -recover -check BENCH_parallel.json    # overhead regression gate
 package main
 
 import (
@@ -134,11 +137,14 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default BENCH_kernels.json, or BENCH_parallel.json with -parallel)")
 	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "per-measurement budget")
 	parallelMode := flag.Bool("parallel", false, "benchmark the session engine instead of the local kernels")
-	check := flag.String("check", "", "with -parallel: compare against this baseline JSON and fail on >20% regression instead of writing output")
-	recoverDrill := flag.Bool("recover", false, "run the crash-recovery drill: a resident session under a seeded multi-rank crash plan, reporting recovery cost against the clean run")
+	check := flag.String("check", "", "with -parallel or -recover: compare against this baseline JSON and fail on regression instead of writing output")
+	recoverDrill := flag.Bool("recover", false, "run the crash-recovery drill: checkpoint overhead at two problem sizes plus a resident session under a seeded multi-rank crash plan")
 	flag.Parse()
 	if *recoverDrill {
-		runRecoveryDrill()
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+		runRecoveryDrill(*out, *check)
 		return
 	}
 	if *parallelMode {

@@ -67,6 +67,52 @@ type parallelReport struct {
 	Config      parallelConfig   `json:"config"`
 	PowerMethod powerMethodBench `json:"power_method"`
 	Batch       []batchBench     `json:"batch"`
+	// Recovery is filled by the -recover mode (runRecoveryDrill): the
+	// incremental-checkpoint overhead profile and the crash-drill restore
+	// latency. The -parallel mode leaves it untouched in an existing
+	// baseline only if -recover is re-run afterwards — regenerate with
+	// `-parallel` first, then `-recover`.
+	Recovery *recoveryBench `json:"recovery,omitempty"`
+}
+
+// recoverySize is one problem size's checkpoint-overhead profile: the
+// steady-state fault-free Apply cost with the supervisor off and on, and
+// the dirty-word accounting that pins the incremental checkpointer's
+// O(dirty) contract at this size.
+type recoverySize struct {
+	Q int `json:"q"`
+	P int `json:"p"`
+	B int `json:"b"`
+	N int `json:"n"`
+	// BaseNsPerApply / RecNsPerApply: min-of-reps steady-state Apply cost
+	// without and with the recovery supervisor (fault-free transport, so
+	// the difference is pure checkpoint overhead).
+	BaseNsPerApply float64 `json:"base_ns_per_apply"`
+	RecNsPerApply  float64 `json:"rec_ns_per_apply"`
+	// OverheadRatio = recovery-on ÷ recovery-off; a same-host ratio, so
+	// the CI gate transfers across runner hardware.
+	OverheadRatio float64 `json:"overhead_ratio"`
+	// ApplyCheckpointWords: arena words copied per Apply checkpoint —
+	// zero, the dirtyNone contract (x/y arenas rebuild from host staging).
+	ApplyCheckpointWords int64 `json:"apply_checkpoint_words"`
+	// PowerCheckpointWords: arena words copied per power-method
+	// checkpoint — the owned spans, exactly n, independent of the
+	// replicated arena footprint the old full-copy checkpointer moved.
+	PowerCheckpointWords int64 `json:"power_checkpoint_words"`
+	// CheckpointNsPerApply: wall time the checkpoint path spent per Apply
+	// during the recovery-on loop.
+	CheckpointNsPerApply float64 `json:"checkpoint_ns_per_apply"`
+}
+
+// recoveryBench is the -recover mode's JSON section in
+// BENCH_parallel.json.
+type recoveryBench struct {
+	Sizes []recoverySize `json:"sizes"`
+	// Drill outcome under the seeded multi-rank crash plan.
+	RestoreNsPerRollback float64 `json:"restore_ns_per_rollback"`
+	RankDowns            int     `json:"rank_downs"`
+	Rollbacks            int     `json:"rollbacks"`
+	Relaunches           int     `json:"relaunches"`
 }
 
 // normalizeInto writes x/‖y‖ for the next iteration; the per-call and
@@ -287,13 +333,144 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// measureRecoverySize profiles the incremental checkpointer at one
+// problem size: steady-state fault-free Apply cost with the supervisor
+// off vs on (the difference is pure checkpoint overhead), plus the
+// dirty-word accounting for both operation classes.
+func measureRecoverySize(q, b int) recoverySize {
+	part, err := partition.NewSpherical(q)
+	if err != nil {
+		fatal(err)
+	}
+	n := part.M * b
+	rng := rand.New(rand.NewSource(int64(3000 + q)))
+	a := tensor.Random(n, rng)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	const (
+		applies = 30
+		reps    = 3
+	)
+	loop := func(s *parallel.Session) time.Duration {
+		if _, err := s.Apply(x); err != nil { // warm-up
+			fatal(err)
+		}
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < applies; i++ {
+				if _, err := s.Apply(x); err != nil {
+					fatal(err)
+				}
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	base := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	sb, err := parallel.OpenSession(a, base)
+	if err != nil {
+		fatal(err)
+	}
+	baseT := loop(sb)
+	sb.Close()
+
+	rec := base
+	rec.Recovery = &parallel.RecoveryOptions{}
+	sr, err := parallel.OpenSession(a, rec)
+	if err != nil {
+		fatal(err)
+	}
+	recT := loop(sr)
+	applyStats := sr.RecoveryStats()
+	if applyStats.CheckpointWords != 0 {
+		fatal(fmt.Errorf("recovery bench q=%d: Apply checkpoints copied %d arena words, want 0",
+			q, applyStats.CheckpointWords))
+	}
+	// One resident power method pins the dirty-span cost: every checkpoint
+	// copies the owned chunk spans, which tile the global vector exactly.
+	if _, err := sr.PowerMethod(parallel.PowerOptions{MaxIter: 6, Tol: 1e-300}); err != nil {
+		fatal(err)
+	}
+	pmWords := sr.RecoveryStats().CheckpointWords
+	sr.Close()
+	if pmWords <= 0 || pmWords%int64(n) != 0 {
+		fatal(fmt.Errorf("recovery bench q=%d: power-method checkpoint words %d not a positive multiple of n=%d",
+			q, pmWords, n))
+	}
+
+	totalApplies := (1 + reps*applies) // warm-up + measured reps
+	sz := recoverySize{
+		Q: q, P: part.P, B: b, N: n,
+		BaseNsPerApply:       float64(baseT.Nanoseconds()) / applies,
+		RecNsPerApply:        float64(recT.Nanoseconds()) / applies,
+		ApplyCheckpointWords: 0,
+		PowerCheckpointWords: int64(n),
+		CheckpointNsPerApply: float64(applyStats.CheckpointNanos) / float64(totalApplies),
+	}
+	sz.OverheadRatio = sz.RecNsPerApply / sz.BaseNsPerApply
+	return sz
+}
+
+// checkRecoveryRegression gates the recovery-on vs recovery-off
+// steady-state overhead ratio against the committed baseline: a measured
+// ratio above 1.25x the baseline's at the same (q, b) fails the run. Both
+// sides are same-host ratios, so the gate transfers across hardware. A
+// baseline without a recovery section passes gracefully (first run after
+// the section was introduced).
+func checkRecoveryRegression(path string, bench *recoveryBench) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("check baseline: %w", err))
+	}
+	var base parallelReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("check baseline %s: %w", path, err))
+	}
+	if base.Recovery == nil {
+		fmt.Printf("check: baseline %s has no recovery section yet — skipping the overhead gate\n", path)
+		return
+	}
+	const slack = 1.25
+	for _, got := range bench.Sizes {
+		var want *recoverySize
+		for i := range base.Recovery.Sizes {
+			if bs := &base.Recovery.Sizes[i]; bs.Q == got.Q && bs.B == got.B {
+				want = bs
+				break
+			}
+		}
+		if want == nil {
+			fmt.Printf("check: baseline has no q=%d b=%d recovery size — skipping it\n", got.Q, got.B)
+			continue
+		}
+		ceiling := want.OverheadRatio * slack
+		fmt.Printf("check: q=%d checkpoint overhead %.3fx, baseline %.3fx, ceiling %.3fx\n",
+			got.Q, got.OverheadRatio, want.OverheadRatio, ceiling)
+		if got.OverheadRatio > ceiling {
+			fatal(fmt.Errorf("recovery-on steady-state overhead regressed at q=%d: %.3fx > %.3fx (baseline %.3fx in %s)",
+				got.Q, got.OverheadRatio, ceiling, want.OverheadRatio, path))
+		}
+	}
+	fmt.Println("check: ok")
+}
+
 // runRecoveryDrill (the -recover mode) measures what crash recovery
-// costs: the same Apply sequence over one resident session, once on a
-// clean machine and once under a seeded multi-rank crash plan with the
-// recovery supervisor enabled. The drill verifies the recovered results
-// bit-match the clean ones, then reports the wall-clock and wire-traffic
-// overhead of the respawn-rollback-replay cycle.
-func runRecoveryDrill() {
+// costs. Two parts: (1) the checkpoint-overhead profile — steady-state
+// fault-free Apply with the supervisor off vs on at two problem sizes,
+// plus the dirty-word accounting that shows checkpoint cost scaling with
+// the dirty footprint, not the replicated arenas; (2) the crash drill —
+// the same Apply sequence over one resident session, once clean and once
+// under a seeded multi-rank crash plan, verifying bit-identical results
+// and reporting the rollback-replay cost. With out set the results merge
+// into the parallel benchmark JSON; with check set they gate against the
+// committed baseline instead.
+func runRecoveryDrill(out, check string) {
 	const (
 		q       = 3
 		b       = 4
@@ -370,7 +547,49 @@ func runRecoveryDrill() {
 		recT, recWire, recWire-cleanWire)
 	fmt.Printf("  recovery: %d rank deaths, %d retries, %d rollbacks, %d respawns, %d relaunches (epoch %d)\n",
 		stats.RankDowns, stats.Retries, stats.Rollbacks, stats.Restarts, stats.Relaunches, stats.Epoch)
+	fmt.Printf("  verification: %d fingerprint passes, %d mismatches\n", stats.Verifications, stats.Mismatches)
 	fmt.Printf("  results bit-identical across all %d applies; logical meters preserved=%v\n",
 		applies, cleanRep.TotalSentWords() == recRep.TotalSentWords() &&
 			cleanRep.MaxSentMsgs() == recRep.MaxSentMsgs())
+
+	bench := &recoveryBench{
+		RankDowns:  stats.RankDowns,
+		Rollbacks:  stats.Rollbacks,
+		Relaunches: stats.Relaunches,
+	}
+	if stats.Rollbacks > 0 {
+		bench.RestoreNsPerRollback = float64(stats.RestoreNanos) / float64(stats.Rollbacks)
+		fmt.Printf("  restore latency: %.0f ns/rollback (verified)\n", bench.RestoreNsPerRollback)
+	}
+	for _, size := range []struct{ q, b int }{{3, 4}, {4, 6}} {
+		sz := measureRecoverySize(size.q, size.b)
+		bench.Sizes = append(bench.Sizes, sz)
+		fmt.Printf("  overhead q=%d (P=%d, n=%d): base %8.0f ns/apply, recovery-on %8.0f ns/apply (%.3fx);"+
+			" ckpt %d words/apply, %d words/power-iter, %.0f ns/apply in checkpoint\n",
+			sz.Q, sz.P, sz.N, sz.BaseNsPerApply, sz.RecNsPerApply, sz.OverheadRatio,
+			sz.ApplyCheckpointWords, sz.PowerCheckpointWords, sz.CheckpointNsPerApply)
+	}
+
+	if check != "" {
+		checkRecoveryRegression(check, bench)
+		return
+	}
+	// Merge into the parallel benchmark baseline: keep the -parallel
+	// sections of an existing file and replace only the recovery section.
+	rep := parallelReport{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fatal(fmt.Errorf("existing %s: %w", out, err))
+		}
+	}
+	rep.Recovery = bench
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }

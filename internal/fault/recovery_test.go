@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/la"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -112,11 +113,13 @@ func TestChaosRecoverySession(t *testing.T) {
 				for _, plan := range recoveryPlans {
 					plan := plan
 					t.Run(plan.String(), func(t *testing.T) {
+						var rec obs.Recorder
 						got := runSession(t, parallel.Options{
 							Part: part, B: b, Wiring: wiring,
 							Machine: machine.RunConfig{
 								Transport: fault.TransportRecoverable(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
 								Timeout:   2 * time.Second,
+								Observer:  rec.Observer(),
 							},
 							Recovery: &parallel.RecoveryOptions{},
 						}, a, xs)
@@ -147,6 +150,20 @@ func TestChaosRecoverySession(t *testing.T) {
 						}
 						if got.stats.Retries < 1 {
 							t.Errorf("RecoveryStats.Retries = %d, want ≥ 1", got.stats.Retries)
+						}
+						if got.stats.Verifications < got.stats.Rollbacks {
+							t.Errorf("RecoveryStats.Verifications = %d below Rollbacks = %d: every restore must verify",
+								got.stats.Verifications, got.stats.Rollbacks)
+						}
+						if got.stats.Mismatches != 0 {
+							t.Errorf("RecoveryStats.Mismatches = %d on uncorrupted restores", got.stats.Mismatches)
+						}
+						// Epoch-aware trace conformance: with the aborted
+						// attempts cut away at the per-rank rollback markers,
+						// the committed logical trace must equal the
+						// session-lifetime report exactly.
+						if err := rec.Trace().CheckCommittedAgainstReport(got.final); err != nil {
+							t.Errorf("committed trace conformance: %v", err)
 						}
 					})
 				}
@@ -200,6 +217,97 @@ func TestChaosRecoveryPowerMethod(t *testing.T) {
 	}
 	if stats.RankDowns < 1 || stats.Rollbacks < 1 {
 		t.Errorf("stats %+v: expected at least one rank death and rollback", stats)
+	}
+}
+
+// mttkrpPlans are the dedicated crash schedules for the MTTKRP grid: an
+// early single-rank crash inside the batched exchange, and a multi-rank
+// crash layered over packet loss.
+var mttkrpPlans = []fault.Plan{
+	{Seed: 6, Crash: map[int]int{1: 5}},
+	{Seed: 7, Drop: 0.05, Crash: map[int]int{0: 8, 3: 20}},
+}
+
+// TestChaosRecoveryMTTKRP: a crash mid-MTTKRP must replay the batched
+// application and still reproduce the crash-free factor matrix
+// bit-for-bit, with exactly-once logical meters — the x/y arenas are
+// rebuilt from host staging on every attempt (dirtyNone), so the
+// incremental checkpointer copies zero arena words here.
+func TestChaosRecoveryMTTKRP(t *testing.T) {
+	const rcols = 2
+	for _, q := range []int{2, 3} {
+		part, a, _, b := recoverySetup(t, q)
+		n := part.M * b
+		rng := newRng(int64(2000 + q))
+		x := la.NewMatrix(n, rcols)
+		for i := 0; i < n; i++ {
+			for l := 0; l < rcols; l++ {
+				x.Set(i, l, rng.NormFloat64())
+			}
+		}
+		type mttkrpOutcome struct {
+			y     *la.Matrix
+			res   *parallel.Result
+			final *machine.Report
+			stats parallel.RecoveryStats
+		}
+		runM := func(t *testing.T, opts parallel.Options) *mttkrpOutcome {
+			t.Helper()
+			s, err := parallel.OpenSession(a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, res, err := s.MTTKRP(x, 0)
+			if err != nil {
+				s.Close()
+				t.Fatalf("MTTKRP: %v", err)
+			}
+			stats := s.RecoveryStats()
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			return &mttkrpOutcome{y: y, res: res, final: s.Report(), stats: stats}
+		}
+		for _, wiring := range []parallel.Wiring{parallel.WiringP2P, parallel.WiringAllToAll} {
+			name := "p2p"
+			if wiring == parallel.WiringAllToAll {
+				name = "alltoall"
+			}
+			t.Run(name+"/q="+string(rune('0'+q)), func(t *testing.T) {
+				want := runM(t, parallel.Options{Part: part, B: b, Wiring: wiring})
+				for _, plan := range mttkrpPlans {
+					plan := plan
+					t.Run(plan.String(), func(t *testing.T) {
+						got := runM(t, parallel.Options{
+							Part: part, B: b, Wiring: wiring,
+							Machine: machine.RunConfig{
+								Transport: fault.TransportRecoverable(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
+								Timeout:   2 * time.Second,
+							},
+							Recovery: &parallel.RecoveryOptions{},
+						})
+						for i := range want.y.Data {
+							if got.y.Data[i] != want.y.Data[i] {
+								t.Fatalf("Y.Data[%d] = %g differs from crash-free %g",
+									i, got.y.Data[i], want.y.Data[i])
+							}
+						}
+						if !reflect.DeepEqual(got.res.Phases, want.res.Phases) {
+							t.Errorf("per-phase meters differ from crash-free MTTKRP")
+						}
+						assertSameLogicalMeters(t, want.res.Report, got.res.Report)
+						assertSameLogicalMeters(t, want.final, got.final)
+						if got.stats.RankDowns < 1 || got.stats.Rollbacks < 1 {
+							t.Errorf("stats %+v: expected at least one rank death and rollback", got.stats)
+						}
+						if got.stats.CheckpointWords != 0 {
+							t.Errorf("CheckpointWords = %d: MTTKRP checkpoints must copy no arena words",
+								got.stats.CheckpointWords)
+						}
+					})
+				}
+			})
+		}
 	}
 }
 
@@ -265,6 +373,118 @@ func TestChaosRecoveryObservability(t *testing.T) {
 	}
 	if rc2 := back.RecoveryCounts(); rc2 != rc {
 		t.Errorf("recovery counts changed across JSONL round-trip: %+v vs %+v", rc2, rc)
+	}
+}
+
+// TestRecoveryDegradedRelaunchThenCrash walks the hardest lifecycle edge:
+// a dispatch exhausts its retry budget (two crashes inside one Apply with
+// MaxRetries = 1) and degrades to a full machine relaunch — and then a
+// third rank crashes on the relaunched machine, which must absorb it with
+// an ordinary in-place recovery. The crash registry persists across the
+// relaunch, so each rank's scheduled crash fires exactly once for the
+// session lifetime, and the whole run stays bit-identical to crash-free.
+func TestRecoveryDegradedRelaunchThenCrash(t *testing.T) {
+	part, a, _, b := recoverySetup(t, 2)
+	n := part.M * b
+	rng := newRng(77)
+	xs := make([][]float64, 5)
+	for k := range xs {
+		xs[k] = make([]float64, n)
+		for i := range xs[k] {
+			xs[k][i] = rng.NormFloat64()
+		}
+	}
+	want := runSession(t, parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}, a, xs)
+
+	plan := fault.Plan{Seed: 11, Crash: map[int]int{1: 4, 2: 30, 3: 65}}
+	s, err := parallel.OpenSession(a, parallel.Options{
+		Part: part, B: b, Wiring: parallel.WiringP2P,
+		Machine: machine.RunConfig{
+			Transport: fault.TransportRecoverable(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
+			Timeout:   2 * time.Second,
+		},
+		Recovery: &parallel.RecoveryOptions{MaxRetries: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterFirst parallel.RecoveryStats
+	for k, x := range xs {
+		res, err := s.Apply(x)
+		if err != nil {
+			t.Fatalf("apply %d: %v", k, err)
+		}
+		for i := range want.ys[k] {
+			if res.Y[i] != want.ys[k][i] {
+				t.Fatalf("apply %d: Y[%d] = %g differs from crash-free %g", k, i, res.Y[i], want.ys[k][i])
+			}
+		}
+		assertSameLogicalMeters(t, want.reports[k], res.Report)
+		if k == 0 {
+			afterFirst = s.RecoveryStats()
+		}
+	}
+	stats := s.RecoveryStats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameLogicalMeters(t, want.final, s.Report())
+
+	if afterFirst.Relaunches != 1 {
+		t.Fatalf("first Apply ended with %d relaunches, want the retry budget exhausted exactly once (stats %+v)",
+			afterFirst.Relaunches, afterFirst)
+	}
+	if stats.Relaunches != 1 {
+		t.Errorf("session ended with %d relaunches, want 1", stats.Relaunches)
+	}
+	if stats.RankDowns <= afterFirst.RankDowns {
+		t.Errorf("no rank died after the relaunch: %d → %d rank downs", afterFirst.RankDowns, stats.RankDowns)
+	}
+	if stats.Restarts <= afterFirst.Restarts {
+		t.Errorf("the post-relaunch crash was not recovered in place: %d → %d restarts",
+			afterFirst.Restarts, stats.Restarts)
+	}
+	if stats.Epoch < 1 {
+		t.Errorf("relaunched machine epoch %d: the in-place recovery after the relaunch must fence", stats.Epoch)
+	}
+	if stats.Verifications < stats.Rollbacks || stats.Mismatches != 0 {
+		t.Errorf("verification accounting off: %+v", stats)
+	}
+}
+
+// TestRecoveryStatsStableAfterClose: RecoveryStats must stay readable and
+// frozen after Close — the documented post-mortem use.
+func TestRecoveryStatsStableAfterClose(t *testing.T) {
+	part, a, xs, b := recoverySetup(t, 2)
+	s, err := parallel.OpenSession(a, parallel.Options{
+		Part: part, B: b, Wiring: parallel.WiringP2P,
+		Machine: machine.RunConfig{
+			Transport: fault.TransportRecoverable(fault.Plan{Seed: 1, Crash: map[int]int{1: 4}},
+				fault.ReliableOptions{MaxAttempts: 1 << 20}),
+			Timeout: 2 * time.Second,
+		},
+		Recovery: &parallel.RecoveryOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if _, err := s.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.RecoveryStats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.RecoveryStats(); after != before {
+		t.Errorf("RecoveryStats changed across Close:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if err := s.Close(); err != nil { // idempotent Close keeps them readable
+		t.Fatal(err)
+	}
+	if again := s.RecoveryStats(); again != before {
+		t.Errorf("RecoveryStats changed after second Close:\nbefore %+v\nafter  %+v", before, again)
 	}
 }
 

@@ -70,12 +70,21 @@ func NewReliable(w machine.Wire, opt ReliableOptions) machine.Transport {
 		parked:  make([]map[int]machine.Packet, p),
 		pending: make(map[[2]int][][]float64),
 	}
+	base := seqBase(r.epoch)
 	for i := 0; i < p; i++ {
-		r.nextSeq[i] = 1
-		r.expect[i] = 1
+		r.nextSeq[i] = base + 1
+		r.expect[i] = base + 1
 	}
 	return r
 }
+
+// seqBase namespaces sequence numbers by recovery epoch: counters of
+// epoch e live in [e<<32+1, (e+1)<<32). A pair reset at an epoch change
+// rebases both ends to the new epoch's base, so any packet of a
+// rolled-back conversation — retransmitted, duplicated, or reordered into
+// the new epoch — sits below the receiver's expected sequence and is
+// dedup-dropped, never confused with replay traffic.
+func seqBase(epoch int64) int { return int(epoch) << 32 }
 
 type reliable struct {
 	w   machine.Wire
@@ -149,7 +158,7 @@ func (r *reliable) Recv(from, tag int) []float64 {
 		if q := r.pending[key]; len(q) > 0 {
 			data := q[0]
 			r.pending[key] = q[1:]
-			r.w.Pending(machine.SummarizePending(r.pending))
+			r.publishPending()
 			return data
 		}
 		in := r.w.Pull()
@@ -180,6 +189,7 @@ func (r *reliable) handleData(pkt machine.Packet) {
 			r.parked[from] = make(map[int]machine.Packet)
 		}
 		r.parked[from][pkt.Seq] = pkt // idempotent for duplicates
+		r.publishPending()
 	default:
 		r.release(pkt)
 		r.expect[from]++
@@ -230,8 +240,52 @@ func (r *reliable) service(stop <-chan struct{}, dupOnly bool) {
 func (r *reliable) release(pkt machine.Packet) {
 	key := [2]int{pkt.From, pkt.Tag}
 	r.pending[key] = append(r.pending[key], pkt.Data)
-	r.w.Pending(machine.SummarizePending(r.pending))
+	r.publishPending()
 }
+
+// publishPending publishes a diagnostics summary of everything this
+// transport has buffered: released payloads awaiting a Recv plus parked
+// out-of-order packets. The stall watchdog prints it, and the recovery
+// supervisor reads it after an abort to find pairs with torn protocol
+// state — a parked packet is exactly as much evidence of a disturbed
+// conversation as an unconsumed released one, so both must be visible.
+func (r *reliable) publishPending() {
+	entries := machine.SummarizePending(r.pending)
+	for from, parked := range r.parked {
+		for _, pkt := range parked {
+			entries = append(entries, machine.PendingEntry{From: from, Tag: pkt.Tag, Msgs: 1, Words: len(pkt.Data)})
+		}
+	}
+	r.w.Pending(entries)
+}
+
+// AdoptEpoch moves the transport into a new recovery epoch in place.
+// Sequence state is rebased to the new epoch's namespace only for the
+// listed peers — the pairs the supervisor found disturbed by the aborted
+// epoch; their parked packets and undelivered pending payloads belong to
+// rolled-back conversations and are discarded. Untouched pairs keep their
+// counters: every exchange they completed was acknowledged on both ends,
+// so their state is consistent and the replay continues it seamlessly.
+func (r *reliable) AdoptEpoch(epoch int64, resetPeers []int) {
+	r.epoch = epoch
+	base := seqBase(epoch)
+	for _, p := range resetPeers {
+		if p < 0 || p >= len(r.nextSeq) || p == r.w.Rank() {
+			continue
+		}
+		r.nextSeq[p] = base + 1
+		r.expect[p] = base + 1
+		r.parked[p] = nil
+		for key := range r.pending {
+			if key[0] == p {
+				delete(r.pending, key)
+			}
+		}
+	}
+	r.publishPending()
+}
+
+var _ machine.EpochAdopter = (*reliable)(nil)
 
 // checksum is FNV-1a over the payload's IEEE-754 bit patterns.
 func checksum(data []float64) uint64 {

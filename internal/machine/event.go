@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EventKind classifies the structured trace events a run can emit. The
@@ -42,7 +43,21 @@ const (
 	// (1-based) on EventRecoveryBegin. Replay-transparent: the α-β-γ
 	// engine ignores kinds it does not model.
 	EventRecoveryBegin
+	// EventRecoveryEnd marks the completion of a rollback on one rank.
+	// Step carries the rank's event sequence number captured when the
+	// restored checkpoint was taken (-1 when unknown): every logical event
+	// the rank emitted at or after that sequence belongs to an aborted
+	// attempt and is superseded by the replay that follows the marker.
 	EventRecoveryEnd
+	// EventRestoreVerify records a fingerprint verification pass over the
+	// restored arenas after a rollback or a degraded relaunch; Words
+	// carries the number of pages checked.
+	EventRestoreVerify
+	// EventRestoreMismatch records a page whose post-restore fingerprint
+	// disagreed with the checkpoint-time fingerprint; From and To are the
+	// affected rank and Step the failing page index. The supervisor turns
+	// it into a RestoreMismatchError instead of replaying corrupt state.
+	EventRestoreMismatch
 )
 
 func (k EventKind) String() string {
@@ -65,6 +80,10 @@ func (k EventKind) String() string {
 		return "recovery-begin"
 	case EventRecoveryEnd:
 		return "recovery-end"
+	case EventRestoreVerify:
+		return "restore-verify"
+	case EventRestoreMismatch:
+		return "restore-mismatch"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -113,15 +132,17 @@ type Event struct {
 	Epoch int64
 }
 
-// rankObsState is a rank's event-emission bookkeeping. Each slot is
-// touched only from its rank's goroutine (transports, including fault
-// injectors and the reliable protocol's Idle/Linger loops, all run on the
-// owning rank's goroutine).
+// rankObsState is a rank's event-emission bookkeeping. The scope fields
+// are touched only from the owning rank's goroutine (transports, including
+// fault injectors and the reliable protocol's Idle/Linger loops, all run
+// on that goroutine); seq is atomic because a recovery supervisor reads it
+// from the host to segment committed from rolled-back events, and restores
+// it across a degraded relaunch so per-rank ordering stays monotonic.
 type rankObsState struct {
 	phase   string
 	op      string
 	opDepth int
-	seq     int64
+	seq     atomic.Int64
 }
 
 // emit stamps an event with the rank's phase scope and sequence number
@@ -137,8 +158,7 @@ func (m *Machine) emit(rank int, e Event) {
 	}
 	e.Op = st.op
 	e.Epoch = m.epoch.Load()
-	e.Seq = st.seq
-	st.seq++
+	e.Seq = st.seq.Add(1) - 1
 	m.observer(e)
 }
 

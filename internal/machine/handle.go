@@ -315,3 +315,37 @@ func (h *Handle) RestoreMeters(rank int, mt Meters, wire bool) {
 func (h *Handle) Emit(rank int, e Event) {
 	h.m.emit(rank, e)
 }
+
+// RankEventSeq returns the sequence number the rank's next emitted event
+// will carry. A recovery supervisor records it at checkpoint time so a
+// later rollback can mark — via the EventRecoveryEnd Step field — exactly
+// which of the rank's events belong to the aborted attempt.
+func (h *Handle) RankEventSeq(rank int) int64 {
+	return h.m.obsState[rank].seq.Load()
+}
+
+// RestoreEventSeq overwrites a rank's event sequence counter. The
+// degraded-relaunch path uses it to carry per-rank trace ordering onto a
+// fresh machine, whose counters would otherwise restart at zero and
+// scramble the canonical (rank, seq) event order.
+func (h *Handle) RestoreEventSeq(rank int, seq int64) {
+	h.m.obsState[rank].seq.Store(seq)
+}
+
+// TakeAbortContext returns and clears the operation the rank was unwound
+// out of by the last abort: BlockSend or BlockRecv plus the peer when the
+// rank re-parked mid-exchange, BlockNone when its previous operation
+// completed cleanly. Valid after Quiesce (parking records the context
+// before the rank becomes host-blocked).
+func (h *Handle) TakeAbortContext(rank int) (BlockKind, int) {
+	return h.m.diags[rank].takeAbortContext()
+}
+
+// RankPending snapshots the messages a rank's transport has buffered —
+// pulled off the wire (or parked out of order) but never consumed by a
+// logical Recv. After an abort these are conversations torn mid-flight;
+// the recovery supervisor reads them to find disturbed transport pairs.
+func (h *Handle) RankPending(rank int) []PendingEntry {
+	_, _, _, pending := h.m.diags[rank].snapshot()
+	return pending
+}

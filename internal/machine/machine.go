@@ -148,6 +148,23 @@ func (c *Comm) Rebind() {
 	c.t = c.factory(c.w)
 }
 
+// Refence moves this rank's transport into the current epoch with
+// per-pair state resets limited to resetPeers, when the transport
+// supports it (see EpochAdopter); otherwise it falls back to a full
+// Rebind. It returns true when the partial path was taken. resetPeers
+// must be the supervisor-computed symmetric set of disturbed pairs for
+// this rank; every surviving rank must call Refence (or Rebind) on every
+// epoch change even with an empty reset list, because a transport left
+// on the old epoch ignores all new-epoch traffic.
+func (c *Comm) Refence(resetPeers []int) bool {
+	if a, ok := c.t.(EpochAdopter); ok {
+		a.AdoptEpoch(c.m.epoch.Load(), resetPeers)
+		return true
+	}
+	c.Rebind()
+	return false
+}
+
 // Send transmits a copy of data to the destination rank with the given
 // tag, metering len(data) words. Sending to self is an error by panic —
 // local data never counts as communication in the model. Under the direct
@@ -267,7 +284,7 @@ func (c *Comm) Barrier() {
 // (or retransmitting a message whose ack was lost), and a rank that went
 // quiet the moment its own part completed would stall them forever.
 func (c *Comm) AwaitHost(wait func()) {
-	c.diag.setBlocked(BlockHost, -1, -1)
+	c.diag.parkForHost()
 	if idler, ok := c.t.(Idler); ok {
 		stop := make(chan struct{})
 		go func() {

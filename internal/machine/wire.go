@@ -119,6 +119,25 @@ type PayloadReceiver interface {
 	RecvPayload(from, tag int) (data []float64, recycle bool)
 }
 
+// EpochAdopter is an optional Transport extension for protocols that can
+// carry their sequence state across a recovery epoch instead of being
+// rebuilt from scratch. AdoptEpoch moves the transport into the given
+// epoch and resets per-peer protocol state (sequence counters, parked
+// out-of-order packets, undelivered buffered messages) for exactly the
+// listed peers — the pairs the supervisor determined were disturbed by
+// the aborted epoch. Pairs not listed keep their counters: a completed,
+// acknowledged exchange advanced both ends consistently, so rebuilding
+// them would discard valid state for nothing.
+//
+// Resets must be pair-symmetric: the supervisor computes one global set
+// of disturbed pairs and hands each rank its side of it. A transport that
+// resets a pair unilaterally while the peer keeps counting would either
+// dedup-drop real messages or park them forever.
+type EpochAdopter interface {
+	Transport
+	AdoptEpoch(epoch int64, resetPeers []int)
+}
+
 // Idler is an optional Transport extension for protocols that must keep
 // servicing the wire while their rank is blocked outside Send/Recv. A
 // reliable (ack-based) transport needs both hooks: without them, a lost

@@ -109,15 +109,17 @@ type jsonlEvent struct {
 }
 
 var kindNames = map[machine.EventKind]string{
-	machine.EventSend:          "send",
-	machine.EventRecv:          "recv",
-	machine.EventBarrier:       "barrier",
-	machine.EventPhaseBegin:    "phase-begin",
-	machine.EventPhaseEnd:      "phase-end",
-	machine.EventLocalCompute:  "local-compute",
-	machine.EventRankDown:      "rank-down",
-	machine.EventRecoveryBegin: "recovery-begin",
-	machine.EventRecoveryEnd:   "recovery-end",
+	machine.EventSend:            "send",
+	machine.EventRecv:            "recv",
+	machine.EventBarrier:         "barrier",
+	machine.EventPhaseBegin:      "phase-begin",
+	machine.EventPhaseEnd:        "phase-end",
+	machine.EventLocalCompute:    "local-compute",
+	machine.EventRankDown:        "rank-down",
+	machine.EventRecoveryBegin:   "recovery-begin",
+	machine.EventRecoveryEnd:     "recovery-end",
+	machine.EventRestoreVerify:   "restore-verify",
+	machine.EventRestoreMismatch: "restore-mismatch",
 }
 
 var kindValues = func() map[string]machine.EventKind {
@@ -145,6 +147,10 @@ func WriteTraceJSONL(w io.Writer, t *Trace) error {
 			je.Step = e.Step + 1 // shift so generation 0 survives omitempty
 		case machine.EventRecoveryBegin:
 			je.Step = e.Step // retry attempt index, 1-based
+		case machine.EventRecoveryEnd:
+			je.Step = e.Step + 1 // checkpoint event seq; shift so seq 0 survives omitempty
+		case machine.EventRestoreMismatch:
+			je.Step = e.Step + 1 // failing page index; shift so page 0 survives omitempty
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -184,6 +190,8 @@ func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 			e.Step = je.Step - 1
 		case machine.EventRecoveryBegin:
 			e.Step = je.Step
+		case machine.EventRecoveryEnd, machine.EventRestoreMismatch:
+			e.Step = je.Step - 1
 		}
 		events = append(events, e)
 	}
@@ -214,6 +222,8 @@ type metricsRecord struct {
 	RankDowns int     `json:"rank_downs,omitempty"`
 	Retries   int     `json:"retries,omitempty"`
 	Rollbacks int     `json:"rollbacks,omitempty"`
+	Verified  int     `json:"restore_verifications,omitempty"`
+	Mismatch  int     `json:"restore_mismatches,omitempty"`
 	MaxEpoch  int64   `json:"max_epoch,omitempty"`
 }
 
@@ -260,8 +270,9 @@ func WriteMetricsJSONL(w io.Writer, t *Trace, tl *Timeline) error {
 	}
 	if rc := t.RecoveryCounts(); rc.RankDowns > 0 || rc.Recoveries > 0 || rc.Rollbacks > 0 {
 		rec := metricsRecord{
-			Scope: "recovery",
+			Scope:     "recovery",
 			RankDowns: rc.RankDowns, Retries: rc.Recoveries, Rollbacks: rc.Rollbacks,
+			Verified: rc.Verifications, Mismatch: rc.Mismatches,
 			MaxEpoch: rc.MaxEpoch,
 		}
 		if err := enc.Encode(rec); err != nil {

@@ -208,13 +208,20 @@ func (t *Trace) RankTotals() *PhaseTotals {
 
 // RecoveryCounts summarizes the recovery markers a supervised session
 // left in the trace: rank deaths, recovery spans (one per replay
-// attempt or degraded relaunch), completed rollbacks, and the highest
-// wire epoch reached.
+// attempt or degraded relaunch), completed rollbacks, restore
+// fingerprint verifications and mismatches, and the highest wire epoch
+// reached.
 type RecoveryCounts struct {
 	RankDowns  int
 	Recoveries int // EventRecoveryBegin markers
-	Rollbacks  int // EventRecoveryEnd markers
-	MaxEpoch   int64
+	// Rollbacks counts completed checkpoint restorations. The supervisor
+	// emits one EventRecoveryEnd marker per rank per restore (each
+	// carrying that rank's committed-event boundary), so only rank 0's
+	// markers are counted here.
+	Rollbacks     int
+	Verifications int // EventRestoreVerify markers
+	Mismatches    int // EventRestoreMismatch markers
+	MaxEpoch      int64
 }
 
 // RecoveryCounts scans the trace for recovery markers. All-zero for a
@@ -228,7 +235,13 @@ func (t *Trace) RecoveryCounts() RecoveryCounts {
 		case machine.EventRecoveryBegin:
 			rc.Recoveries++
 		case machine.EventRecoveryEnd:
-			rc.Rollbacks++
+			if e.Rank == 0 {
+				rc.Rollbacks++
+			}
+		case machine.EventRestoreVerify:
+			rc.Verifications++
+		case machine.EventRestoreMismatch:
+			rc.Mismatches++
 		}
 		if e.Epoch > rc.MaxEpoch {
 			rc.MaxEpoch = e.Epoch
@@ -242,10 +255,57 @@ func (t *Trace) RecoveryCounts() RecoveryCounts {
 // rank. A mismatch means the event stream and the counters disagree about
 // the run — the one thing an observability layer must never do.
 func (t *Trace) CheckAgainstReport(rep *machine.Report) error {
+	return t.checkTotals(rep, t.RankTotals())
+}
+
+// CommittedTotals sums the logical trace per rank counting committed work
+// exactly once: events a crash recovery rolled back are excluded. The
+// supervisor marks each rollback with a per-rank EventRecoveryEnd whose
+// Step field carries the rank's event sequence at the restored
+// checkpoint; every logical event the rank emitted at or after that
+// sequence belongs to an aborted attempt and is dropped. The filter is
+// idempotent across retries of the same dispatch (each retry's marker
+// re-drops from the same checkpoint boundary), and on a crash-free trace
+// it degenerates to RankTotals.
+func (t *Trace) CommittedTotals() *PhaseTotals {
+	out := newPhaseTotals("", t.P)
+	steps := make(map[int]bool)
+	for _, evs := range t.PerRank() {
+		kept := make([]machine.Event, 0, len(evs))
+		for _, e := range evs {
+			if e.Kind == machine.EventRecoveryEnd && e.Step >= 0 {
+				ckSeq := int64(e.Step)
+				for len(kept) > 0 && kept[len(kept)-1].Seq >= ckSeq {
+					kept = kept[:len(kept)-1]
+				}
+				continue
+			}
+			kept = append(kept, e)
+		}
+		for _, e := range kept {
+			if !e.Wire {
+				out.accumulate(e, steps)
+			}
+		}
+	}
+	out.Steps = len(steps)
+	return out
+}
+
+// CheckCommittedAgainstReport verifies the epoch-aware trace-conformance
+// invariant for supervised runs: the committed logical events — aborted
+// attempts excluded via the rollback markers — must equal the report's
+// logical meters exactly, per rank, because the supervisor rolls the
+// logical counters back to the same checkpoints it marks. For a
+// crash-free run this is identical to CheckAgainstReport.
+func (t *Trace) CheckCommittedAgainstReport(rep *machine.Report) error {
+	return t.checkTotals(rep, t.CommittedTotals())
+}
+
+func (t *Trace) checkTotals(rep *machine.Report, tot *PhaseTotals) error {
 	if t.P > rep.P {
 		return fmt.Errorf("obs: trace has %d ranks, report %d", t.P, rep.P)
 	}
-	tot := t.RankTotals()
 	for r := 0; r < rep.P; r++ {
 		var sw, rw, sm, rm int64
 		if r < t.P {

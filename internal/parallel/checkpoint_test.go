@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// openRecovering opens a session with the crash-recovery supervisor armed
+// on the default (fault-free) transport: checkpoints are taken at every
+// dispatch boundary but no restore ever runs — the configuration that
+// measures pure checkpoint overhead.
+func openRecovering(t *testing.T, q, b int, seed int64) (*Session, []float64, *rand.Rand) {
+	t.Helper()
+	part := sphericalPart(t, q)
+	n := part.M * b
+	rng := rand.New(rand.NewSource(seed))
+	a := tensor.Random(n, rng)
+	s, err := OpenSession(a, Options{Part: part, B: b, Wiring: WiringP2P, Recovery: &RecoveryOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, randVec(n, rng), rng
+}
+
+// TestCheckpointSteadyStateZeroAlloc pins the incremental checkpointer's
+// allocation contract: after the double-buffered slots warmed up (two
+// captures per operation shape), the checkpoint path allocates nothing —
+// not for the scalar snapshot, not for the dirty-span copy, not for the
+// phase-recorder rows.
+func TestCheckpointSteadyStateZeroAlloc(t *testing.T) {
+	s, x, _ := openRecovering(t, 3, 6, 61)
+	defer s.Close()
+	for i := 0; i < 3; i++ { // warm-up: session arenas and both ck slots
+		if _, err := s.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr := newPhaseRecorder(s.part.P, "gather", "local", "reduce-scatter", "all-gather")
+	s.checkpoint(pr, dirtyIterate)
+	s.checkpoint(pr, dirtyIterate) // second capture warms the other slot
+	for _, dk := range []dirtyKind{dirtyNone, dirtyIterate} {
+		dk := dk
+		allocs := testing.AllocsPerRun(100, func() {
+			s.checkpoint(pr, dk)
+		})
+		if allocs != 0 {
+			t.Errorf("warm checkpoint (dirtyKind %d) allocates %.1f objects per capture, want 0", dk, allocs)
+		}
+	}
+}
+
+// TestCheckpointCostScalesWithDirty pins the O(dirty) contract from both
+// sides: Apply-style operations checkpoint zero arena words however many
+// times they run, while a power-method iteration checkpoints exactly the
+// owned chunk spans — strictly less than the replicated arena footprint
+// the old full-copy checkpointer moved.
+func TestCheckpointCostScalesWithDirty(t *testing.T) {
+	s, x, _ := openRecovering(t, 3, 7, 62)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Apply(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := s.RecoveryStats().CheckpointWords; w != 0 {
+		t.Fatalf("5 Applies checkpointed %d arena words, want 0 (dirtyNone)", w)
+	}
+
+	var owned, arena int
+	for _, rk := range s.rk {
+		arena += len(rk.chunk)
+		for k := range rk.lay.rows {
+			owned += rk.lay.myHi[k] - rk.lay.myLo[k]
+		}
+	}
+	if owned <= 0 || owned >= arena {
+		t.Fatalf("owned span total %d outside (0, arena %d): layout lost its replication", owned, arena)
+	}
+	res, err := s.PowerMethod(PowerOptions{MaxIter: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := s.RecoveryStats().CheckpointWords
+	if words <= 0 {
+		t.Fatal("power method checkpointed no arena words")
+	}
+	if words%int64(owned) != 0 {
+		t.Errorf("CheckpointWords %d not a multiple of the owned span total %d", words, owned)
+	}
+	if n := words / int64(owned); n < int64(res.Iterations) {
+		t.Errorf("%d dirty checkpoints for %d iterations", n, res.Iterations)
+	}
+	// A second Apply stream keeps the count flat again.
+	before := s.RecoveryStats().CheckpointWords
+	if _, err := s.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.RecoveryStats().CheckpointWords; after != before {
+		t.Errorf("Apply after power method grew CheckpointWords %d → %d", before, after)
+	}
+}
+
+// TestRestoreMismatchDetected injects corruption between a checkpoint and
+// its restore: the fingerprint verification must identify the damaged
+// rank and page in a structured RestoreMismatchError and count it in
+// RecoveryStats, never hand corrupted state back to a replay.
+func TestRestoreMismatchDetected(t *testing.T) {
+	s, x, _ := openRecovering(t, 2, 4, 63)
+	defer s.Close()
+	if _, err := s.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PowerMethod(PowerOptions{MaxIter: 2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ck := s.checkpoint(nil, dirtyIterate)
+	const wantRank = 1
+	pg := len(s.ck.prints[wantRank]) - 1 // last page: exercises the short-tail bounds
+	lo := pg * checkpointPageWords
+	s.ck.shadow[wantRank][lo] += 1.5 // flip bits after the fingerprint was taken
+
+	base := s.RecoveryStats()
+	err := s.restore(ck, nil)
+	var mm *RestoreMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("restore over corrupted shadow returned %v, want *RestoreMismatchError", err)
+	}
+	if mm.Rank != wantRank || mm.Page != pg {
+		t.Errorf("mismatch located at rank %d page %d, corruption was rank %d page %d",
+			mm.Rank, mm.Page, wantRank, pg)
+	}
+	st := s.RecoveryStats()
+	if st.Mismatches != base.Mismatches+1 {
+		t.Errorf("Mismatches %d → %d, want +1", base.Mismatches, st.Mismatches)
+	}
+	if st.Verifications != base.Verifications+1 {
+		t.Errorf("Verifications %d → %d, want +1", base.Verifications, st.Verifications)
+	}
+	if st.Rollbacks != base.Rollbacks {
+		t.Errorf("Rollbacks %d → %d: a failed verification must not count as a completed rollback",
+			base.Rollbacks, st.Rollbacks)
+	}
+
+	// Undamaged shadow verifies again: repair the word and re-sync.
+	s.ck.shadow[wantRank][lo] -= 1.5
+	ck = s.checkpoint(nil, dirtyIterate)
+	if err := s.restore(ck, nil); err != nil {
+		t.Fatalf("restore after repair: %v", err)
+	}
+	if st := s.RecoveryStats(); st.Rollbacks != base.Rollbacks+1 {
+		t.Errorf("repaired restore did not complete a rollback: %d → %d", base.Rollbacks, st.Rollbacks)
+	}
+}

@@ -125,19 +125,37 @@ type phaseSnap struct {
 	sentW, recvW, sentM, recvM, tern []int64
 }
 
-// snapshot copies every registered meter's per-rank counters.
-func (pr *phaseRecorder) snapshot() []phaseSnap {
-	out := make([]phaseSnap, len(pr.meters))
-	for i, m := range pr.meters {
-		out[i] = phaseSnap{
-			sentW: append([]int64(nil), m.SentWords...),
-			recvW: append([]int64(nil), m.RecvWords...),
-			sentM: append([]int64(nil), m.SentMsgs...),
-			recvM: append([]int64(nil), m.RecvMsgs...),
-			tern:  append([]int64(nil), m.Ternary...),
-		}
+// snapshotInto copies every registered meter's per-rank counters into
+// the caller-pooled snaps/backing storage, growing it only when capacity
+// is short (first checkpoint of each operation shape); at steady state
+// the capture allocates nothing. The returned slices must be stored back
+// by the caller — they may have been regrown.
+func (pr *phaseRecorder) snapshotInto(snaps []phaseSnap, backing []int64) ([]phaseSnap, []int64) {
+	need := len(pr.meters) * 5 * pr.p
+	if cap(backing) < need {
+		backing = make([]int64, need)
 	}
-	return out
+	backing = backing[:need]
+	if cap(snaps) < len(pr.meters) {
+		snaps = make([]phaseSnap, len(pr.meters))
+	}
+	snaps = snaps[:len(pr.meters)]
+	off := 0
+	take := func() []int64 {
+		sl := backing[off : off+pr.p : off+pr.p]
+		off += pr.p
+		return sl
+	}
+	for i, m := range pr.meters {
+		sn := &snaps[i]
+		sn.sentW, sn.recvW, sn.sentM, sn.recvM, sn.tern = take(), take(), take(), take(), take()
+		copy(sn.sentW, m.SentWords)
+		copy(sn.recvW, m.RecvWords)
+		copy(sn.sentM, m.SentMsgs)
+		copy(sn.recvM, m.RecvMsgs)
+		copy(sn.tern, m.Ternary)
+	}
+	return snaps, backing
 }
 
 // restore overwrites the meters with a snapshot taken by the same

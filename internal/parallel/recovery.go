@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/machine"
@@ -66,12 +67,36 @@ type RecoveryStats struct {
 	// Epoch is the machine's wire epoch (0 until the first in-place
 	// recovery; resets with a relaunch).
 	Epoch int64
+	// Verifications counts fingerprint verification passes over restored
+	// chunk arenas — one per rollback and one per degraded-relaunch
+	// restore.
+	Verifications int
+	// Mismatches counts restores whose fingerprint verification failed
+	// (each surfaced a RestoreMismatchError instead of replaying).
+	Mismatches int
+	// Refences counts partial transport refences at epoch changes (one
+	// per surviving rank picking up a new epoch; only disturbed peer
+	// pairs had their sequence state reset).
+	Refences int
+	// FullRebinds counts full transport rebuilds at epoch changes — the
+	// fallback for transports without partial-reset support.
+	FullRebinds int
+	// CheckpointWords counts dirty words the incremental checkpointer
+	// copied over the session lifetime. Apply-style operations contribute
+	// zero; power-method iterations contribute their owned spans.
+	CheckpointWords int64
+	// CheckpointNanos and RestoreNanos accumulate wall time spent in the
+	// checkpoint capture and the rollback-restore paths.
+	CheckpointNanos int64
+	RestoreNanos    int64
 }
 
 // RecoveryStats reports the supervisor counters so far. Call between
 // operations (or after Close).
 func (s *Session) RecoveryStats() RecoveryStats {
 	st := s.stats
+	st.Refences = int(s.refences.Load())
+	st.FullRebinds = int(s.rebinds.Load())
 	if s.cur != nil {
 		st.Epoch = s.cur.h.Epoch()
 	}
@@ -88,6 +113,30 @@ type launch struct {
 	runDone chan struct{}
 	report  *machine.Report
 	runErr  error
+
+	// resets holds, per rank, the peers whose transport pair state was
+	// disturbed by the last aborted epoch; a surviving rank reads its
+	// entry when it picks up the first operation of the new epoch and
+	// resets exactly those pairs (Comm.Refence). Guarded by mu because a
+	// rank that raced the recovery with a stale queued op may read while
+	// the supervisor installs the next epoch's lists.
+	mu     sync.Mutex
+	resets [][]int
+}
+
+func (l *launch) setResets(r [][]int) {
+	l.mu.Lock()
+	l.resets = r
+	l.mu.Unlock()
+}
+
+func (l *launch) resetsFor(me int) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.resets == nil {
+		return nil
+	}
+	return l.resets[me]
 }
 
 // rankDown is a crash notification from the machine's OnRankDown hook.
@@ -131,10 +180,13 @@ func (s *Session) launchMachine() error {
 // rankBodyFor is the resident body every simulated rank of launch l runs:
 // serve host-fed operations until the op channel closes. The body tracks
 // the machine's wire epoch; when a recovery advanced it while the rank
-// was parked, the rank rebuilds its transport before touching the wire,
-// so protocol state (sequence numbers, parked packets, retransmission
-// windows) never crosses an epoch fence. A rank respawned by RestartRank
-// starts inside the new epoch and needs no rebind.
+// was parked, the rank refences its transport before touching the wire:
+// only pairs the supervisor found disturbed by the aborted epoch have
+// their sequence state reset, while clean survivor↔survivor pairs keep
+// their counters (every exchange they completed was acknowledged on both
+// ends, so the state is consistent). Transports without partial-reset
+// support fall back to a full Rebind. A rank respawned by RestartRank
+// starts inside the new epoch and needs neither.
 func (s *Session) rankBodyFor(l *launch) func(c *machine.Comm) {
 	return func(c *machine.Comm) {
 		me := c.Rank()
@@ -146,7 +198,11 @@ func (s *Session) rankBodyFor(l *launch) func(c *machine.Comm) {
 				return
 			}
 			if e := c.Epoch(); e != epoch {
-				c.Rebind()
+				if c.Refence(l.resetsFor(me)) {
+					s.refences.Add(1)
+				} else {
+					s.rebinds.Add(1)
+				}
 				epoch = e
 			}
 			runSessionOp(op, me, c)
@@ -183,12 +239,13 @@ func runSessionOp(op *sessionOp, me int, c *machine.Comm) {
 
 // dispatch hands one operation to every rank and waits for completion,
 // supervising the run when recovery is armed. pr may be nil for
-// operations without phase meters.
-func (s *Session) dispatch(pr *phaseRecorder, run func(me int, c *machine.Comm)) error {
+// operations without phase meters; dk declares which checkpointed state
+// the operation mutates, bounding what the checkpointer copies.
+func (s *Session) dispatch(pr *phaseRecorder, dk dirtyKind, run func(me int, c *machine.Comm)) error {
 	if s.rec == nil {
 		return s.dispatchOnce(run)
 	}
-	return s.dispatchRecover(pr, run)
+	return s.dispatchRecover(pr, dk, run)
 }
 
 // dispatchOnce is the fail-fast path: one attempt, any machine death is
@@ -226,8 +283,8 @@ func (s *Session) sessionErr() error {
 // itself dies (watchdog fired, or survivors would not quiesce), it
 // degrades: a fresh machine is launched carrying the committed meters,
 // and the operation replays once more from the same checkpoint.
-func (s *Session) dispatchRecover(pr *phaseRecorder, run func(me int, c *machine.Comm)) error {
-	ck := s.checkpoint(pr)
+func (s *Session) dispatchRecover(pr *phaseRecorder, dk dirtyKind, run func(me int, c *machine.Comm)) error {
+	ck := s.checkpoint(pr, dk)
 	backoff := s.rec.Backoff
 	attempt := 0
 	for {
@@ -239,7 +296,9 @@ func (s *Session) dispatchRecover(pr *phaseRecorder, run func(me int, c *machine
 			if !s.recoverInPlace(1) {
 				break
 			}
-			s.restore(ck, pr)
+			if err := s.restore(ck, pr); err != nil {
+				return err
+			}
 			attempt = 1
 		}
 		ok, dead := s.tryOnce(run)
@@ -257,7 +316,9 @@ func (s *Session) dispatchRecover(pr *phaseRecorder, run func(me int, c *machine
 		if !s.recoverInPlace(attempt) {
 			break
 		}
-		s.restore(ck, pr)
+		if err := s.restore(ck, pr); err != nil {
+			return err
+		}
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > s.rec.MaxBackoff {
 			backoff = s.rec.MaxBackoff
@@ -266,7 +327,9 @@ func (s *Session) dispatchRecover(pr *phaseRecorder, run func(me int, c *machine
 	if err := s.degrade(ck); err != nil {
 		return err
 	}
-	s.restore(ck, pr)
+	if err := s.restore(ck, pr); err != nil {
+		return err
+	}
 	return s.dispatchOnce(run)
 }
 
@@ -310,14 +373,20 @@ func (s *Session) recoverInPlace(attempt int) bool {
 	dead := l.h.CrashedRanks()
 	for _, r := range dead {
 		l.h.Emit(r, machine.Event{Kind: machine.EventRankDown, From: r, To: r, Step: -1})
-		// A rank that crashed before consuming a fed op leaves it in the
-		// channel buffer; the respawned body must not replay a stale op.
+	}
+	// The supervisor abandoned the aborted op object; any rank (dead or
+	// parked) that never consumed its copy must not replay it after the
+	// rollback.
+	for r := range l.ops {
 		select {
 		case <-l.ops[r]:
 		default:
 		}
 	}
 	l.h.Emit(0, machine.Event{Kind: machine.EventRecoveryBegin, From: 0, To: 0, Step: attempt})
+	// Publish the disturbed-pair lists before the epoch advances: a rank
+	// observing the new epoch is then guaranteed to see its reset list.
+	l.setResets(s.computeResets(dead))
 	l.h.BeginEpoch()
 	for _, r := range dead {
 		if err := l.h.RestartRank(r); err != nil {
@@ -329,11 +398,123 @@ func (s *Session) recoverInPlace(attempt int) bool {
 	return true
 }
 
+// computeResets derives the transport pairs disturbed by the aborted
+// epoch — the only pairs whose sequence state a surviving rank must
+// rebase when it refences into the new epoch. Three evidence sources,
+// each symmetrized (a reset must land on both ends of a pair or the
+// survivors' counters diverge):
+//
+//  1. every (dead rank, static peer) pair: the respawned rank's fresh
+//     transport starts all its counters in the new epoch's namespace, so
+//     every survivor it can ever exchange with must rebase its side;
+//  2. every pair a survivor was unwound out of mid-Send or mid-Recv (the
+//     abort context its park recorded): the message in flight was rolled
+//     back, so both ends' counters refer to an abandoned conversation;
+//  3. every pair with buffered transport state on the receiving side —
+//     payloads released but never consumed, or packets parked out of
+//     order: consumed-and-acked is the only boundary at which a pair's
+//     counters are provably consistent.
+//
+// Pairs outside all three sets completed their exchanges with both ends
+// acknowledged, so their counters continue seamlessly across the epoch —
+// that is the partial-rebind win.
+func (s *Session) computeResets(dead []int) [][]int {
+	p := s.part.P
+	l := s.cur
+	mark := make([][]bool, p)
+	for i := range mark {
+		mark[i] = make([]bool, p)
+	}
+	pair := func(i, j int) {
+		if i == j || i < 0 || j < 0 || i >= p || j >= p {
+			return
+		}
+		mark[i][j], mark[j][i] = true, true
+	}
+	for _, d := range dead {
+		for _, q := range s.staticPeers[d] {
+			pair(d, q)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if k, peer := l.h.TakeAbortContext(r); k == machine.BlockSend || k == machine.BlockRecv {
+			pair(r, peer)
+		}
+		for _, pe := range l.h.RankPending(r) {
+			pair(r, pe.From)
+		}
+	}
+	resets := make([][]int, p)
+	for i := range resets {
+		for j := 0; j < p; j++ {
+			if mark[i][j] {
+				resets[i] = append(resets[i], j)
+			}
+		}
+	}
+	return resets
+}
+
+// buildStaticPeers precomputes, per rank, every peer the session's wiring
+// can ever exchange with — the schedule's matching structure plus the
+// collectives the session's operations run. When a rank dies, exactly
+// these pairs must rebase on its respawn; ranks outside a dead rank's
+// static set never shared a conversation with it. Under the All-to-All
+// wiring the fixed exchange ring touches every pair, so the graph is
+// complete; under the point-to-point wiring it is the schedule's step
+// pairs plus the scalar all-reduce tree (a gather into rank 0 and a
+// binomial broadcast) the power method runs each iteration.
+func (s *Session) buildStaticPeers() [][]int {
+	p := s.part.P
+	adj := make([][]bool, p)
+	for i := range adj {
+		adj[i] = make([]bool, p)
+	}
+	pair := func(i, j int) {
+		if j >= 0 && j < p && i != j {
+			adj[i][j], adj[j][i] = true, true
+		}
+	}
+	if s.opts.Wiring == WiringAllToAll {
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if i != j {
+					adj[i][j] = true
+				}
+			}
+		}
+	} else {
+		for r := 0; r < p; r++ {
+			for _, st := range s.lay.perRank[r].steps {
+				pair(r, st.sendTo)
+				pair(r, st.recvFrom)
+			}
+		}
+		for r := 1; r < p; r++ {
+			pair(r, 0) // all-reduce gather into the group root
+		}
+		for bit := 1; bit < p; bit <<= 1 {
+			for a := 0; a < bit && a+bit < p; a++ {
+				pair(a, a+bit) // binomial broadcast edges
+			}
+		}
+	}
+	out := make([][]int, p)
+	for i := range out {
+		for j := 0; j < p; j++ {
+			if adj[i][j] {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out
+}
+
 // degrade retires the current machine incarnation entirely and launches
 // a fresh one that carries the meters forward: logical counters resume
 // from the checkpoint (committed work only), wire counters resume from
 // the old machine's cumulative totals (recovery traffic stays visible).
-func (s *Session) degrade(ck *sessionCheckpoint) error {
+func (s *Session) degrade(ck *ckSlot) error {
 	old := s.cur
 	dead := old.h.CrashedRanks()
 	// Unstick anything still blocked in a machine operation, then release
@@ -346,18 +527,24 @@ func (s *Session) degrade(ck *sessionCheckpoint) error {
 	s.drainCrashes()
 
 	carried := make([]machine.Meters, s.part.P)
+	seqs := make([]int64, s.part.P)
 	for r := range carried {
 		mt := ck.meters[r]
 		wm := old.h.RankMeters(r)
 		mt.WireSentWords, mt.WireRecvWords = wm.WireSentWords, wm.WireRecvWords
 		mt.WireSentMsgs, mt.WireRecvMsgs = wm.WireSentMsgs, wm.WireRecvMsgs
 		carried[r] = mt
+		seqs[r] = old.h.RankEventSeq(r)
 	}
 	if err := s.launchMachine(); err != nil {
 		return err
 	}
 	for r, mt := range carried {
 		s.cur.h.RestoreMeters(r, mt, true)
+		// Carry per-rank trace ordering onto the fresh machine: its event
+		// counters would otherwise restart at zero and scramble the
+		// canonical (rank, seq) order across incarnations.
+		s.cur.h.RestoreEventSeq(r, seqs[r])
 	}
 	s.stats.Relaunches++
 	s.stats.RankDowns += len(dead)
@@ -378,60 +565,5 @@ func (s *Session) drainCrashes() {
 	}
 }
 
-// sessionCheckpoint is the state needed to replay one dispatch: per-rank
-// logical meters, the distributed power-method iterate and its
-// convergence scalars, and the phase recorder's accumulated rows. The
-// x/y arenas need no checkpoint — stage+gather rebuild the x arena from
-// host staging (or the chunk iterate) and zeroY+publish fully overwrite
-// the y path on every attempt.
-type sessionCheckpoint struct {
-	meters   []machine.Meters
-	chunk    [][]float64
-	pmLambda []float64
-	pmPrev   []float64
-	phases   []phaseSnap
-}
-
-// checkpoint captures the committed state at a dispatch boundary (all
-// ranks parked, so the host may read their counters and chunk state).
-func (s *Session) checkpoint(pr *phaseRecorder) *sessionCheckpoint {
-	p := s.part.P
-	ck := &sessionCheckpoint{
-		meters:   make([]machine.Meters, p),
-		chunk:    make([][]float64, p),
-		pmLambda: make([]float64, p),
-		pmPrev:   make([]float64, p),
-	}
-	for r := 0; r < p; r++ {
-		ck.meters[r] = s.cur.h.RankMeters(r)
-		ck.chunk[r] = append([]float64(nil), s.rk[r].chunk...)
-		ck.pmLambda[r] = s.rk[r].pmLambda
-		ck.pmPrev[r] = s.rk[r].pmPrev
-	}
-	if pr != nil {
-		ck.phases = pr.snapshot()
-	}
-	return ck
-}
-
-// restore rolls every rank back to the checkpoint: logical meters (wire
-// meters keep running — that is where recovery overhead belongs), the
-// chunk iterate and power-method scalars, and the phase recorder rows.
-// Collective groups are dropped so they rebind to the current Comm on
-// the next use (a respawned rank and a relaunched machine both carry
-// fresh Comms).
-func (s *Session) restore(ck *sessionCheckpoint, pr *phaseRecorder) {
-	l := s.cur
-	for r := 0; r < s.part.P; r++ {
-		l.h.RestoreMeters(r, ck.meters[r], false)
-		copy(s.rk[r].chunk, ck.chunk[r])
-		s.rk[r].pmLambda = ck.pmLambda[r]
-		s.rk[r].pmPrev = ck.pmPrev[r]
-		s.rk[r].world = nil
-	}
-	if pr != nil {
-		pr.restore(ck.phases)
-	}
-	s.stats.Rollbacks++
-	l.h.Emit(0, machine.Event{Kind: machine.EventRecoveryEnd, From: 0, To: 0, Step: -1})
-}
+// The checkpoint store itself — incremental capture, shadow mirrors, page
+// fingerprints, and verified restore — lives in checkpoint.go.

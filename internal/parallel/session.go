@@ -32,11 +32,11 @@ import (
 // A Session is not safe for concurrent use: operations are dispatched one
 // at a time by a single host goroutine.
 type Session struct {
-	a     *tensor.Symmetric
-	opts  Options
-	part  *partition.Tetrahedral
-	sched *schedule.Schedule
-	b     int
+	a      *tensor.Symmetric
+	opts   Options
+	part   *partition.Tetrahedral
+	sched  *schedule.Schedule
+	b      int
 	padded int
 
 	blocks *RankBlocks
@@ -56,6 +56,15 @@ type Session struct {
 	report   *machine.Report
 	closed   bool
 	closeErr error
+
+	// Recovery-only state (nil / unused on fail-fast sessions): the
+	// incremental checkpoint store, the static exchange graph feeding the
+	// partial-rebind reset computation, and the refence counters (atomics
+	// because rank goroutines increment them).
+	ck          *ckStore
+	staticPeers [][]int
+	refences    atomic.Int64
+	rebinds     atomic.Int64
 }
 
 // sessionOp is one host-dispatched operation: every rank runs the closure,
@@ -172,6 +181,8 @@ func OpenSession(a *tensor.Symmetric, opts Options) (*Session, error) {
 			// with one.
 			s.opts.Machine.Timeout = 5 * time.Second
 		}
+		s.ck = newCkStore(s.rk)
+		s.staticPeers = s.buildStaticPeers()
 	}
 	if err := s.launchMachine(); err != nil {
 		return nil, err
@@ -218,6 +229,11 @@ func (s *Session) grow(maxCols int) {
 	for l := 0; l < maxCols; l++ {
 		s.stageX[l] = make([]float64, s.padded)
 		s.stageY[l] = make([]float64, s.padded)
+	}
+	if s.ck != nil {
+		// The chunk arenas above were reallocated (and zeroed); the shadow
+		// mirrors and their fingerprints must follow.
+		s.ck.resync(s.rk)
 	}
 }
 
@@ -486,7 +502,7 @@ func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, er
 	}
 	pr := newPhaseRecorder(s.part.P, "gather", "local", "reduce-scatter")
 	deltas := make([]machine.Meters, s.part.P)
-	if err := s.dispatch(pr, s.applyOp(cols, pr, deltas)); err != nil {
+	if err := s.dispatch(pr, dirtyNone, s.applyOp(cols, pr, deltas)); err != nil {
 		return nil, nil, err
 	}
 	pr.meter("gather").Steps = s.lay.steps
@@ -692,7 +708,7 @@ func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 	iterations := 0
 	for iterations < po.MaxIter {
 		iterations++
-		if err := s.dispatch(pr, s.powerIterOp(po.Tol, pr, st)); err != nil {
+		if err := s.dispatch(pr, dirtyIterate, s.powerIterOp(po.Tol, pr, st)); err != nil {
 			return nil, err
 		}
 		if st.stop[0] {
