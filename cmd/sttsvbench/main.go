@@ -139,7 +139,15 @@ func main() {
 	parallelMode := flag.Bool("parallel", false, "benchmark the session engine instead of the local kernels")
 	check := flag.String("check", "", "with -parallel or -recover: compare against this baseline JSON and fail on regression instead of writing output")
 	recoverDrill := flag.Bool("recover", false, "run the crash-recovery drill: checkpoint overhead at two problem sizes plus a resident session under a seeded multi-rank crash plan")
+	serveMode := flag.Bool("serve", false, "benchmark the serving tier: concurrent closed-loop clients against the session pool + dual-trigger batcher, quoted vs the sequential one-session baseline")
 	flag.Parse()
+	if *serveMode {
+		if *out == "" {
+			*out = "BENCH_serving.json"
+		}
+		runServingBench(*out, *check, *benchtime)
+		return
+	}
 	if *recoverDrill {
 		if *out == "" {
 			*out = "BENCH_parallel.json"

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// The -serve mode is the serving-tier load generator: closed-loop
+// concurrent clients drive a serve.Pool (session pool + dual-trigger
+// request batching) and every point is quoted against the sequential
+// one-session baseline measured in the same process. The headline ratio
+// is the coalescing win: a schedule step's message count is independent
+// of how many columns the message carries, so r coalesced requests cost
+// 1× the messages of a solo apply, and batched request throughput pulls
+// away from the serial session by roughly the per-message overhead share.
+//
+// Every response is checked bit-identical to a solo Session.Apply of the
+// same vector while the load runs — the generator doubles as a
+// correctness harness under concurrency.
+//
+// Gates (with -check, compared on same-host ratios so they transfer
+// across runner hardware):
+//   - gate "throughput"   (8 clients, 1 session, MaxCols=8): batched
+//     request throughput ≥3× the sequential baseline — the paper's
+//     "r users for 1× messages" turned into a serving-rate floor.
+//   - gate "throughput64" (64 clients): the same ≥3× floor at scale,
+//     plus ≥0.8× the committed baseline's measured speedup.
+//   - gate "latency" (capacity-provisioned: clients = MaxCols, 2
+//     sessions): p99 request latency ≤ 1.5 × (MaxWait + p99 batch
+//     service) — the dual trigger's promise that batching delay stays
+//     bounded by the window plus one apply.
+
+type servingPoint struct {
+	Clients   int     `json:"clients"`
+	Sessions  int     `json:"sessions"`
+	MaxCols   int     `json:"max_cols"`
+	MaxWaitUs float64 `json:"max_wait_us"`
+	QueueCap  int     `json:"queue_cap"`
+	// Gate marks the points the -check mode enforces.
+	Gate string `json:"gate,omitempty"`
+
+	// Client-side counts over the measured window.
+	Requests   int64   `json:"requests"`
+	Rejected   int64   `json:"rejected"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
+	// Request latency percentiles (admission to response).
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+	// Batch service time (one ApplyBatch call) seen by the requests.
+	ServiceAvgUs float64 `json:"service_avg_us"`
+	ServiceP99Us float64 `json:"service_p99_us"`
+	// Pool-side batching counters for the whole point (includes priming).
+	Batches      int64   `json:"batches"`
+	AvgOccupancy float64 `json:"avg_occupancy"`
+	SizeFlushes  int64   `json:"size_flushes"`
+	WaitFlushes  int64   `json:"wait_flushes"`
+
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+type servingReport struct {
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Timestamp  string         `json:"timestamp"`
+	Config     parallelConfig `json:"config"`
+	WindowMs   float64        `json:"window_ms"`
+	// Serial baseline: one resident session, one closed-loop client, no
+	// batching tier — the denominator of every speedup.
+	SerialReqsPerSec float64 `json:"serial_reqs_per_sec"`
+	SerialNsPerApply float64 `json:"serial_ns_per_apply"`
+
+	Points []servingPoint `json:"points"`
+}
+
+func percentileUs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
+
+// loadPoint drives one (clients, pool-config) point: closed-loop clients
+// issuing back-to-back requests for the window, each response checked
+// bit-identical against the solo-session reference for its vector.
+func loadPoint(pool *serve.Pool, clients int, window time.Duration, xs, wants [][]float64) (servingPoint, error) {
+	// Prime: one request through the pool warms every session's staging
+	// before the timed window opens.
+	if _, err := pool.Apply("prime", xs[0]); err != nil {
+		return servingPoint{}, err
+	}
+
+	lats := make([][]time.Duration, clients)
+	svcs := make([][]time.Duration, clients)
+	var rejected atomic.Int64
+	var mismatches atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			x := xs[c%len(xs)]
+			want := wants[c%len(wants)]
+			tenant := fmt.Sprintf("tenant-%02d", c%16)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := pool.Apply(tenant, x)
+				if err != nil {
+					var be *serve.BusyError
+					if errors.As(err, &be) {
+						rejected.Add(1)
+						// The hint can span several batches; a bounded nap
+						// keeps the closed loop live without hammering the
+						// full queue.
+						nap := be.RetryAfter
+						if nap > time.Millisecond {
+							nap = time.Millisecond
+						}
+						time.Sleep(nap)
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+				svcs[c] = append(svcs[c], resp.Service)
+				if !bitsIdentical(resp.Y, want) {
+					mismatches.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return servingPoint{}, err
+	}
+	if n := mismatches.Load(); n > 0 {
+		return servingPoint{}, fmt.Errorf("%d responses were not bit-identical to the solo session", n)
+	}
+
+	var all, allSvc []time.Duration
+	for c := range lats {
+		all = append(all, lats[c]...)
+		allSvc = append(allSvc, svcs[c]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(allSvc, func(i, j int) bool { return allSvc[i] < allSvc[j] })
+	var svcSum time.Duration
+	for _, s := range allSvc {
+		svcSum += s
+	}
+	pt := servingPoint{
+		Clients:  clients,
+		Requests: int64(len(all)),
+		Rejected: rejected.Load(),
+		P50Us:    percentileUs(all, 0.50),
+		P95Us:    percentileUs(all, 0.95),
+		P99Us:    percentileUs(all, 0.99),
+	}
+	if elapsed > 0 {
+		pt.ReqsPerSec = float64(len(all)) / elapsed.Seconds()
+	}
+	if len(allSvc) > 0 {
+		pt.ServiceAvgUs = float64(svcSum.Nanoseconds()) / float64(len(allSvc)) / 1e3
+		pt.ServiceP99Us = percentileUs(allSvc, 0.99)
+	}
+	return pt, nil
+}
+
+func bitsIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func runServingBench(out, check string, window time.Duration) {
+	const (
+		q = 3
+		b = 4
+	)
+	part, err := partition.NewSpherical(q)
+	if err != nil {
+		fatal(err)
+	}
+	n := part.M * b
+	rng := rand.New(rand.NewSource(2026))
+	a := tensor.Random(n, rng)
+	opts := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	blocks, err := parallel.PackRankBlocks(a, part, b)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Blocks = blocks
+
+	rep := servingReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Config:     parallelConfig{Q: q, P: part.P, M: part.M, B: b, N: n},
+		WindowMs:   float64(window.Nanoseconds()) / 1e6,
+	}
+	fmt.Printf("sttsvbench -serve: q=%d (P=%d, m=%d), b=%d, n=%d, %s window per point\n",
+		q, part.P, part.M, b, n, window)
+
+	// Request vectors (16 distinct tenant workloads) and their
+	// solo-session reference results — the bit-identity oracle.
+	const distinct = 16
+	xs := make([][]float64, distinct)
+	wants := make([][]float64, distinct)
+	solo, err := parallel.OpenSession(a, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range xs {
+		xs[i] = make([]float64, n)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+		res, err := solo.Apply(xs[i])
+		if err != nil {
+			fatal(err)
+		}
+		wants[i] = append([]float64(nil), res.Y...)
+	}
+
+	// --- serial baseline: one session, one client, no batching tier ---
+	var serialReqs int64
+	serialStart := time.Now()
+	for time.Since(serialStart) < window {
+		if _, err := solo.Apply(xs[int(serialReqs)%distinct]); err != nil {
+			fatal(err)
+		}
+		serialReqs++
+	}
+	serialElapsed := time.Since(serialStart)
+	if err := solo.Close(); err != nil {
+		fatal(err)
+	}
+	rep.SerialReqsPerSec = float64(serialReqs) / serialElapsed.Seconds()
+	rep.SerialNsPerApply = float64(serialElapsed.Nanoseconds()) / float64(serialReqs)
+	fmt.Printf("  serial 1 session, 1 client: %8.1f req/s  (%.2f ms/apply)\n",
+		rep.SerialReqsPerSec, rep.SerialNsPerApply/1e6)
+
+	points := []struct {
+		clients, sessions, maxCols int
+		maxWait                    time.Duration
+		queueCap                   int
+		gate                       string
+	}{
+		{8, 1, 8, 2 * time.Millisecond, 0, "throughput"},
+		{8, 2, 8, 2 * time.Millisecond, 0, "latency"},
+		{64, 2, 8, 2 * time.Millisecond, 0, "throughput64"},
+		{64, 2, 4, 500 * time.Microsecond, 0, ""},
+		{256, 2, 8, time.Millisecond, 512, ""},
+	}
+	for _, pc := range points {
+		pool, err := serve.Open(a, serve.Options{
+			Session:  opts,
+			Sessions: pc.sessions,
+			MaxCols:  pc.maxCols,
+			MaxWait:  pc.maxWait,
+			QueueCap: pc.queueCap,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		pt, err := loadPoint(pool, pc.clients, window, xs, wants)
+		if err != nil {
+			pool.Close()
+			fatal(fmt.Errorf("point clients=%d: %w", pc.clients, err))
+		}
+		m := pool.Metrics()
+		if err := pool.Close(); err != nil {
+			fatal(err)
+		}
+		pt.Sessions = pc.sessions
+		pt.MaxCols = pc.maxCols
+		pt.MaxWaitUs = float64(pc.maxWait.Nanoseconds()) / 1e3
+		pt.QueueCap = pc.queueCap
+		if pt.QueueCap == 0 {
+			pt.QueueCap = 4 * pc.sessions * pc.maxCols
+		}
+		pt.Gate = pc.gate
+		pt.Batches = m.Batches
+		pt.AvgOccupancy = m.AvgOccupancy
+		pt.SizeFlushes = m.SizeFlushes
+		pt.WaitFlushes = m.WaitFlushes
+		if rep.SerialReqsPerSec > 0 {
+			pt.SpeedupVsSerial = pt.ReqsPerSec / rep.SerialReqsPerSec
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("  %3d clients, %d sess, ≤%d cols/%v: %8.1f req/s  %5.2fx  occ %.2f  p50 %6.0fµs  p99 %7.0fµs  (%d rejected)\n",
+			pc.clients, pc.sessions, pc.maxCols, pc.maxWait,
+			pt.ReqsPerSec, pt.SpeedupVsSerial, pt.AvgOccupancy, pt.P50Us, pt.P99Us, pt.Rejected)
+	}
+
+	if check != "" {
+		checkServingRegression(check, &rep)
+		return
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// checkServingRegression enforces the serving gates on a fresh
+// measurement against the committed baseline. All thresholds are
+// same-host ratios (batched vs serial measured in this very process), so
+// the gate transfers across runner hardware.
+func checkServingRegression(path string, rep *servingReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("check baseline: %w", err))
+	}
+	var base servingReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("check baseline %s: %w", path, err))
+	}
+	baseSpeedup := make(map[string]float64)
+	for _, pt := range base.Points {
+		if pt.Gate != "" {
+			baseSpeedup[pt.Gate] = pt.SpeedupVsSerial
+		}
+	}
+	const (
+		minSpeedup   = 3.0 // the issue's acceptance floor: batched ≥3× serial
+		relSlack     = 0.8 // and no >20% regression vs the committed baseline
+		latencySlack = 1.5 // p99 ≤ 1.5 × (MaxWait + p99 service)
+	)
+	failed := false
+	for _, pt := range rep.Points {
+		switch pt.Gate {
+		case "throughput", "throughput64":
+			floor := minSpeedup
+			if bs, ok := baseSpeedup[pt.Gate]; ok && relSlack*bs > floor {
+				floor = relSlack * bs
+			}
+			fmt.Printf("check %-13s %3d clients: %.2fx vs serial, floor %.2fx\n",
+				pt.Gate, pt.Clients, pt.SpeedupVsSerial, floor)
+			if pt.SpeedupVsSerial < floor {
+				fmt.Fprintf(os.Stderr, "sttsvbench: gate %s: batched throughput %.2fx below floor %.2fx\n",
+					pt.Gate, pt.SpeedupVsSerial, floor)
+				failed = true
+			}
+		case "latency":
+			bound := latencySlack * (pt.MaxWaitUs + pt.ServiceP99Us)
+			fmt.Printf("check %-13s %3d clients: p99 %.0fµs, bound %.0fµs (MaxWait %.0fµs + service p99 %.0fµs, ×%.1f)\n",
+				pt.Gate, pt.Clients, pt.P99Us, bound, pt.MaxWaitUs, pt.ServiceP99Us, latencySlack)
+			if pt.P99Us > bound {
+				fmt.Fprintf(os.Stderr, "sttsvbench: gate latency: p99 %.0fµs exceeds MaxWait+service bound %.0fµs\n",
+					pt.P99Us, bound)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("check: ok")
+}

@@ -1,0 +1,255 @@
+// Command sttsvserve is the long-running multi-tenant STTSV server: it
+// packs one random symmetric tensor, opens a serving pool (N resident
+// sessions over the shared packed blocks, dual-trigger request batching)
+// and serves y = A ×₂ x ×₃ x over HTTP/JSON. Concurrent requests from
+// independent tenants are coalesced into multi-column ApplyBatch calls —
+// r simultaneous users cost r× the words but 1× the messages of a solo
+// apply — and every response is bit-identical to a solo Session.Apply.
+//
+// Usage:
+//
+//	sttsvserve                          # q=3, b=4 tensor on :8347
+//	sttsvserve -q 4 -b 6 -sessions 4    # bigger machine, four sessions
+//	sttsvserve -maxcols 8 -maxwait 2ms  # batching policy
+//
+// Endpoints:
+//
+//	POST /v1/apply    {"tenant":"acme","x":[...]} → result + batch stats
+//	GET  /v1/metrics  serving counters as JSONL (obs serving schema)
+//	GET  /v1/info     serving configuration
+//
+// A full admission queue answers 429 with a Retry-After header derived
+// from the pool's measured batch service time. On SIGINT/SIGTERM the
+// server stops admitting, drains every queued request, and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+type applyRequest struct {
+	Tenant string    `json:"tenant"`
+	X      []float64 `json:"x"`
+}
+
+type applyResponse struct {
+	Y           []float64 `json:"y"`
+	BatchCols   int       `json:"batch_cols"`
+	Trigger     string    `json:"trigger"`
+	QueueWaitUs float64   `json:"queue_wait_us"`
+	ServiceUs   float64   `json:"service_us"`
+	SentWords   int64     `json:"sent_words"`
+	SentMsgs    float64   `json:"sent_msgs"`
+	Steps       int       `json:"steps"`
+}
+
+type errorResponse struct {
+	Error        string  `json:"error"`
+	QueueDepth   int     `json:"queue_depth,omitempty"`
+	QueueCap     int     `json:"queue_cap,omitempty"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+}
+
+type infoResponse struct {
+	N         int     `json:"n"`
+	Q         int     `json:"q"`
+	P         int     `json:"p"`
+	B         int     `json:"b"`
+	Wiring    string  `json:"wiring"`
+	Sessions  int     `json:"sessions"`
+	MaxCols   int     `json:"max_cols"`
+	MaxWaitUs float64 `json:"max_wait_us"`
+	QueueCap  int     `json:"queue_cap"`
+}
+
+type server struct {
+	pool *serve.Pool
+	info infoResponse
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Tenant")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	resp, err := s.pool.Apply(req.Tenant, req.X)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, applyResponse{
+			Y:           resp.Y,
+			BatchCols:   resp.BatchCols,
+			Trigger:     resp.Trigger.String(),
+			QueueWaitUs: float64(resp.QueueWait.Nanoseconds()) / 1e3,
+			ServiceUs:   float64(resp.Service.Nanoseconds()) / 1e3,
+			SentWords:   resp.SentWords(),
+			SentMsgs:    resp.SentMsgs(),
+			Steps:       resp.Steps,
+		})
+	case errors.Is(err, serve.ErrPoolClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, parallel.ErrSessionBusy):
+		var be *serve.BusyError
+		resp := errorResponse{Error: err.Error()}
+		if errors.As(err, &be) {
+			resp.QueueDepth = be.QueueDepth
+			resp.QueueCap = be.QueueCap
+			resp.RetryAfterMs = float64(be.RetryAfter.Nanoseconds()) / 1e6
+			// Retry-After is whole seconds; round up so the hint is never
+			// an immediate retry into the same full queue.
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(be.RetryAfter.Seconds()))))
+		}
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.pool.Metrics()
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := obs.WriteServingMetricsJSONL(w, &snap); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sttsvserve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	q := flag.Int("q", 3, "prime power for the spherical tetrahedral partition")
+	b := flag.Int("b", 4, "block edge (n = m·b)")
+	seed := flag.Int64("seed", 1, "tensor random seed")
+	wiring := flag.String("wiring", "p2p", "exchange wiring: p2p or alltoall")
+	sessions := flag.Int("sessions", 2, "pool size: resident sessions sharing the packed tensor")
+	maxCols := flag.Int("maxcols", 8, "size flush trigger: columns per coalesced batch")
+	maxWait := flag.Duration("maxwait", 2*time.Millisecond, "latency flush trigger: max batching delay for the oldest queued request")
+	queueCap := flag.Int("queue", 0, "admission queue bound (0 = 4 × sessions × maxcols)")
+	metricsOut := flag.String("metrics", "", "append the final serving metrics snapshot as JSONL to this file on shutdown")
+	flag.Parse()
+
+	part, err := partition.NewSpherical(*q)
+	if err != nil {
+		fatal(err)
+	}
+	wr := parallel.WiringP2P
+	switch *wiring {
+	case "p2p":
+	case "alltoall":
+		wr = parallel.WiringAllToAll
+	default:
+		fatal(fmt.Errorf("unknown wiring %q", *wiring))
+	}
+	n := part.M * *b
+	rng := rand.New(rand.NewSource(*seed))
+	a := tensor.Random(n, rng)
+	if *queueCap < 1 {
+		*queueCap = 4 * *sessions * *maxCols // mirror the pool default so /v1/info reports the effective bound
+	}
+
+	pool, err := serve.Open(a, serve.Options{
+		Session:  parallel.Options{Part: part, B: *b, Wiring: wr},
+		Sessions: *sessions,
+		MaxCols:  *maxCols,
+		MaxWait:  *maxWait,
+		QueueCap: *queueCap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &server{
+		pool: pool,
+		info: infoResponse{
+			N: n, Q: *q, P: part.P, B: *b, Wiring: *wiring,
+			Sessions: *sessions, MaxCols: *maxCols,
+			MaxWaitUs: float64(maxWait.Nanoseconds()) / 1e3,
+			QueueCap:  *queueCap,
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/apply", srv.handleApply)
+	mux.HandleFunc("/v1/metrics", srv.handleMetrics)
+	mux.HandleFunc("/v1/info", srv.handleInfo)
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		fmt.Println("sttsvserve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+
+	fmt.Printf("sttsvserve: n=%d (q=%d, P=%d, b=%d, %s), %d sessions, batch ≤%d cols / %v, listening on %s\n",
+		n, *q, part.P, *b, *wiring, *sessions, *maxCols, *maxWait, *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+
+	if err := pool.Close(); err != nil {
+		fatal(err)
+	}
+	snap := pool.Metrics()
+	fmt.Printf("sttsvserve: served %d requests in %d batches (avg occupancy %.2f, %d rejected)\n",
+		snap.Requests, snap.Batches, snap.AvgOccupancy, snap.Rejected)
+	if *metricsOut != "" {
+		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteServingMetricsJSONL(f, &snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sttsvserve: metrics appended to %s\n", *metricsOut)
+	}
+}

@@ -202,8 +202,9 @@ func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 }
 
 // metricsRecord is one flat metrics line: a per-phase aggregate, a
-// per-rank aggregate, or the run's recovery summary. Scope is "phase",
-// "rank", or "recovery".
+// per-rank aggregate, the run's recovery summary, or a serving-tier
+// aggregate. Scope is "phase", "rank", "recovery", "serving", or
+// "tenant".
 type metricsRecord struct {
 	Scope     string  `json:"scope"`
 	Phase     string  `json:"phase,omitempty"`
@@ -276,6 +277,102 @@ func WriteMetricsJSONL(w io.Writer, t *Trace, tl *Timeline) error {
 			MaxEpoch: rc.MaxEpoch,
 		}
 		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ServingTenant is one tenant's lifetime aggregate over a serving pool:
+// its request count and its amortized share of the coalesced batches'
+// traffic. Word and compute shares are exact (they scale linearly with
+// batch columns); message shares are the fractional 1/cols split that
+// coalescing buys, so they are reported as a float.
+type ServingTenant struct {
+	Tenant         string  `json:"tenant"`
+	Requests       int64   `json:"requests"`
+	Rejected       int64   `json:"rejected,omitempty"`
+	SentWords      int64   `json:"sent_words"`
+	SentMsgs       float64 `json:"sent_msgs"`
+	QueueWaitAvgUs float64 `json:"queue_wait_avg_us"`
+	QueueWaitMaxUs float64 `json:"queue_wait_max_us"`
+}
+
+// ServingSnapshot aggregates a serving pool's admission and batching
+// counters at one instant: the dual-trigger flush split, batch occupancy,
+// queue-wait and service-time attribution, and the per-tenant ledger.
+// Produced by the serve package; exported here so serving metrics flow
+// through the same JSONL metrics convention as run traces.
+type ServingSnapshot struct {
+	Sessions       int             `json:"sessions"`
+	MaxCols        int             `json:"max_cols"`
+	MaxWaitUs      float64         `json:"max_wait_us"`
+	Requests       int64           `json:"requests"`
+	Rejected       int64           `json:"rejected"`
+	Batches        int64           `json:"batches"`
+	BatchErrors    int64           `json:"batch_errors,omitempty"`
+	SizeFlushes    int64           `json:"size_flushes"`
+	WaitFlushes    int64           `json:"wait_flushes"`
+	DrainFlushes   int64           `json:"drain_flushes"`
+	AvgOccupancy   float64         `json:"avg_occupancy"`
+	MaxOccupancy   int             `json:"max_occupancy"`
+	QueueWaitAvgUs float64         `json:"queue_wait_avg_us"`
+	QueueWaitMaxUs float64         `json:"queue_wait_max_us"`
+	ServiceAvgUs   float64         `json:"service_avg_us"`
+	ServiceMaxUs   float64         `json:"service_max_us"`
+	Tenants        []ServingTenant `json:"tenants,omitempty"`
+}
+
+// servingRecord is the flat JSONL shape of serving metrics: one
+// scope:"serving" line for the pool aggregate, then one scope:"tenant"
+// line per tenant, matching the metricsRecord file convention.
+type servingRecord struct {
+	Scope          string  `json:"scope"`
+	Tenant         string  `json:"tenant,omitempty"`
+	Sessions       int     `json:"sessions,omitempty"`
+	MaxCols        int     `json:"max_cols,omitempty"`
+	MaxWaitUs      float64 `json:"max_wait_us,omitempty"`
+	Requests       int64   `json:"requests"`
+	Rejected       int64   `json:"rejected,omitempty"`
+	Batches        int64   `json:"batches,omitempty"`
+	BatchErrors    int64   `json:"batch_errors,omitempty"`
+	SizeFlushes    int64   `json:"size_flushes,omitempty"`
+	WaitFlushes    int64   `json:"wait_flushes,omitempty"`
+	DrainFlushes   int64   `json:"drain_flushes,omitempty"`
+	AvgOccupancy   float64 `json:"avg_occupancy,omitempty"`
+	MaxOccupancy   int     `json:"max_occupancy,omitempty"`
+	SentWords      int64   `json:"sent_words,omitempty"`
+	SentMsgs       float64 `json:"sent_msgs,omitempty"`
+	QueueWaitAvgUs float64 `json:"queue_wait_avg_us,omitempty"`
+	QueueWaitMaxUs float64 `json:"queue_wait_max_us,omitempty"`
+	ServiceAvgUs   float64 `json:"service_avg_us,omitempty"`
+	ServiceMaxUs   float64 `json:"service_max_us,omitempty"`
+}
+
+// WriteServingMetricsJSONL writes a serving snapshot as flat JSONL metric
+// records: the pool aggregate under scope "serving" followed by one
+// "tenant" record per tenant, in the snapshot's (sorted) tenant order.
+func WriteServingMetricsJSONL(w io.Writer, s *ServingSnapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(servingRecord{
+		Scope: "serving", Sessions: s.Sessions, MaxCols: s.MaxCols, MaxWaitUs: s.MaxWaitUs,
+		Requests: s.Requests, Rejected: s.Rejected,
+		Batches: s.Batches, BatchErrors: s.BatchErrors,
+		SizeFlushes: s.SizeFlushes, WaitFlushes: s.WaitFlushes, DrainFlushes: s.DrainFlushes,
+		AvgOccupancy: s.AvgOccupancy, MaxOccupancy: s.MaxOccupancy,
+		QueueWaitAvgUs: s.QueueWaitAvgUs, QueueWaitMaxUs: s.QueueWaitMaxUs,
+		ServiceAvgUs: s.ServiceAvgUs, ServiceMaxUs: s.ServiceMaxUs,
+	}); err != nil {
+		return err
+	}
+	for _, tn := range s.Tenants {
+		if err := enc.Encode(servingRecord{
+			Scope: "tenant", Tenant: tn.Tenant,
+			Requests: tn.Requests, Rejected: tn.Rejected,
+			SentWords: tn.SentWords, SentMsgs: tn.SentMsgs,
+			QueueWaitAvgUs: tn.QueueWaitAvgUs, QueueWaitMaxUs: tn.QueueWaitMaxUs,
+		}); err != nil {
 			return err
 		}
 	}

@@ -364,3 +364,50 @@ func TestChromeTraceStructure(t *testing.T) {
 		t.Errorf("%d thread_name metas, want %d", threads, tl.P)
 	}
 }
+
+// TestServingMetricsJSONL: the serving snapshot must flatten into one
+// scope:"serving" record plus one scope:"tenant" record per tenant, each
+// a parseable JSON line carrying the dual-trigger flush split and the
+// per-tenant amortized traffic shares.
+func TestServingMetricsJSONL(t *testing.T) {
+	snap := &ServingSnapshot{
+		Sessions: 2, MaxCols: 8, MaxWaitUs: 500,
+		Requests: 100, Rejected: 3, Batches: 14,
+		SizeFlushes: 12, WaitFlushes: 2,
+		AvgOccupancy: 100.0 / 14, MaxOccupancy: 8,
+		QueueWaitAvgUs: 120, QueueWaitMaxUs: 900,
+		ServiceAvgUs: 2400, ServiceMaxUs: 4100,
+		Tenants: []ServingTenant{
+			{Tenant: "a", Requests: 60, SentWords: 60 * 95, SentMsgs: 60 * 6.875, QueueWaitAvgUs: 110, QueueWaitMaxUs: 700},
+			{Tenant: "b", Requests: 40, Rejected: 3, SentWords: 40 * 95, SentMsgs: 40 * 6.875, QueueWaitAvgUs: 135, QueueWaitMaxUs: 900},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteServingMetricsJSONL(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (serving + 2 tenants):\n%s", len(lines), buf.String())
+	}
+	var head map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
+		t.Fatalf("serving record not JSON: %v", err)
+	}
+	if head["scope"] != "serving" || head["requests"] != float64(100) ||
+		head["size_flushes"] != float64(12) || head["wait_flushes"] != float64(2) {
+		t.Fatalf("serving record fields wrong: %v", head)
+	}
+	for i, want := range []struct {
+		tenant string
+		reqs   float64
+	}{{"a", 60}, {"b", 40}} {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[i+1]), &rec); err != nil {
+			t.Fatalf("tenant line %d not JSON: %v", i, err)
+		}
+		if rec["scope"] != "tenant" || rec["tenant"] != want.tenant || rec["requests"] != want.reqs {
+			t.Fatalf("tenant record %d wrong: %v", i, rec)
+		}
+	}
+}

@@ -483,7 +483,17 @@ func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, er
 	if cols < 1 {
 		return nil, nil, fmt.Errorf("parallel: empty batch")
 	}
-	for _, x := range X {
+	// Every column is validated before the dispatch (and before the
+	// in-flight guard is taken): a malformed batch must surface as a clean
+	// error with the session untouched and immediately reusable, never as
+	// a host-op handed to the ranks with inconsistent staging.
+	for l, x := range X {
+		if len(x) == 0 {
+			return nil, nil, fmt.Errorf("parallel: batch column %d is empty", l)
+		}
+		if len(x) != len(X[0]) {
+			return nil, nil, fmt.Errorf("parallel: ragged batch: column %d has %d elements, column 0 has %d", l, len(x), len(X[0]))
+		}
 		if len(x) > s.padded {
 			return nil, nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d (m=%d, b=%d)", len(x), s.padded, s.part.M, s.b)
 		}
@@ -538,6 +548,53 @@ type BatchResult struct {
 	Phases  []PhaseMeter
 	Ternary []int64
 	Steps   int
+}
+
+// PhaseShare is one column's amortized slice of a batch's PhaseMeter,
+// summed over ranks: the communication bill a single tenant foots when its
+// request rides a coalesced ApplyBatch. Words and ternary multiplications
+// scale exactly linearly with the column count, so the per-column word and
+// compute shares are exact integers; messages are paid once per schedule
+// step for the whole batch, so the per-column message share is the
+// fractional 1/cols split that makes batching worth coalescing for.
+type PhaseShare struct {
+	Label     string
+	SentWords int64   // this column's sent words, summed over ranks (exact)
+	RecvWords int64   // this column's received words, summed over ranks (exact)
+	SentMsgs  float64 // amortized messages: batch total ÷ columns
+	RecvMsgs  float64
+	Ternary   int64 // this column's ternary multiplications (exact)
+	Steps     int
+}
+
+// Shares splits the batch's phase meters into one per-column share. Every
+// column's share is identical — the batch carries all columns through the
+// same schedule steps — so the slice indexes phases, not columns.
+func (br *BatchResult) Shares() []PhaseShare {
+	cols := int64(len(br.Y))
+	if cols == 0 {
+		return nil
+	}
+	out := make([]PhaseShare, len(br.Phases))
+	for i := range br.Phases {
+		m := &br.Phases[i]
+		sh := PhaseShare{Label: m.Label, Steps: m.Steps}
+		var sw, rw, sm, rm, tern int64
+		for r := range m.SentWords {
+			sw += m.SentWords[r]
+			rw += m.RecvWords[r]
+			sm += m.SentMsgs[r]
+			rm += m.RecvMsgs[r]
+			tern += m.Ternary[r]
+		}
+		sh.SentWords = sw / cols
+		sh.RecvWords = rw / cols
+		sh.SentMsgs = float64(sm) / float64(cols)
+		sh.RecvMsgs = float64(rm) / float64(cols)
+		sh.Ternary = tern / cols
+		out[i] = sh
+	}
+	return out
 }
 
 // ApplyBatch computes y_l = A ×₂ x_l ×₃ x_l for every column at once: one

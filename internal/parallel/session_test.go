@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -381,5 +382,113 @@ func TestSessionWatchdogIdle(t *testing.T) {
 	time.Sleep(200 * time.Millisecond) // idle well past the watchdog window
 	if _, err := s.Apply(x); err != nil {
 		t.Fatalf("apply after idle period: %v", err)
+	}
+}
+
+// TestApplyBatchValidation: malformed batches — empty, ragged, oversized,
+// or mis-sized against the tensor — must return a clean error before any
+// host-op is dispatched (no deadlocked ranks, no staged state), and the
+// session must remain immediately usable for well-formed operations.
+func TestApplyBatchValidation(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 4
+	n := part.M * b
+	rng := rand.New(rand.NewSource(77))
+	a := tensor.Random(n, rng)
+	s, err := OpenSession(a, Options{Part: part, B: b, Wiring: WiringP2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x := randVec(n, rng)
+	want, err := s.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []struct {
+		name string
+		X    [][]float64
+	}{
+		{"r=0 nil", nil},
+		{"r=0 empty", [][]float64{}},
+		{"empty column", [][]float64{{}}},
+		{"nil column", [][]float64{x, nil}},
+		{"ragged", [][]float64{x, x[:n-1]}},
+		{"oversized", [][]float64{make([]float64, n+b)}},
+		{"tensor mismatch", [][]float64{x[:n-b]}},
+	}
+	for _, tc := range bad {
+		if _, err := s.ApplyBatch(tc.X); err == nil {
+			t.Fatalf("%s: ApplyBatch accepted a malformed batch", tc.name)
+		} else if errors.Is(err, ErrSessionBusy) {
+			t.Fatalf("%s: validation error misreported as busy: %v", tc.name, err)
+		}
+		// The guard must reject before taking the in-flight slot: the very
+		// next operation wins it and produces the usual bits.
+		got, err := s.Apply(x)
+		if err != nil {
+			t.Fatalf("%s: session unusable after validation error: %v", tc.name, err)
+		}
+		if !bitsEqual(got.Y, want.Y) {
+			t.Fatalf("%s: post-error Apply diverged", tc.name)
+		}
+	}
+}
+
+// TestBatchShares: the per-column demux of a batch's phase meters. Words
+// and ternary multiplications scale exactly linearly with the column
+// count, so a column's share equals a solo Apply; messages are paid once
+// per step for the whole batch, so the share is the 1/cols split.
+func TestBatchShares(t *testing.T) {
+	part := sphericalPart(t, 2)
+	b := 6
+	n := part.M * b
+	rng := rand.New(rand.NewSource(78))
+	a := tensor.Random(n, rng)
+	s, err := OpenSession(a, Options{Part: part, B: b, Wiring: WiringP2P, MaxCols: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x := randVec(n, rng)
+	solo, err := s.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cols = 4
+	X := make([][]float64, cols)
+	for l := range X {
+		X[l] = x
+	}
+	br, err := s.ApplyBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := br.Shares()
+	if len(shares) != len(solo.Phases) {
+		t.Fatalf("got %d shares, want %d phases", len(shares), len(solo.Phases))
+	}
+	for i, sh := range shares {
+		pm := &solo.Phases[i]
+		if sh.Label != pm.Label {
+			t.Fatalf("share %d label %q, want %q", i, sh.Label, pm.Label)
+		}
+		var soloW, soloM, soloT int64
+		for r := range pm.SentWords {
+			soloW += pm.SentWords[r]
+			soloM += pm.SentMsgs[r]
+			soloT += pm.Ternary[r]
+		}
+		if sh.SentWords != soloW {
+			t.Fatalf("phase %q: share words %d, solo words %d", sh.Label, sh.SentWords, soloW)
+		}
+		if sh.Ternary != soloT {
+			t.Fatalf("phase %q: share ternary %d, solo %d", sh.Label, sh.Ternary, soloT)
+		}
+		if want := float64(soloM); soloM > 0 && sh.SentMsgs*cols != want*1 {
+			// cols columns share the solo run's message count exactly.
+			t.Fatalf("phase %q: share msgs %.3f × %d ≠ solo msgs %d", sh.Label, sh.SentMsgs, cols, soloM)
+		}
 	}
 }

@@ -1,0 +1,41 @@
+package sttsv
+
+import (
+	"repro/internal/serve"
+)
+
+// This file exposes the multi-tenant serving tier (internal/serve): a
+// pool of resident Sessions over one shared packed tensor, fronted by an
+// admission queue and a dual-trigger batching scheduler that coalesces
+// concurrent single-vector requests into multi-column ApplyBatch calls.
+// A schedule step's message count does not depend on how many columns
+// the message carries, so r coalesced tenants cost r× the words but 1×
+// the messages of r solo applies — the serving tier turns that property
+// into request throughput. See cmd/sttsvserve for the HTTP front end and
+// DESIGN.md ("Serving tier") for the batching policy and its guarantees.
+
+// ServePool is the serving tier: Apply coalesces concurrent callers into
+// shared batches, with every response bit-identical to a solo
+// Session.Apply of the same vector.
+type ServePool = serve.Pool
+
+// ServeOptions configures a pool: the Session template, pool size, and
+// the dual flush triggers (MaxCols / MaxWait) with the admission bound.
+type ServeOptions = serve.Options
+
+// ServeResponse is one caller's demultiplexed slice of a coalesced
+// batch: the result vector plus its amortized share of the phase meters.
+type ServeResponse = serve.Response
+
+// ServeBusyError is the structured admission rejection (queue depth,
+// bound, retry hint); it matches errors.Is(err, ErrSessionBusy).
+type ServeBusyError = serve.BusyError
+
+// ErrServePoolClosed is returned by ServePool.Apply after Close.
+var ErrServePoolClosed = serve.ErrPoolClosed
+
+// OpenServePool packs the tensor once, shares it across the pool's
+// sessions, and starts the batching scheduler.
+func OpenServePool(a *Tensor, opts ServeOptions) (*ServePool, error) {
+	return serve.Open(a, opts)
+}
