@@ -1,0 +1,51 @@
+package sttsv_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestLoopbackBackendConformance drives the facade's socket backend: the
+// same apply over the in-memory simulator and over a factory-built TCP
+// loopback must produce bit-identical results and identical logical
+// meters, the facade-level statement of the netwire conformance contract.
+func TestLoopbackBackendConformance(t *testing.T) {
+	part, err := sttsv.NewPartition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 6
+	n := part.M * b
+	a := sttsv.RandomTensor(n, 7)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+
+	sim, err := sttsv.ParallelCompute(a, x, sttsv.ParallelOptions{
+		Part: part, B: b, Wiring: sttsv.WiringP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := sttsv.ParallelOptions{Part: part, B: b, Wiring: sttsv.WiringP2P}
+	opts.Machine.BackendFactory = sttsv.TCPLoopback
+	tcp, err := sttsv.ParallelCompute(a, x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range sim.Y {
+		if sim.Y[i] != tcp.Y[i] {
+			t.Fatalf("Y[%d]: tcp %v != sim %v", i, tcp.Y[i], sim.Y[i])
+		}
+	}
+	if tcp.Report.MaxSentWords() != sim.Report.MaxSentWords() ||
+		tcp.Report.MaxSentMsgs() != sim.Report.MaxSentMsgs() {
+		t.Fatalf("logical meters diverge: tcp %dw/%dm, sim %dw/%dm",
+			tcp.Report.MaxSentWords(), tcp.Report.MaxSentMsgs(),
+			sim.Report.MaxSentWords(), sim.Report.MaxSentMsgs())
+	}
+}

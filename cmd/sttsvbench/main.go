@@ -38,6 +38,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backendflag"
+	"repro/internal/parallel"
 	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
@@ -45,6 +47,18 @@ import (
 // flopsPerTernary is the reporting convention: a_ijk·x_j·x_k accumulated
 // into y is 2 multiplies + 1 add.
 const flopsPerTernary = 3
+
+// backend is the shared -backend=sim|tcp|unix selection; the parallel and
+// serving benchmarks run their machines over it, so socket-backend numbers
+// come from the same harness as the simulator's.
+var backend *backendflag.Options
+
+// withBackend applies the -backend selection to one benchmark's machine
+// configuration.
+func withBackend(opts parallel.Options) parallel.Options {
+	backend.Apply(&opts.Machine)
+	return opts
+}
 
 type kernelResult struct {
 	Kind        string  `json:"kind"`
@@ -140,7 +154,12 @@ func main() {
 	check := flag.String("check", "", "with -parallel or -recover: compare against this baseline JSON and fail on regression instead of writing output")
 	recoverDrill := flag.Bool("recover", false, "run the crash-recovery drill: checkpoint overhead at two problem sizes plus a resident session under a seeded multi-rank crash plan")
 	serveMode := flag.Bool("serve", false, "benchmark the serving tier: concurrent closed-loop clients against the session pool + dual-trigger batcher, quoted vs the sequential one-session baseline")
+	backend = backendflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := backend.Validate(false); err != nil {
+		fmt.Fprintln(os.Stderr, "sttsvbench:", err)
+		os.Exit(2)
+	}
 	if *serveMode {
 		if *out == "" {
 			*out = "BENCH_serving.json"

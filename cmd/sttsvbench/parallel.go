@@ -144,7 +144,7 @@ func runParallelBench(out, check string) {
 	n := part.M * b
 	rng := rand.New(rand.NewSource(2026))
 	a := tensor.Random(n, rng)
-	opts := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	opts := withBackend(parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
 	// Pre-pack the block sets so the per-call loop is measured at its best:
 	// the speedup quoted below is engine overhead, not tensor re-extraction.
 	blocks, err := parallel.PackRankBlocks(a, part, b)
@@ -372,7 +372,7 @@ func measureRecoverySize(q, b int) recoverySize {
 		return best
 	}
 
-	base := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	base := withBackend(parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
 	sb, err := parallel.OpenSession(a, base)
 	if err != nil {
 		fatal(err)
@@ -515,7 +515,7 @@ func runRecoveryDrill(out, check string) {
 		return ys, s.Report(), stats, el
 	}
 
-	base := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	base := withBackend(parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
 	cleanY, cleanRep, _, cleanT := run(base)
 
 	// Crash three ranks at three depths: mid first exchange, mid-run, and
@@ -527,6 +527,7 @@ func runRecoveryDrill(out, check string) {
 		Transport: fault.TransportRecoverable(plan, fault.ReliableOptions{MaxAttempts: 1 << 20}),
 		Timeout:   5 * time.Second,
 	}
+	backend.Apply(&faulted.Machine)
 	faulted.Recovery = &parallel.RecoveryOptions{}
 	recY, recRep, stats, recT := run(faulted)
 

@@ -212,7 +212,7 @@ func runServingBench(out, check string, window time.Duration) {
 	n := part.M * b
 	rng := rand.New(rand.NewSource(2026))
 	a := tensor.Random(n, rng)
-	opts := parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P}
+	opts := withBackend(parallel.Options{Part: part, B: b, Wiring: parallel.WiringP2P})
 	blocks, err := parallel.PackRankBlocks(a, part, b)
 	if err != nil {
 		fatal(err)

@@ -33,6 +33,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backendflag"
+	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/fault"
 	"repro/internal/hopm"
@@ -46,15 +48,16 @@ import (
 
 // obsConfig gathers the observability flags applied to the parallel runs.
 type obsConfig struct {
-	trace    string // Chrome trace_event JSON path
-	events   string // raw trace JSONL path
-	metrics  string // flat metrics JSONL path
-	timeline bool   // print replay summary + Gantt
+	trace    string  // Chrome trace_event JSON path
+	events   string  // raw trace JSONL path
+	metrics  string  // flat metrics JSONL path
+	timeline bool    // print replay summary + Gantt
+	gate     float64 // fail if measured wall-clock exceeds gate × predicted makespan
 	model    obs.TimeModel
 }
 
 func (o *obsConfig) active() bool {
-	return o.trace != "" || o.events != "" || o.metrics != "" || o.timeline
+	return o.trace != "" || o.events != "" || o.metrics != "" || o.timeline || o.gate > 0
 }
 
 func main() {
@@ -65,16 +68,45 @@ func main() {
 	rec := flag.Bool("recover", false, "run the faulted configuration through a crash-recovering session: rank deaths are respawned and replayed instead of failing the run (with -q and -faults)")
 	runHopm := flag.Bool("hopm", false, "run the higher-order power method")
 	shift := flag.Float64("shift", 0, "SS-HOPM shift (with -hopm)")
+	bf := backendflag.RegisterDistributed(flag.CommandLine)
+	dist := flag.Bool("dist", false, "coordinator mode: fork one -rank=K process per rank and supervise a distributed power method (requires -q and -backend=tcp|unix)")
+	ckptDir := flag.String("ckptdir", "", "checkpoint directory for distributed runs (default: a temporary directory)")
+	maxIter := flag.Int("maxiter", 200, "power-method iteration bound (distributed modes)")
+	tol := flag.Float64("tol", 1e-12, "power-method convergence tolerance (distributed modes)")
 	def := obs.DefaultTimeModel()
 	var oc obsConfig
 	flag.StringVar(&oc.trace, "trace", "", "write a Chrome trace_event JSON of the replayed run (requires -q; load in chrome://tracing or Perfetto)")
 	flag.StringVar(&oc.events, "events", "", "write the raw trace events as JSONL (requires -q; analyze with sttsvtrace)")
 	flag.StringVar(&oc.metrics, "metrics", "", "write flat per-phase/per-rank metrics JSONL (requires -q)")
 	flag.BoolVar(&oc.timeline, "timeline", false, "print the replayed α-β-γ timeline summary and Gantt chart (requires -q)")
+	flag.Float64Var(&oc.gate, "gate-makespan", 0, "fail unless measured wall-clock makespan stays within this factor of the α-β-γ replay prediction (requires -q; 0 disables)")
 	flag.Float64Var(&oc.model.Alpha, "alpha", def.Alpha, "replay time model: per-message latency in seconds")
 	flag.Float64Var(&oc.model.Beta, "beta", def.Beta, "replay time model: per-word time in seconds")
 	flag.Float64Var(&oc.model.Gamma, "gamma", def.Gamma, "replay time model: per-ternary-multiplication time in seconds")
 	flag.Parse()
+
+	if err := bf.Validate(true); err != nil {
+		fmt.Fprintln(os.Stderr, "sttsvrun:", err)
+		os.Exit(2)
+	}
+	if bf.Worker() || *dist {
+		if *q <= 0 {
+			fmt.Fprintln(os.Stderr, "sttsvrun: distributed modes require -q (the partition defines the process count)")
+			os.Exit(2)
+		}
+		if *dist && bf.Sim() {
+			fmt.Fprintln(os.Stderr, "sttsvrun: -dist requires -backend=tcp or -backend=unix")
+			os.Exit(2)
+		}
+		ccfg := cluster.Config{
+			Network: bf.Backend, Q: *q, N: *n, Seed: *seed,
+			MaxIter: *maxIter, Tol: *tol, CkptDir: *ckptDir,
+		}
+		if bf.Worker() {
+			os.Exit(runRankMode(bf, ccfg))
+		}
+		os.Exit(runDistMode(bf, ccfg))
+	}
 
 	if oc.active() && *q <= 0 {
 		fmt.Fprintln(os.Stderr, "sttsvrun: -trace/-events/-metrics/-timeline require -q (they observe the simulated machine)")
@@ -119,7 +151,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *q > 0 {
-		runParallel(a, x, yp, *q, plan, *rec, &oc)
+		runParallel(a, x, yp, *q, plan, *rec, &oc, bf)
 	} else if plan.Active() {
 		fmt.Fprintln(os.Stderr, "sttsvrun: -faults requires -q (faults apply to the simulated machine)")
 		os.Exit(2)
@@ -135,7 +167,7 @@ func main() {
 	}
 }
 
-func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan, recoverCrash bool, oc *obsConfig) {
+func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan, recoverCrash bool, oc *obsConfig, bf *backendflag.Options) {
 	part, err := partition.NewSpherical(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sttsvrun:", err)
@@ -143,14 +175,15 @@ func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan,
 	}
 	n := len(x)
 	b := (n + part.M - 1) / part.M
-	fmt.Printf("\nparallel Algorithm 5: q=%d, P=%d, m=%d, b=%d (padded n=%d)\n",
-		q, part.P, part.M, b, part.M*b)
+	fmt.Printf("\nparallel Algorithm 5: q=%d, P=%d, m=%d, b=%d (padded n=%d, backend=%s)\n",
+		q, part.P, part.M, b, part.M*b, bf.Backend)
 	for _, wiring := range []parallel.Wiring{parallel.WiringP2P, parallel.WiringAllToAll} {
 		var rec obs.Recorder
 		var cfg machine.RunConfig
 		if oc.active() {
 			cfg.Observer = rec.Observer()
 		}
+		bf.Apply(&cfg)
 		res, err := parallel.Run(a, x, parallel.Options{Part: part, B: b, Wiring: wiring, Machine: cfg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sttsvrun:", err)
@@ -170,7 +203,7 @@ func runParallel(a *tensor.Symmetric, x, want []float64, q int, plan fault.Plan,
 			exportObservability(rec.Trace(), res, wiring, oc)
 		}
 		if plan.Active() {
-			runFaulted(a, x, wiring, part, b, plan, recoverCrash, res)
+			runFaulted(a, x, wiring, part, b, plan, recoverCrash, res, bf)
 		}
 	}
 }
@@ -201,6 +234,21 @@ func exportObservability(tr *obs.Trace, res *parallel.Result, wiring parallel.Wi
 		writeFile(wiringPath(oc.metrics, wiring), func(f *os.File) error {
 			return obs.WriteMetricsJSONL(f, tr, tl)
 		})
+	}
+	if oc.timeline || oc.gate > 0 {
+		measured := tr.WallSpan()
+		predicted := tl.Makespan()
+		ratio := 0.0
+		if predicted > 0 {
+			ratio = measured / predicted
+		}
+		fmt.Printf("              makespan: measured %.4gs, α-β-γ predicted %.4gs (×%.2f)\n",
+			measured, predicted, ratio)
+		if oc.gate > 0 && measured > oc.gate*predicted {
+			fmt.Fprintf(os.Stderr, "sttsvrun: measured makespan %.4gs exceeds %.3g× the α-β-γ prediction %.4gs\n",
+				measured, oc.gate, predicted)
+			os.Exit(1)
+		}
 	}
 	if oc.timeline {
 		fmt.Printf("              replay (α=%.3g β=%.3g γ=%.3g): makespan %.4gs\n",
@@ -245,7 +293,7 @@ func writeFile(path string, write func(*os.File) error) {
 // transport with the plan's faults injected and compares it against the
 // fault-free run just completed.
 func runFaulted(a *tensor.Symmetric, x []float64, wiring parallel.Wiring,
-	part *partition.Tetrahedral, b int, plan fault.Plan, recoverCrash bool, clean *parallel.Result) {
+	part *partition.Tetrahedral, b int, plan fault.Plan, recoverCrash bool, clean *parallel.Result, bf *backendflag.Options) {
 	fmt.Printf("  %-11s faults: %s\n", wiring, plan)
 	// A retry budget far beyond the watchdog window: a crashed rank is
 	// then reported by the progress monitor as one structured deadlock
@@ -258,6 +306,7 @@ func runFaulted(a *tensor.Symmetric, x []float64, wiring parallel.Wiring,
 			Timeout:   5 * time.Second,
 		},
 	}
+	bf.Apply(&opts.Machine)
 	var res *parallel.Result
 	var err error
 	if recoverCrash {

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backendflag"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
@@ -167,7 +168,11 @@ func main() {
 	maxWait := flag.Duration("maxwait", 2*time.Millisecond, "latency flush trigger: max batching delay for the oldest queued request")
 	queueCap := flag.Int("queue", 0, "admission queue bound (0 = 4 × sessions × maxcols)")
 	metricsOut := flag.String("metrics", "", "append the final serving metrics snapshot as JSONL to this file on shutdown")
+	backend := backendflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := backend.Validate(false); err != nil {
+		fatal(err)
+	}
 
 	part, err := partition.NewSpherical(*q)
 	if err != nil {
@@ -188,8 +193,10 @@ func main() {
 		*queueCap = 4 * *sessions * *maxCols // mirror the pool default so /v1/info reports the effective bound
 	}
 
+	sessOpts := parallel.Options{Part: part, B: *b, Wiring: wr}
+	backend.Apply(&sessOpts.Machine)
 	pool, err := serve.Open(a, serve.Options{
-		Session:  parallel.Options{Part: part, B: *b, Wiring: wr},
+		Session:  sessOpts,
 		Sessions: *sessions,
 		MaxCols:  *maxCols,
 		MaxWait:  *maxWait,

@@ -1,0 +1,102 @@
+// Package backendflag is the one shared definition of the CLI backend
+// selection: every tool (sttsvrun, sttsvbench, sttsvserve) registers the
+// same -backend=sim|tcp|unix flag (plus -addr and -rank for distributed
+// runs) and builds the machine.Backend the same way, so "run this over
+// real sockets" means the identical thing everywhere.
+//
+// Three shapes fall out of one flag set:
+//
+//   - -backend=sim (default): the in-memory SimBackend — nil Backend in
+//     machine.RunConfig, exactly the pre-redesign behavior.
+//   - -backend=tcp or -backend=unix alone: a single-process netwire
+//     loopback — all P ranks in one process, every packet framed through
+//     a real kernel socket. The conformance configuration.
+//   - -backend=tcp|unix with -rank=K and -addr: this process hosts one
+//     rank of a multi-process cluster run and dials the coordinator at
+//     -addr (sttsvrun only; see its -dist coordinator mode).
+package backendflag
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/netwire"
+)
+
+// Options is the parsed backend selection.
+type Options struct {
+	// Backend is "sim", "tcp" or "unix".
+	Backend string
+	// Addr is the coordinator control address a worker dials (-rank) or
+	// the coordinator listens on (-dist); "" picks 127.0.0.1:0 for tcp.
+	Addr string
+	// Rank is the machine rank this process hosts, or -1 for
+	// single-process modes.
+	Rank int
+}
+
+// Register installs the shared -backend flag on fs (the process-global
+// flag.CommandLine in the CLIs) and returns the Options the parsed value
+// lands in. Tools with a multi-process launcher use RegisterDistributed
+// instead.
+func Register(fs *flag.FlagSet) *Options {
+	o := &Options{Rank: -1}
+	fs.StringVar(&o.Backend, "backend", "sim", "packet backend for parallel runs: sim (in-memory mailboxes), tcp or unix (real sockets via internal/netwire)")
+	return o
+}
+
+// RegisterDistributed installs -backend plus the distributed-launch flags
+// -addr and -rank (sttsvrun, whose -dist coordinator mode forks -rank=K
+// processes).
+func RegisterDistributed(fs *flag.FlagSet) *Options {
+	o := Register(fs)
+	fs.StringVar(&o.Addr, "addr", "", "coordinator control address for distributed runs (with -rank or -dist; default 127.0.0.1:0 for tcp)")
+	fs.IntVar(&o.Rank, "rank", -1, "host exactly this machine rank and join the coordinator at -addr (requires -backend=tcp|unix)")
+	return o
+}
+
+// Sim reports whether the in-memory simulator was selected.
+func (o *Options) Sim() bool { return o.Backend == "sim" }
+
+// Worker reports whether this process was launched as one rank of a
+// multi-process run.
+func (o *Options) Worker() bool { return o.Rank >= 0 }
+
+// Validate checks the flag combination; distributed reports whether the
+// calling tool supports -rank/-dist at all (only sttsvrun does).
+func (o *Options) Validate(distributed bool) error {
+	switch o.Backend {
+	case "sim", "tcp", "unix":
+	default:
+		return fmt.Errorf("-backend=%q (want sim, tcp or unix)", o.Backend)
+	}
+	if !distributed {
+		return nil
+	}
+	if o.Rank >= 0 {
+		if o.Sim() {
+			return fmt.Errorf("-rank requires -backend=tcp or -backend=unix")
+		}
+		if o.Addr == "" {
+			return fmt.Errorf("-rank requires -addr (the coordinator's control address)")
+		}
+	}
+	return nil
+}
+
+// Apply installs the selection on a machine.RunConfig. For sim it leaves
+// cfg untouched (nil Backend selects the in-memory SimBackend); for
+// tcp/unix it sets a BackendFactory building a fresh netwire loopback per
+// machine incarnation, which the machine closes itself — so the same cfg
+// template is safe to launch many sequential or concurrent machines from
+// (session pools included) without packet crosstalk or socket leaks.
+func (o *Options) Apply(cfg *machine.RunConfig) {
+	if o.Sim() {
+		return
+	}
+	network := o.Backend
+	cfg.BackendFactory = func() (machine.Backend, error) {
+		return netwire.NewLoopback(network)
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/parallel"
+)
+
+// Checkpoint files are the durable half of the recovery contract: a rank
+// acknowledges iteration i on the control plane only after the state as
+// of i has been renamed into place, so the coordinator's committed
+// iteration (the minimum acknowledged over all ranks) always names files
+// every rank can actually restore. Format (big-endian):
+//
+//	u32 magic "STCK" | u32 rank | u32 iter | u64 λ bits | u64 prev bits |
+//	u32 nwords | nwords × u64 chunk bits | u64 FNV-1a over all prior bytes
+
+const ckptMagic = 0x5354434b // "STCK"
+
+func ckptPath(dir string, rank, iter int) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-r%03d-i%06d.bin", rank, iter))
+}
+
+// writeCkpt persists a rank's state atomically: temp file, fsync, rename.
+func writeCkpt(dir string, rank, iter int, st parallel.PowerRankState) error {
+	buf := make([]byte, 0, 32+8*len(st.Chunk)+8)
+	buf = binary.BigEndian.AppendUint32(buf, ckptMagic)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rank))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(iter))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(st.Lambda))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(st.Prev))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Chunk)))
+	for _, v := range st.Chunk {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	buf = binary.BigEndian.AppendUint64(buf, h.Sum64())
+
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), ckptPath(dir, rank, iter))
+}
+
+// readCkpt restores a rank's state from the checkpoint at iter,
+// verifying the checksum and the identity fields.
+func readCkpt(dir string, rank, iter int) (parallel.PowerRankState, error) {
+	var st parallel.PowerRankState
+	path := ckptPath(dir, rank, iter)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return st, err
+	}
+	if len(buf) < 32+8 {
+		return st, fmt.Errorf("cluster: checkpoint %s truncated (%d bytes)", path, len(buf))
+	}
+	body, sum := buf[:len(buf)-8], binary.BigEndian.Uint64(buf[len(buf)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return st, fmt.Errorf("cluster: checkpoint %s checksum mismatch", path)
+	}
+	if binary.BigEndian.Uint32(body[0:]) != ckptMagic {
+		return st, fmt.Errorf("cluster: checkpoint %s bad magic", path)
+	}
+	if r := int(binary.BigEndian.Uint32(body[4:])); r != rank {
+		return st, fmt.Errorf("cluster: checkpoint %s is rank %d's, want %d", path, r, rank)
+	}
+	if i := int(binary.BigEndian.Uint32(body[8:])); i != iter {
+		return st, fmt.Errorf("cluster: checkpoint %s is iter %d, want %d", path, i, iter)
+	}
+	st.Lambda = math.Float64frombits(binary.BigEndian.Uint64(body[12:]))
+	st.Prev = math.Float64frombits(binary.BigEndian.Uint64(body[20:]))
+	n := int(binary.BigEndian.Uint32(body[28:]))
+	if len(body) != 32+8*n {
+		return st, fmt.Errorf("cluster: checkpoint %s declares %d words in %d bytes", path, n, len(body))
+	}
+	st.Chunk = make([]float64, n)
+	for i := range st.Chunk {
+		st.Chunk[i] = math.Float64frombits(binary.BigEndian.Uint64(body[32+8*i:]))
+	}
+	return st, nil
+}

@@ -1,0 +1,76 @@
+// Package cluster turns the distributed pieces — the netwire control and
+// data planes, the per-rank power-method engine, durable checkpoints —
+// into a multi-process runtime: one coordinator process supervising P
+// rank processes over TCP or unix-domain sockets. A rank killed with
+// SIGKILL mid-run is respawned, every survivor rolls back to the last
+// globally committed checkpoint, and the method resumes in a new wire
+// epoch; the committed results are bit-identical to the single-process
+// simulated run.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Config describes one distributed power-method problem. Every process —
+// coordinator and ranks — derives the identical tensor, partition and
+// start vector from it, so only these few scalars ever cross a process
+// boundary at launch.
+type Config struct {
+	// Network is "tcp" or "unix".
+	Network string
+	// Q selects the spherical partition (P = q²+q+1 ranks).
+	Q int
+	// N is the problem dimension; the block edge is ceil(N/M).
+	N int
+	// Seed determines the random tensor and the power-method start vector.
+	Seed int64
+	// MaxIter and Tol are the power-method controls (defaults 200, 1e-12).
+	MaxIter int
+	// Tol is the eigenvalue convergence tolerance.
+	Tol float64
+	// CkptDir is the shared directory for per-rank checkpoint files.
+	CkptDir string
+}
+
+func (cfg *Config) withDefaults() Config {
+	out := *cfg
+	if out.Network == "" {
+		out.Network = "tcp"
+	}
+	if out.MaxIter <= 0 {
+		out.MaxIter = 200
+	}
+	if out.Tol <= 0 {
+		out.Tol = 1e-12
+	}
+	return out
+}
+
+// layout resolves the partition and block edge (no tensor entries).
+func (cfg *Config) layout() (*partition.Tetrahedral, int, error) {
+	part, err := partition.NewSpherical(cfg.Q)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.N < 1 {
+		return nil, 0, fmt.Errorf("cluster: dimension %d", cfg.N)
+	}
+	b := (cfg.N + part.M - 1) / part.M
+	return part, b, nil
+}
+
+// problem materializes the deterministic shared tensor. Every process
+// calls this with the same config and obtains bit-identical entries.
+func (cfg *Config) problem() (*partition.Tetrahedral, *tensor.Symmetric, int, error) {
+	part, b, err := cfg.layout()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	a := tensor.Random(cfg.N, rand.New(rand.NewSource(cfg.Seed)))
+	return part, a, b, nil
+}

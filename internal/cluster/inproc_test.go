@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// goProc satisfies Proc for a rank running as a goroutine — it cannot be
+// killed, which is fine for the clean-run conformance path; the kill-9
+// suite uses real processes.
+type goProc struct{}
+
+func (goProc) Kill() error { return nil }
+func (goProc) Wait() error { return nil }
+
+// TestSuperviseInProcess runs the full coordinator/rank protocol with the
+// rank processes as goroutines: the whole distributed lifecycle (resume,
+// restore, ready, go, checkpoints, result shipping, assembly) without
+// exec. Failures here come with this process's stack dump.
+func TestSuperviseInProcess(t *testing.T) {
+	cfg := testConfig(t)
+	var addr string
+	addrCh := make(chan string, 1)
+	out, err := Supervise(SuperviseOptions{
+		Config:   cfg,
+		OnListen: func(a string) { addr = a; close(addrCh) },
+		Spawn: func(rank int) (Proc, error) {
+			<-addrCh
+			go func() {
+				if err := RunRank(RankOptions{Config: cfg, CtlAddr: addr, Rank: rank}); err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+			}()
+			return goProc{}, nil
+		},
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSim(t, out, simReference(t, cfg))
+}

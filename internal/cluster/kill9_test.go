@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+// The distributed suite re-execs this test binary as the rank processes:
+// TestHelperRankProcess is inert in a normal run and becomes a rank
+// process's main when the environment selects it.
+func TestHelperRankProcess(t *testing.T) {
+	rankEnv := os.Getenv("STTSV_CLUSTER_RANK")
+	if rankEnv == "" {
+		t.Skip("not a rank process")
+	}
+	rank, err := strconv.Atoi(rankEnv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	atoi := func(key string) int {
+		v, err := strconv.Atoi(os.Getenv(key))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad %s: %v\n", key, err)
+			os.Exit(2)
+		}
+		return v
+	}
+	opt := RankOptions{
+		Config: Config{
+			Network: os.Getenv("STTSV_CLUSTER_NET"),
+			Q:       atoi("STTSV_CLUSTER_Q"),
+			N:       atoi("STTSV_CLUSTER_N"),
+			Seed:    int64(atoi("STTSV_CLUSTER_SEED")),
+			MaxIter: atoi("STTSV_CLUSTER_MAXITER"),
+			Tol:     1e-10,
+			CkptDir: os.Getenv("STTSV_CLUSTER_CKPT"),
+		},
+		CtlAddr: os.Getenv("STTSV_CLUSTER_CTL"),
+		Rank:    rank,
+	}
+	if err := RunRank(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// testSpawner re-execs the test binary as rank processes and remembers
+// the live process of each rank so the suite can kill one.
+type testSpawner struct {
+	t       *testing.T
+	cfg     Config
+	ctlAddr func() string
+
+	mu    sync.Mutex
+	procs map[int]*os.Process
+}
+
+func (s *testSpawner) spawn(rank int) (Proc, error) {
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperRankProcess$")
+	cmd.Env = append(os.Environ(),
+		"STTSV_CLUSTER_RANK="+strconv.Itoa(rank),
+		"STTSV_CLUSTER_NET="+s.cfg.Network,
+		"STTSV_CLUSTER_Q="+strconv.Itoa(s.cfg.Q),
+		"STTSV_CLUSTER_N="+strconv.Itoa(s.cfg.N),
+		"STTSV_CLUSTER_SEED="+strconv.FormatInt(s.cfg.Seed, 10),
+		"STTSV_CLUSTER_MAXITER="+strconv.Itoa(s.cfg.MaxIter),
+		"STTSV_CLUSTER_CKPT="+s.cfg.CkptDir,
+		"STTSV_CLUSTER_CTL="+s.ctlAddr(),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.procs[rank] = cmd.Process
+	s.mu.Unlock()
+	return cmdProc{cmd}, nil
+}
+
+func (s *testSpawner) kill(rank int) {
+	s.mu.Lock()
+	proc := s.procs[rank]
+	s.mu.Unlock()
+	if proc != nil {
+		proc.Kill() // SIGKILL: the process gets no chance to clean up
+	}
+}
+
+type cmdProc struct{ cmd *exec.Cmd }
+
+func (p cmdProc) Kill() error { return p.cmd.Process.Kill() }
+func (p cmdProc) Wait() error { return p.cmd.Wait() }
+
+// simReference runs the identical problem on the in-process simulator.
+func simReference(t *testing.T, cfg Config) *parallel.EigenResult {
+	t.Helper()
+	part, a, b, err := cfg.problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = part
+	s, err := parallel.OpenSession(a, parallel.Options{
+		Part: part, B: b, Wiring: parallel.WiringP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ref, err := s.PowerMethod(parallel.PowerOptions{MaxIter: cfg.MaxIter, Tol: cfg.Tol, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func testConfig(t *testing.T) Config {
+	part, err := partition.NewSpherical(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Network: "tcp",
+		Q:       2,
+		N:       part.M * 6,
+		Seed:    7,
+		MaxIter: 12,
+		Tol:     1e-10,
+		CkptDir: t.TempDir(),
+	}
+}
+
+func superviseWith(t *testing.T, cfg Config, hook func(s *testSpawner, rank, iter int)) *Outcome {
+	t.Helper()
+	var addr string
+	var addrMu sync.Mutex
+	sp := &testSpawner{
+		t:   t,
+		cfg: cfg,
+		ctlAddr: func() string {
+			addrMu.Lock()
+			defer addrMu.Unlock()
+			return addr
+		},
+		procs: map[int]*os.Process{},
+	}
+	out, err := Supervise(SuperviseOptions{
+		Config: cfg,
+		Spawn:  sp.spawn,
+		OnListen: func(a string) {
+			addrMu.Lock()
+			addr = a
+			addrMu.Unlock()
+		},
+		OnCheckpoint: func(rank, iter int) {
+			if hook != nil {
+				hook(sp, rank, iter)
+			}
+		},
+		Timeout: 90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertMatchesSim(t *testing.T, out *Outcome, ref *parallel.EigenResult) {
+	t.Helper()
+	if math.Float64bits(out.Lambda) != math.Float64bits(ref.Lambda) {
+		t.Errorf("λ = %v (bits %x), sim %v (bits %x)",
+			out.Lambda, math.Float64bits(out.Lambda), ref.Lambda, math.Float64bits(ref.Lambda))
+	}
+	if out.Iterations != ref.Iterations || out.Converged != ref.Converged || out.Singular != ref.Singular {
+		t.Errorf("iters/conv/sing = %d/%v/%v, sim %d/%v/%v",
+			out.Iterations, out.Converged, out.Singular, ref.Iterations, ref.Converged, ref.Singular)
+	}
+	if len(out.X) != len(ref.X) {
+		t.Fatalf("X has %d entries, sim %d", len(out.X), len(ref.X))
+	}
+	for i := range out.X {
+		if math.Float64bits(out.X[i]) != math.Float64bits(ref.X[i]) {
+			t.Fatalf("X[%d] = %v differs from sim %v", i, out.X[i], ref.X[i])
+		}
+	}
+}
+
+// TestClusterConformance: P separate OS processes over real TCP produce a
+// bit-identical power method to the in-process simulator.
+func TestClusterConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	cfg := testConfig(t)
+	out := superviseWith(t, cfg, nil)
+	assertMatchesSim(t, out, simReference(t, cfg))
+	if out.Respawns != 0 || out.FinalEpoch != 0 {
+		t.Errorf("clean run reported %d respawns, final epoch %d", out.Respawns, out.FinalEpoch)
+	}
+}
+
+// TestClusterKill9Recovery is the acceptance gate for the recovery arc: a
+// rank process is killed with SIGKILL mid-run; the supervisor fences the
+// epoch, respawns it, rolls everyone back to the committed checkpoint,
+// and the committed results are still bit-identical to the simulator.
+func TestClusterKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	cfg := testConfig(t)
+	var once sync.Once
+	out := superviseWith(t, cfg, func(sp *testSpawner, rank, iter int) {
+		// The third committed iteration of rank 1 is strictly mid-method
+		// (the q=2 reference runs all 12); take rank 2 down hard.
+		if rank == 1 && iter == 3 {
+			once.Do(func() { sp.kill(2) })
+		}
+	})
+	if out.Respawns < 1 {
+		t.Fatalf("no respawn recorded — the kill never landed")
+	}
+	if out.FinalEpoch < 1 {
+		t.Errorf("final epoch %d after a kill; want ≥ 1", out.FinalEpoch)
+	}
+	assertMatchesSim(t, out, simReference(t, cfg))
+}
+
+// TestCheckpointRoundTrip: the durable checkpoint file restores the exact
+// state bits and rejects corruption.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := parallel.PowerRankState{
+		Lambda: 1.25e-3,
+		Prev:   math.Inf(1),
+		Chunk:  []float64{0, -1.5, math.Pi, 1e-300, math.Copysign(0, -1)},
+	}
+	if err := writeCkpt(dir, 4, 17, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readCkpt(dir, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Lambda) != math.Float64bits(st.Lambda) ||
+		math.Float64bits(got.Prev) != math.Float64bits(st.Prev) {
+		t.Errorf("scalars differ: %+v vs %+v", got, st)
+	}
+	for i := range st.Chunk {
+		if math.Float64bits(got.Chunk[i]) != math.Float64bits(st.Chunk[i]) {
+			t.Errorf("chunk[%d] differs", i)
+		}
+	}
+	if _, err := readCkpt(dir, 4, 16); err == nil {
+		t.Error("missing checkpoint read succeeded")
+	}
+	if _, err := readCkpt(dir, 3, 17); err == nil {
+		t.Error("wrong-rank checkpoint read succeeded")
+	}
+	raw, err := os.ReadFile(ckptPath(dir, 4, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[15] ^= 1
+	if err := os.WriteFile(ckptPath(dir, 4, 17), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCkpt(dir, 4, 17); err == nil {
+		t.Error("corrupted checkpoint read succeeded")
+	}
+}

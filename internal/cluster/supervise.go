@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/netwire"
+	"repro/internal/parallel"
+)
+
+// Proc is a spawned rank process as the supervisor sees it: enough to
+// reap it and to put it down on an error exit.
+type Proc interface {
+	Kill() error
+	Wait() error
+}
+
+// Spawner launches the process hosting one rank. It is a hook so the
+// kill-9 suite can spawn re-exec'd test helpers and track their pids; the
+// CLI spawns os.Executable with -rank=K.
+type Spawner func(rank int) (Proc, error)
+
+// SuperviseOptions configures a coordinator run.
+type SuperviseOptions struct {
+	Config
+	// CtlAddr is the control listen address ("127.0.0.1:0" when empty and
+	// the network is tcp). The resolved address is what Spawner's processes
+	// must dial, available via the OnListen callback.
+	CtlAddr string
+	// Spawn launches one rank process. Required.
+	Spawn Spawner
+	// OnListen, when set, receives the resolved control address before any
+	// rank is spawned.
+	OnListen func(addr string)
+	// OnCheckpoint, when set, observes every acknowledged checkpoint — the
+	// kill-9 suite's injection point.
+	OnCheckpoint func(rank, iter int)
+	// MaxRespawns bounds recoveries before the run is declared lost
+	// (default 3).
+	MaxRespawns int
+	// Timeout bounds the whole run (default 2 minutes).
+	Timeout time.Duration
+}
+
+// Outcome is a completed distributed power method.
+type Outcome struct {
+	Lambda     float64
+	X          []float64
+	Iterations int
+	Converged  bool
+	Singular   bool
+	// Respawns counts rank processes restarted after dying mid-run.
+	Respawns int
+	// FinalEpoch is the wire epoch the run committed in (0 when nothing
+	// died).
+	FinalEpoch int64
+}
+
+// Supervise runs the coordinator side of a distributed power method: it
+// spawns the P rank processes, drives the resume/ready/go lifecycle,
+// tracks the globally committed checkpoint (the minimum acknowledged
+// iteration over all ranks), and — when a rank process dies — aborts the
+// epoch, waits for the survivors to quiesce, respawns the dead rank, and
+// resumes everyone from the committed iteration in the next epoch. The
+// assembled result is bit-identical to the single-process simulated run.
+func Supervise(opt SuperviseOptions) (*Outcome, error) {
+	cfg := opt.Config.withDefaults()
+	part, b, err := cfg.layout()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Spawn == nil {
+		return nil, fmt.Errorf("cluster: no spawner")
+	}
+	maxRespawns := opt.MaxRespawns
+	if maxRespawns <= 0 {
+		maxRespawns = 3
+	}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	ctlAddr := opt.CtlAddr
+	if ctlAddr == "" {
+		if cfg.Network != "tcp" {
+			return nil, fmt.Errorf("cluster: network %q needs an explicit control address", cfg.Network)
+		}
+		ctlAddr = "127.0.0.1:0"
+	}
+	p := part.P
+
+	co, err := netwire.NewCoordinator(cfg.Network, ctlAddr, p)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	if opt.OnListen != nil {
+		opt.OnListen(co.Addr())
+	}
+
+	procs := make([]Proc, p)
+	defer func() {
+		for _, pr := range procs {
+			if pr != nil {
+				pr.Kill()
+				go pr.Wait()
+			}
+		}
+	}()
+	spawn := func(rank int) error {
+		if old := procs[rank]; old != nil {
+			go old.Wait() // reap the corpse
+			procs[rank] = nil
+		}
+		pr, err := opt.Spawn(rank)
+		if err != nil {
+			return fmt.Errorf("cluster: spawn rank %d: %w", rank, err)
+		}
+		procs[rank] = pr
+		return nil
+	}
+	for r := 0; r < p; r++ {
+		if err := spawn(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lifecycle state. phase moves idle → readying → running; a death
+	// during readying/running detours through aborting.
+	const (
+		phaseIdle = iota // waiting for all ranks to register
+		phaseReadying
+		phaseRunning
+		phaseAborting
+	)
+	var (
+		phase     = phaseIdle
+		epoch     = int64(0)
+		respawns  = 0
+		refences  = 0 // self-fenced machines recovered without a death
+		present   = make([]bool, p)
+		nPresent  = 0
+		ready     = make([]bool, p)
+		nReady    = 0
+		pendQuies = map[int]bool{} // survivors owing a quiesced for the aborted epoch
+		ckpt      = make([]int, p)
+		results   = make([]*netwire.CtlEvent, p)
+		nResults  = 0
+	)
+	committed := func() int {
+		min := ckpt[0]
+		for _, i := range ckpt[1:] {
+			if i < min {
+				min = i
+			}
+		}
+		return min
+	}
+	tryResume := func() error {
+		if nPresent == p && len(pendQuies) == 0 && (phase == phaseIdle || phase == phaseAborting) {
+			for i := range ready {
+				ready[i] = false
+			}
+			nReady = 0
+			for i := range results {
+				results[i] = nil
+			}
+			nResults = 0
+			if err := co.Resume(epoch, committed()); err != nil {
+				return err
+			}
+			phase = phaseReadying
+		}
+		return nil
+	}
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for nResults < p {
+		var ev netwire.CtlEvent
+		select {
+		case ev = <-co.Events():
+		case <-deadline.C:
+			return nil, fmt.Errorf("cluster: run exceeded %v (phase %d, epoch %d, committed %d)", timeout, phase, epoch, committed())
+		}
+		switch ev.Type {
+		case "hello":
+			if !present[ev.Rank] {
+				present[ev.Rank] = true
+				nPresent++
+			}
+			if err := tryResume(); err != nil {
+				return nil, err
+			}
+		case "down":
+			respawns++
+			if respawns > maxRespawns {
+				return nil, fmt.Errorf("cluster: rank %d died; respawn budget (%d) exhausted", ev.Rank, maxRespawns)
+			}
+			if present[ev.Rank] {
+				present[ev.Rank] = false
+				nPresent--
+			}
+			delete(pendQuies, ev.Rank)
+			if phase == phaseReadying || phase == phaseRunning {
+				// Fence the epoch; every present survivor owes a quiesced.
+				old := epoch
+				epoch++
+				for r := 0; r < p; r++ {
+					if present[r] {
+						pendQuies[r] = true
+					}
+				}
+				co.AbortEpoch(old)
+				phase = phaseAborting
+			}
+			if err := spawn(ev.Rank); err != nil {
+				return nil, err
+			}
+		case "quiesced":
+			if phase == phaseReadying || phase == phaseRunning {
+				// The rank's machine fenced itself without a coordinator
+				// order — its wire saw something fatal. Re-fence the epoch
+				// for everyone else and replay from the committed iteration.
+				refences++
+				if refences > maxRespawns {
+					return nil, fmt.Errorf("cluster: rank %d self-fenced; recovery budget (%d) exhausted", ev.Rank, maxRespawns)
+				}
+				old := epoch
+				epoch++
+				for r := 0; r < p; r++ {
+					if present[r] && r != ev.Rank {
+						pendQuies[r] = true
+					}
+				}
+				co.AbortEpoch(old)
+				phase = phaseAborting
+			}
+			delete(pendQuies, ev.Rank)
+			if err := tryResume(); err != nil {
+				return nil, err
+			}
+		case "ready":
+			if ev.Epoch == epoch && phase == phaseReadying && !ready[ev.Rank] {
+				ready[ev.Rank] = true
+				nReady++
+				if nReady == p {
+					co.Go(committed())
+					phase = phaseRunning
+				}
+			}
+		case "ckpt":
+			if ev.Iter > ckpt[ev.Rank] {
+				ckpt[ev.Rank] = ev.Iter
+			}
+			if opt.OnCheckpoint != nil {
+				opt.OnCheckpoint(ev.Rank, ev.Iter)
+			}
+		case "result":
+			if phase != phaseRunning {
+				break // stale result from an epoch fenced after completion
+			}
+			if results[ev.Rank] == nil {
+				nResults++
+			}
+			e := ev
+			results[ev.Rank] = &e
+		}
+	}
+	co.Stop()
+
+	// Every rank reported: the scalars must agree exactly, and the owned
+	// chunks assemble into the eigenvector.
+	first := results[0]
+	owned := make([][]float64, p)
+	for r, res := range results {
+		if res.LambdaBits != first.LambdaBits || res.Iterations != first.Iterations ||
+			res.Converged != first.Converged || res.Singular != first.Singular {
+			return nil, fmt.Errorf("cluster: rank %d outcome diverges from rank 0 (λ bits %x vs %x, iters %d vs %d)",
+				r, res.LambdaBits, first.LambdaBits, res.Iterations, first.Iterations)
+		}
+		chunk := make([]float64, len(res.ChunkBits))
+		for i, bv := range res.ChunkBits {
+			chunk[i] = math.Float64frombits(bv)
+		}
+		owned[r] = chunk
+	}
+	x, err := parallel.AssemblePower(part, b, cfg.N, owned)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Lambda:     math.Float64frombits(first.LambdaBits),
+		X:          x,
+		Iterations: first.Iterations,
+		Converged:  first.Converged,
+		Singular:   first.Singular,
+		Respawns:   respawns,
+		FinalEpoch: epoch,
+	}, nil
+}

@@ -55,6 +55,12 @@ func NewGroup(c *machine.Comm, ranks []int) (*Group, error) {
 	return &Group{c: c, ranks: cp, me: me}, nil
 }
 
+// Comm returns the communicator this group was built over. Callers that
+// cache a Group across machine incarnations compare it against their
+// current Comm: a group built over a previous epoch's machine would
+// unwind straight into that machine's aborted state.
+func (g *Group) Comm() *machine.Comm { return g.c }
+
 // World returns the group of all ranks.
 func World(c *machine.Comm) *Group {
 	ranks := make([]int, c.Size())

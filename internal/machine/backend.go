@@ -1,0 +1,318 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend supplies the raw packet layer a machine runs on: one BackendWire
+// per local rank. The default SimBackend moves packets through in-memory
+// mailboxes (the simulator the paper's meters were built on);
+// internal/netwire provides TCP and unix-domain-socket backends that move
+// the same packets through length-prefixed frames on real sockets, so the
+// P ranks can run as separate OS processes.
+//
+// The seam sits below machine.Wire: a backend wire only moves packets.
+// Everything the Wire contract promises on top — logical/wire metering,
+// epoch stamping on Deliver and epoch fencing on Pull, abort unwinding,
+// pending-state diagnostics — is layered on uniformly by the machine, so a
+// TransportFactory (direct, reliable, fault-injected) composes unchanged
+// over any backend.
+type Backend interface {
+	// NewWire returns rank's raw endpoint on a machine of the given size.
+	// Called once per local rank at machine start; the wire stays valid
+	// across rank restarts (SimBackend swaps the mailbox underneath it).
+	NewWire(rank, size int) (BackendWire, error)
+	// Close releases the backend's resources (sockets, listeners,
+	// goroutines). The machine never calls it — the backend's creator
+	// owns its lifecycle, because one backend may outlive several runs.
+	Close() error
+}
+
+// BackendWire is one rank's raw packet endpoint as a Backend provides it:
+// pure packet movement, with none of the Wire contract's metering or
+// epoch semantics (the machine decorates those on).
+type BackendWire interface {
+	// Deliver pushes pkt toward pkt.To. It may block on backpressure (a
+	// capped sim mailbox, a full TCP send buffer). Delivery to an
+	// unreachable peer is dropped silently — lossy-close semantics; a
+	// recovery supervisor, not the wire, resolves the resulting stall.
+	Deliver(pkt Packet)
+	// Pull blocks until a packet addressed to this rank arrives. A close
+	// of the abort channel wakes the wait with ok == false.
+	Pull(abort <-chan struct{}) (Packet, bool)
+	// PullTimeout is Pull with a deadline; ok is false on timeout.
+	PullTimeout(d time.Duration) (Packet, bool)
+	// Depth reports the number of buffered undelivered packets (deadlock
+	// diagnostics).
+	Depth() int
+	// Drain discards every buffered packet (epoch rollover).
+	Drain()
+}
+
+// PacketCoster is an optional BackendWire extension that prices a packet
+// for the wire meters. Without it a packet costs len(Data) words — the
+// simulator's accounting. A real-network wire returns the framed size in
+// 8-byte words (header, payload, and frame checksum included), so the
+// Report's wire-vs-logical split measures what actually crossed the
+// socket.
+type PacketCoster interface {
+	PacketCost(pkt Packet) int64
+}
+
+// BarrierWire is an optional BackendWire extension required for
+// distributed runs (fewer local ranks than machine size): the in-process
+// counting barrier cannot see remote ranks, so Comm.Barrier delegates to
+// the wire. Barrier blocks until all size ranks of the given epoch have
+// arrived and returns the global barrier generation (the trace's step
+// identifier, identical on all participants and monotonic across epochs).
+// A close of the abort channel — or a remote abort decision — wakes the
+// wait with ok == false; the caller unwinds with the abort sentinel.
+type BarrierWire interface {
+	Barrier(epoch int64, abort <-chan struct{}) (gen int, ok bool)
+}
+
+// RankResetter is an optional Backend extension for backends that can
+// hand a restarting rank a fresh inbound state (Handle.RestartRank).
+// SimBackend implements it by swapping the rank's mailbox; a distributed
+// backend typically does not — there a dead rank is a dead OS process,
+// respawned by a process-level supervisor with a fresh backend of its own.
+type RankResetter interface {
+	ResetRank(rank int)
+}
+
+// PacketQueue is an unbounded (or capacity-capped) FIFO packet queue with
+// a single consumer and many producers — the mailbox the simulator runs
+// on, exported so socket backends can reuse it as their inbound queue.
+// Unlike a fixed-capacity channel it cannot silently deadlock a protocol
+// whose in-flight message count exceeds a preset buffer size; the backing
+// array compacts in place, so a steady-state producer/consumer pair stops
+// allocating once it has grown to the high-water depth.
+type PacketQueue struct {
+	mu     sync.Mutex
+	space  *sync.Cond // producers wait here when capped and full
+	q      []Packet
+	head   int
+	cap    int           // <= 0 means unbounded
+	notify chan struct{} // best-effort consumer wakeup
+}
+
+// NewPacketQueue returns a queue holding at most capacity packets;
+// capacity <= 0 means unbounded.
+func NewPacketQueue(capacity int) *PacketQueue {
+	b := &PacketQueue{cap: capacity, notify: make(chan struct{}, 1)}
+	b.space = sync.NewCond(&b.mu)
+	return b
+}
+
+// Push appends a packet, blocking while the queue is at capacity.
+func (b *PacketQueue) Push(p Packet) {
+	b.mu.Lock()
+	for b.cap > 0 && len(b.q)-b.head >= b.cap {
+		b.space.Wait()
+	}
+	if b.head > 0 && len(b.q) == cap(b.q) {
+		// Reclaim the consumed prefix before growing the array.
+		n := copy(b.q, b.q[b.head:])
+		for i := n; i < len(b.q); i++ {
+			b.q[i] = Packet{}
+		}
+		b.q = b.q[:n]
+		b.head = 0
+	}
+	b.q = append(b.q, p)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pull removes the oldest packet, blocking until one arrives. A close of
+// the abort channel (nil to wait forever) wakes the wait with ok == false
+// so a rank blocked on an empty queue can unwind during an epoch abort.
+func (b *PacketQueue) Pull(abort <-chan struct{}) (Packet, bool) {
+	return b.pull(0, abort)
+}
+
+// PullTimeout is Pull with a deadline; ok is false on timeout.
+func (b *PacketQueue) PullTimeout(d time.Duration) (Packet, bool) {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return b.pull(d, nil)
+}
+
+func (b *PacketQueue) pull(d time.Duration, abort <-chan struct{}) (Packet, bool) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	for {
+		b.mu.Lock()
+		if b.head < len(b.q) {
+			p := b.q[b.head]
+			b.q[b.head] = Packet{}
+			b.head++
+			if b.head == len(b.q) {
+				b.q = b.q[:0]
+				b.head = 0
+			}
+			b.space.Signal()
+			b.mu.Unlock()
+			return p, true
+		}
+		b.mu.Unlock()
+		if d == 0 {
+			select {
+			case <-b.notify:
+			case <-abort:
+				return Packet{}, false
+			}
+			continue
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Packet{}, false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-b.notify:
+			t.Stop()
+		case <-t.C:
+			return Packet{}, false
+		}
+	}
+}
+
+// Drain discards every queued packet. Discarded payloads go to the
+// garbage collector, never back to the payload pool: a pre-crash sender's
+// transport may still hold a retransmission reference to the buffer, so
+// recycling here could alias a pooled buffer into a post-recovery Send.
+func (b *PacketQueue) Drain() {
+	b.mu.Lock()
+	for i := range b.q {
+		b.q[i] = Packet{}
+	}
+	b.q = b.q[:0]
+	b.head = 0
+	b.space.Broadcast()
+	b.mu.Unlock()
+}
+
+// Depth returns the number of buffered packets.
+func (b *PacketQueue) Depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q) - b.head
+}
+
+// SimBackend is the default backend: per-rank in-memory mailboxes, exactly
+// the simulated network the repo's communication meters were validated on.
+// The zero value is unusable; use NewSimBackend. A SimBackend serves one
+// machine at a time (its mailboxes are sized at the first NewWire).
+type SimBackend struct {
+	inboxCap int
+	mu       sync.Mutex
+	size     int
+	boxes    []atomic.Pointer[PacketQueue]
+}
+
+// NewSimBackend returns an in-memory mailbox backend. inboxCap caps each
+// rank's mailbox (senders block when full); <= 0 means unbounded.
+func NewSimBackend(inboxCap int) *SimBackend {
+	return &SimBackend{inboxCap: inboxCap}
+}
+
+// NewWire returns rank's mailbox endpoint, allocating the mailbox array on
+// first use.
+func (b *SimBackend) NewWire(rank, size int) (BackendWire, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.boxes == nil {
+		b.size = size
+		b.boxes = make([]atomic.Pointer[PacketQueue], size)
+		for i := range b.boxes {
+			b.boxes[i].Store(NewPacketQueue(b.inboxCap))
+		}
+	}
+	if size != b.size {
+		return nil, fmt.Errorf("machine: SimBackend sized for %d ranks, wire requested for machine of %d", b.size, size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("machine: SimBackend wire for rank %d of %d", rank, size)
+	}
+	return &simWire{be: b, rank: rank}, nil
+}
+
+// Close is a no-op: mailboxes hold no OS resources.
+func (b *SimBackend) Close() error { return nil }
+
+// ResetRank swaps in a fresh mailbox for a restarting rank (RankResetter).
+// The rank's existing wire picks the new mailbox up on its next Pull, and
+// in-flight Delivers land in whichever mailbox the push resolves — exactly
+// the pre-backend restart semantics (stale packets are epoch-fenced
+// anyway).
+func (b *SimBackend) ResetRank(rank int) {
+	b.boxes[rank].Store(NewPacketQueue(b.inboxCap))
+}
+
+func (b *SimBackend) box(rank int) *PacketQueue { return b.boxes[rank].Load() }
+
+// simWire is a rank's raw endpoint on the mailbox backend.
+type simWire struct {
+	be   *SimBackend
+	rank int
+}
+
+func (w *simWire) Deliver(pkt Packet)                         { w.be.box(pkt.To).Push(pkt) }
+func (w *simWire) Pull(abort <-chan struct{}) (Packet, bool)  { return w.be.box(w.rank).Pull(abort) }
+func (w *simWire) PullTimeout(d time.Duration) (Packet, bool) { return w.be.box(w.rank).PullTimeout(d) }
+func (w *simWire) Depth() int                                 { return w.be.box(w.rank).Depth() }
+func (w *simWire) Drain()                                     { w.be.box(w.rank).Drain() }
+
+// Cluster binds a machine size and backend into a reusable launcher —
+// the NewWithBackend form of the run API. It exists so callers selecting
+// a backend do it in one place:
+//
+//	cl, _ := machine.NewWithBackend(p, netBackend, machine.RunConfig{...})
+//	rep, err := cl.Run(body)
+//
+// is RunWith with cfg.Backend set; Start is the supervised (Handle) form.
+type Cluster struct {
+	p   int
+	be  Backend
+	cfg RunConfig
+}
+
+// NewWithBackend returns a launcher for P ranks over the given backend
+// (nil selects the in-memory SimBackend) under the base configuration.
+// The cluster does not own the backend: close it after the last run.
+func NewWithBackend(p int, be Backend, cfg RunConfig) (*Cluster, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("machine: P = %d", p)
+	}
+	cfg.Backend = be
+	return &Cluster{p: p, be: be, cfg: cfg}, nil
+}
+
+// Start launches body over the cluster's backend without waiting.
+func (cl *Cluster) Start(body func(c *Comm)) (*Handle, error) {
+	return StartWith(cl.p, cl.cfg, body)
+}
+
+// Run executes body over the cluster's backend and returns the metered
+// report.
+func (cl *Cluster) Run(body func(c *Comm)) (*Report, error) {
+	return RunWith(cl.p, cl.cfg, body)
+}
+
+// Close closes the underlying backend (a no-op for the SimBackend).
+func (cl *Cluster) Close() error {
+	if cl.be == nil {
+		return nil
+	}
+	return cl.be.Close()
+}

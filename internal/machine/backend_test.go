@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewWithBackendSim runs a ping over an explicitly-selected SimBackend
+// and checks the report matches the default path exactly.
+func TestNewWithBackendSim(t *testing.T) {
+	body := func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			if got := c.Recv(0, 7); len(got) != 3 {
+				t.Errorf("recv %v", got)
+			}
+		}
+	}
+	cl, err := NewWithBackend(2, NewSimBackend(0), RunConfig{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rep, err := cl.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := RunWith(2, RunConfig{Timeout: 10 * time.Second}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SentWords[0] != def.SentWords[0] || rep.WireSentWords[0] != def.WireSentWords[0] {
+		t.Errorf("backend run %+v != default run %+v", rep, def)
+	}
+}
+
+// TestSimBackendSizeMismatch: one SimBackend serves one machine size.
+func TestSimBackendSizeMismatch(t *testing.T) {
+	be := NewSimBackend(0)
+	if _, err := be.NewWire(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.NewWire(0, 3); err == nil || !strings.Contains(err.Error(), "sized for") {
+		t.Errorf("want size-mismatch error, got %v", err)
+	}
+}
+
+// TestPacketQueueAbortWake: a blocked Pull wakes with ok == false when the
+// abort channel closes, and PullTimeout expires on silence.
+func TestPacketQueueAbortWake(t *testing.T) {
+	q := NewPacketQueue(0)
+	abort := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pull(abort)
+		done <- ok
+	}()
+	close(abort)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("aborted Pull returned a packet")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborted Pull never woke")
+	}
+	if _, ok := q.PullTimeout(time.Millisecond); ok {
+		t.Error("PullTimeout on empty queue returned a packet")
+	}
+	q.Push(Packet{Tag: 9})
+	if pkt, ok := q.PullTimeout(time.Second); !ok || pkt.Tag != 9 {
+		t.Errorf("PullTimeout got %+v ok=%v", pkt, ok)
+	}
+}
+
+// TestRestartRankRequiresResetter: a backend without RankResetter reports
+// a clear error instead of silently reusing a dead rank's queue.
+func TestRestartRankRequiresResetter(t *testing.T) {
+	h, err := StartWith(1, RunConfig{Backend: fixedBackend{NewSimBackend(0)}}, func(c *Comm) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RestartRank(0); err == nil || !strings.Contains(err.Error(), "cannot reset") {
+		t.Errorf("want resetter error, got %v", err)
+	}
+}
+
+// fixedBackend hides SimBackend's RankResetter implementation.
+type fixedBackend struct{ be *SimBackend }
+
+func (f fixedBackend) NewWire(rank, size int) (BackendWire, error) { return f.be.NewWire(rank, size) }
+func (f fixedBackend) Close() error                                { return f.be.Close() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EventKind classifies the structured trace events a run can emit. The
@@ -130,6 +131,12 @@ type Event struct {
 	// until the first crash recovery), so post-rollback replays are
 	// distinguishable from the aborted attempts they supersede.
 	Epoch int64
+	// Wall is the wall-clock time of emission in nanoseconds since the
+	// machine incarnation started. On the simulated backend it measures
+	// host compute; on a socket backend it is real elapsed time, so a
+	// trace's wall span can be compared against the α-β-γ replay
+	// prediction (obs.Trace.WallSpan).
+	Wall int64
 }
 
 // rankObsState is a rank's event-emission bookkeeping. The scope fields
@@ -159,6 +166,7 @@ func (m *Machine) emit(rank int, e Event) {
 	e.Op = st.op
 	e.Epoch = m.epoch.Load()
 	e.Seq = st.seq.Add(1) - 1
+	e.Wall = int64(time.Since(m.start))
 	m.observer(e)
 }
 

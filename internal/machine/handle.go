@@ -37,31 +37,78 @@ type Handle struct {
 	done       chan struct{}
 	doneOnce   sync.Once
 	alive      atomic.Int64 // outstanding rank goroutines
+	ownedBE    Backend      // built by cfg.BackendFactory; closed with done
 }
 
-// StartWith launches body on P simulated processors and returns without
-// waiting. RunWith is StartWith + Wait.
+// StartWith launches body on the ranks this process owns (all P by
+// default; cfg.LocalRanks restricts to a subset for distributed runs) and
+// returns without waiting. RunWith is StartWith + Wait.
 func StartWith(p int, cfg RunConfig, body func(c *Comm)) (*Handle, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("machine: P = %d", p)
 	}
-	m := &Machine{
-		p:          p,
-		boxes:      make([]atomic.Pointer[mailbox], p),
-		sent:       make([]counter, p),
-		recv:       make([]counter, p),
-		wireSent:   make([]counter, p),
-		wireRecv:   make([]counter, p),
-		barrier:    newBarrier(p),
-		observer:   cfg.Observer,
-		wireEvents: cfg.WireEvents,
-		obsState:   make([]rankObsState, p),
-		diags:      make([]rankDiag, p),
-		abortCh:    make(chan struct{}),
-		recovering: cfg.OnRankDown != nil,
+	be := cfg.Backend
+	var owned Backend // factory-built: closed when the last rank goroutine exits
+	if be == nil && cfg.BackendFactory != nil {
+		b, err := cfg.BackendFactory()
+		if err != nil {
+			return nil, fmt.Errorf("machine: backend factory: %w", err)
+		}
+		be, owned = b, b
 	}
-	for i := range m.boxes {
-		m.boxes[i].Store(newMailbox(cfg.InboxCap))
+	if be == nil {
+		be = NewSimBackend(cfg.InboxCap)
+	}
+	locals := cfg.LocalRanks
+	if locals == nil {
+		locals = make([]int, p)
+		for i := range locals {
+			locals[i] = i
+		}
+	}
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("machine: no local ranks")
+	}
+	isLocal := make([]bool, p)
+	for _, r := range locals {
+		if r < 0 || r >= p {
+			return nil, fmt.Errorf("machine: local rank %d of %d", r, p)
+		}
+		if isLocal[r] {
+			return nil, fmt.Errorf("machine: local rank %d listed twice", r)
+		}
+		isLocal[r] = true
+	}
+	m := &Machine{
+		p:           p,
+		be:          be,
+		raws:        make([]BackendWire, p),
+		localRanks:  append([]int(nil), locals...),
+		isLocal:     isLocal,
+		distributed: len(locals) < p,
+		sent:        make([]counter, p),
+		recv:        make([]counter, p),
+		wireSent:    make([]counter, p),
+		wireRecv:    make([]counter, p),
+		barrier:     newBarrier(len(locals)),
+		observer:    cfg.Observer,
+		wireEvents:  cfg.WireEvents,
+		obsState:    make([]rankObsState, p),
+		diags:       make([]rankDiag, p),
+		abortCh:     make(chan struct{}),
+		recovering:  cfg.OnRankDown != nil,
+		start:       time.Now(),
+	}
+	m.epoch.Store(cfg.StartEpoch)
+	for _, r := range locals {
+		w, err := be.NewWire(r, p)
+		if err != nil {
+			if owned != nil {
+				owned.Close()
+			}
+			return nil, err
+		}
+		m.raws[r] = w
 	}
 	factory := cfg.Transport
 	if factory == nil {
@@ -74,9 +121,10 @@ func StartWith(p int, cfg RunConfig, body func(c *Comm)) (*Handle, error) {
 		body:       body,
 		stopLinger: make(chan struct{}),
 		done:       make(chan struct{}),
+		ownedBE:    owned,
 	}
-	h.alive.Add(int64(p)) // before any goroutine can exit and close done
-	for rank := 0; rank < p; rank++ {
+	h.alive.Add(int64(len(locals))) // before any goroutine can exit and close done
+	for _, rank := range locals {
 		h.spawnRank(rank)
 	}
 	go func() {
@@ -103,12 +151,17 @@ func (h *Handle) runRank(rank int) {
 	defer func() {
 		h.wg.Done()
 		if h.alive.Add(-1) == 0 {
-			h.doneOnce.Do(func() { close(h.done) })
+			h.doneOnce.Do(func() {
+				close(h.done)
+				if h.ownedBE != nil {
+					h.ownedBE.Close()
+				}
+			})
 		}
 	}()
 	m := h.m
 	d := &m.diags[rank]
-	w := Wire(&link{m: m, rank: rank})
+	w := Wire(newLink(m, rank, m.raws[rank]))
 	tp := h.factory(w)
 	var panicVal any
 	panicked := func() (panicked bool) {
@@ -203,7 +256,7 @@ func (h *Handle) Quiesce(timeout time.Duration) error {
 }
 
 func (h *Handle) quiescent() bool {
-	for r := 0; r < h.m.p; r++ {
+	for _, r := range h.m.localRanks {
 		kind, _, _, _ := h.m.diags[r].snapshot()
 		switch kind {
 		case BlockHost, BlockCrashed, BlockDone:
@@ -214,11 +267,12 @@ func (h *Handle) quiescent() bool {
 	return true
 }
 
-// CrashedRanks lists the ranks whose bodies have panicked and not been
-// restarted.
+// CrashedRanks lists the local ranks whose bodies have panicked and not
+// been restarted. A remote rank's death is an OS-process event its own
+// supervisor observes; this machine only ever sees the silence.
 func (h *Handle) CrashedRanks() []int {
 	var out []int
-	for r := 0; r < h.m.p; r++ {
+	for _, r := range h.m.localRanks {
 		kind, _, _, _ := h.m.diags[r].snapshot()
 		if kind == BlockCrashed {
 			out = append(out, r)
@@ -244,8 +298,8 @@ func (h *Handle) BeginEpoch() int64 {
 	epoch := m.epoch.Add(1)
 	m.abortMu.Unlock()
 	m.barrier.reset()
-	for r := 0; r < m.p; r++ {
-		m.box(r).drain()
+	for _, r := range m.localRanks {
+		m.raws[r].Drain()
 		st := &m.obsState[r]
 		st.phase = ""
 		st.op = ""
@@ -258,16 +312,25 @@ func (h *Handle) BeginEpoch() int64 {
 // fresh transport state, clearing its recorded panic so the eventual
 // Wait does not resurrect an already-recovered crash. Call between
 // BeginEpoch and the replay dispatch; the respawned body starts in the
-// new epoch, parks, and sees no need to Rebind.
+// new epoch, parks, and sees no need to Rebind. The backend must be a
+// RankResetter (SimBackend is); a socket backend's ranks are OS
+// processes, restarted by the cluster supervisor, not here.
 func (h *Handle) RestartRank(rank int) error {
 	if rank < 0 || rank >= h.m.p {
 		return fmt.Errorf("machine: restart of rank %d of %d", rank, h.m.p)
+	}
+	if !h.m.isLocal[rank] {
+		return fmt.Errorf("machine: restart of remote rank %d", rank)
+	}
+	rr, ok := h.m.be.(RankResetter)
+	if !ok {
+		return fmt.Errorf("machine: backend %T cannot reset a rank in-process; respawn the rank's process instead", h.m.be)
 	}
 	kind, _, _, _ := h.m.diags[rank].snapshot()
 	if kind != BlockCrashed {
 		return fmt.Errorf("machine: restart of rank %d in state %v (want crashed)", rank, kind)
 	}
-	h.m.boxes[rank].Store(newMailbox(h.cfg.InboxCap))
+	rr.ResetRank(rank)
 	h.m.diags[rank].reset()
 	// A crashed rank's goroutine has fully exited, so alive is strictly
 	// below P here, and the parked survivors keep it above zero — the

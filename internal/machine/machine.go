@@ -30,19 +30,24 @@ import (
 
 // Machine is the shared state of one simulated run.
 type Machine struct {
-	p          int
-	boxes      []atomic.Pointer[mailbox] // swapped on rank restart, hence atomic
-	sent       []counter                 // logical, metered at Send
-	recv       []counter                 // logical, metered at Recv
-	wireSent   []counter                 // raw packets pushed, retransmits and acks included
-	wireRecv   []counter                 // raw packets pulled
-	barrier    *barrier
-	observer   func(Event)
-	wireEvents bool
-	obsState   []rankObsState
-	diags      []rankDiag
-	progress   atomic.Int64 // bumped on every completed logical operation
-	pool       payloadPool  // recycles Send's payload copies (see pool.go)
+	p           int
+	be          Backend       // packet layer (SimBackend unless configured)
+	raws        []BackendWire // per-rank raw endpoints; nil for remote ranks
+	localRanks  []int         // ranks running in this process, ascending
+	isLocal     []bool        // indexed by rank
+	distributed bool          // len(localRanks) < p: peers live in other processes
+	sent        []counter     // logical, metered at Send
+	recv        []counter     // logical, metered at Recv
+	wireSent    []counter     // raw packets pushed, retransmits and acks included
+	wireRecv    []counter     // raw packets pulled
+	barrier     *barrier
+	observer    func(Event)
+	wireEvents  bool
+	obsState    []rankObsState
+	diags       []rankDiag
+	progress    atomic.Int64 // bumped on every completed logical operation
+	pool        payloadPool  // recycles Send's payload copies (see pool.go)
+	start       time.Time    // incarnation start; Event.Wall is measured from it
 
 	// Crash-recovery state (see handle.go). epoch fences stale wire
 	// traffic across recoveries; aborting/abortCh unwind blocked ranks out
@@ -54,9 +59,6 @@ type Machine struct {
 	abortCh    chan struct{}
 	recovering bool
 }
-
-// box returns rank r's current mailbox (swapped atomically on restart).
-func (m *Machine) box(r int) *mailbox { return m.boxes[r].Load() }
 
 // abortChan returns the current epoch's abort channel; closed while an
 // abort is in progress.
@@ -249,11 +251,32 @@ func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
 // Barrier blocks until all P ranks have entered it. A transport that
 // implements Idler keeps servicing the wire while waiting, so peers
 // retransmitting a message whose ack was lost are still answered.
+//
+// In a distributed run (some ranks in other processes) the in-process
+// counting barrier cannot see the remote ranks, so the wait is delegated
+// to the backend's BarrierWire — the coordinator counts all P arrivals
+// and hands back the global generation. The Idler servicing loop does not
+// apply there: socket backends pull frames on dedicated reader
+// goroutines, so the wire keeps draining while this rank waits.
 func (c *Comm) Barrier() {
 	c.m.checkAbort()
 	c.diag.setBlocked(BlockBarrier, -1, -1)
 	var gen int
-	if idler, ok := c.t.(Idler); ok {
+	if c.m.distributed {
+		l, ok := c.w.(*link)
+		if !ok {
+			panic("machine: distributed barrier over a non-link wire")
+		}
+		bw, ok := l.barrier()
+		if !ok {
+			panic(fmt.Sprintf("machine: distributed run over %T, which provides no BarrierWire", l.raw))
+		}
+		g, ok := bw.Barrier(c.m.epoch.Load(), c.m.abortChan())
+		if !ok {
+			panic(abortPanic{})
+		}
+		gen = g
+	} else if idler, ok := c.t.(Idler); ok {
 		ch, g := c.m.barrier.arriveChan()
 		idler.Idle(ch)
 		// An abort closes the release channel early; a barrier that
@@ -475,8 +498,32 @@ type RunConfig struct {
 	// InboxCap caps each rank's mailbox; a sender delivering to a full
 	// mailbox blocks until the receiver drains it. Zero or negative
 	// means unbounded (the default) — no correct protocol can deadlock
-	// on mailbox space.
+	// on mailbox space. Applies to the default SimBackend only; an
+	// explicit Backend brings its own buffering policy.
 	InboxCap int
+	// Backend supplies the raw packet layer; nil selects the in-memory
+	// SimBackend. See internal/netwire for TCP and unix-socket backends.
+	// The machine does not close the backend — its creator does.
+	Backend Backend
+	// BackendFactory, consulted only when Backend is nil, builds a fresh
+	// backend per machine incarnation. Unlike Backend, the machine owns
+	// the factory's product and closes it when the incarnation's last
+	// rank goroutine exits — the shape a session pool needs, where one
+	// options template launches many concurrent machines and a shared
+	// socket backend would cross their packet streams.
+	BackendFactory func() (Backend, error)
+	// LocalRanks names the ranks this process runs; nil means all P (the
+	// single-process default). A distributed launcher starts one machine
+	// per process, each naming its own rank(s) here over a shared
+	// network backend; barriers then require the backend to provide a
+	// BarrierWire, and the stall watchdog should stay disabled (it
+	// cannot see remote progress).
+	LocalRanks []int
+	// StartEpoch is the recovery epoch the machine starts in (normally
+	// zero). A respawned rank process sets it to the cluster's current
+	// epoch so the first packets it sends are not fenced off by the
+	// survivors.
+	StartEpoch int64
 	// OnRankDown, when set, is invoked once from a dying rank's goroutine
 	// after its body panics with anything other than the epoch-abort
 	// sentinel. Setting it marks the run as supervised: the stall watchdog
@@ -485,36 +532,6 @@ type RunConfig struct {
 	// to restart them. The callback must not block for long and must be
 	// safe for concurrent invocation from multiple dying ranks.
 	OnRankDown func(rank int, err error)
-}
-
-// Run executes body on P simulated processors and returns the metered
-// report. It panics with the run error if any rank panics.
-//
-// Deprecated: use RunWith — the single entry point every configuration
-// (watchdog, observer, transport, mailboxes) goes through. Run is
-// RunWith(p, RunConfig{}, body) with errors turned into panics.
-func Run(p int, body func(c *Comm)) *Report {
-	r, err := RunWith(p, RunConfig{}, body)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
-// RunTimeout is Run with the stall watchdog armed (see RunConfig.Timeout).
-// A zero timeout disables the watchdog.
-//
-// Deprecated: use RunWith(p, RunConfig{Timeout: timeout}, body).
-func RunTimeout(p int, timeout time.Duration, body func(c *Comm)) (*Report, error) {
-	return RunWith(p, RunConfig{Timeout: timeout}, body)
-}
-
-// RunTraced is RunTimeout with a trace-event observer attached.
-//
-// Deprecated: use RunWith(p, RunConfig{Timeout: timeout, Observer:
-// observer}, body), typically with an obs.Recorder as the observer.
-func RunTraced(p int, timeout time.Duration, observer func(Event), body func(c *Comm)) (*Report, error) {
-	return RunWith(p, RunConfig{Timeout: timeout, Observer: observer}, body)
 }
 
 // RunWith is the single run entry point: it executes body on P simulated
@@ -598,12 +615,14 @@ func (m *Machine) watch(done <-chan struct{}, timeout time.Duration) error {
 	}
 }
 
-// hostQuiescent reports whether at least one rank is parked in AwaitHost
-// and every other unfinished rank is too — the signature of an idle
-// resident session rather than a stalled protocol.
+// hostQuiescent reports whether at least one local rank is parked in
+// AwaitHost and every other unfinished local rank is too — the signature
+// of an idle resident session rather than a stalled protocol. Remote
+// ranks are invisible here, which is one of the reasons the watchdog
+// stays off in distributed rank processes.
 func (m *Machine) hostQuiescent() bool {
 	idle := false
-	for r := 0; r < m.p; r++ {
+	for _, r := range m.localRanks {
 		kind, _, _, _ := m.diags[r].snapshot()
 		switch kind {
 		case BlockDone:
@@ -625,10 +644,10 @@ func (m *Machine) hostQuiescent() bool {
 	return idle
 }
 
-// deadlockError snapshots every unfinished rank's diagnostic state.
+// deadlockError snapshots every unfinished local rank's diagnostic state.
 func (m *Machine) deadlockError(timeout time.Duration) *DeadlockError {
 	e := &DeadlockError{P: m.p, Timeout: timeout}
-	for r := 0; r < m.p; r++ {
+	for _, r := range m.localRanks {
 		kind, peer, tag, pending := m.diags[r].snapshot()
 		switch kind {
 		case BlockDone:
@@ -642,7 +661,7 @@ func (m *Machine) deadlockError(timeout time.Duration) *DeadlockError {
 			Kind:         kind,
 			Peer:         peer,
 			Tag:          tag,
-			InboxPackets: m.box(r).depth(),
+			InboxPackets: m.raws[r].Depth(),
 			Pending:      pending,
 		})
 	}
@@ -656,7 +675,7 @@ func (m *Machine) panicError() error {
 	var generic error
 	var unreach *UnreachableError
 	var crash *CrashError
-	for rank := 0; rank < m.p; rank++ {
+	for _, rank := range m.localRanks {
 		pv := m.diags[rank].panicValue()
 		switch v := pv.(type) {
 		case nil:

@@ -18,9 +18,9 @@ func mustRun(tb testing.TB, p int, body func(c *Comm)) *Report {
 	return rep
 }
 
-// TestDeprecatedEntryPoints keeps the pre-RunWith wrappers working: they
-// are thin shims and must stay behavior-identical for old callers.
-func TestDeprecatedEntryPoints(t *testing.T) {
+// TestRunWithEntryPoint covers the single run entry point in its common
+// configurations: bare, watchdog-armed, and with a trace observer.
+func TestRunWithEntryPoint(t *testing.T) {
 	body := func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, []float64{1, 2})
@@ -28,18 +28,18 @@ func TestDeprecatedEntryPoints(t *testing.T) {
 			c.Recv(0, 0)
 		}
 	}
-	if rep := Run(2, body); rep.SentWords[0] != 2 {
-		t.Errorf("Run: sent words %v", rep.SentWords)
+	if rep, err := RunWith(2, RunConfig{}, body); err != nil || rep.SentWords[0] != 2 {
+		t.Errorf("RunWith: rep %v err %v", rep, err)
 	}
-	if rep, err := RunTimeout(2, time.Second, body); err != nil || rep.SentWords[0] != 2 {
-		t.Errorf("RunTimeout: rep %v err %v", rep, err)
+	if rep, err := RunWith(2, RunConfig{Timeout: time.Second}, body); err != nil || rep.SentWords[0] != 2 {
+		t.Errorf("RunWith timeout: rep %v err %v", rep, err)
 	}
 	var tr Trace
-	if rep, err := RunTraced(2, time.Second, tr.Observer(), body); err != nil || rep.SentWords[0] != 2 {
-		t.Errorf("RunTraced: rep %v err %v", rep, err)
+	if rep, err := RunWith(2, RunConfig{Timeout: time.Second, Observer: tr.Observer()}, body); err != nil || rep.SentWords[0] != 2 {
+		t.Errorf("RunWith traced: rep %v err %v", rep, err)
 	}
 	if len(tr.Sends()) != 1 {
-		t.Errorf("RunTraced observer saw %d sends, want 1", len(tr.Sends()))
+		t.Errorf("RunWith observer saw %d sends, want 1", len(tr.Sends()))
 	}
 }
 

@@ -3,7 +3,6 @@ package machine
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 )
 
@@ -157,10 +156,25 @@ type Idler interface {
 	Linger(stop <-chan struct{})
 }
 
-// link is the concrete Wire implementation over the machine's mailboxes.
+// link is the concrete Wire implementation: the machine's metering,
+// epoch-stamping and abort-unwinding decorator over a backend's raw wire.
+// Every backend — the in-memory SimBackend, a TCP or unix-socket netwire —
+// gets identical Wire semantics because this layer is shared.
 type link struct {
 	m    *Machine
 	rank int
+	raw  BackendWire
+	cost func(Packet) int64 // wire-meter pricing (PacketCoster or payload words)
+}
+
+func newLink(m *Machine, rank int, raw BackendWire) *link {
+	l := &link{m: m, rank: rank, raw: raw}
+	if pc, ok := raw.(PacketCoster); ok {
+		l.cost = pc.PacketCost
+	} else {
+		l.cost = func(pkt Packet) int64 { return int64(len(pkt.Data)) }
+	}
+	return l
 }
 
 func (l *link) Rank() int { return l.rank }
@@ -171,11 +185,11 @@ func (l *link) Deliver(pkt Packet) {
 		panic(fmt.Sprintf("machine: deliver to rank %d of %d", pkt.To, l.m.p))
 	}
 	pkt.Epoch = l.m.epoch.Load()
-	l.m.wireSent[l.rank].add(int64(len(pkt.Data)))
+	l.m.wireSent[l.rank].add(l.cost(pkt))
 	if l.m.wireEvents {
 		l.m.emit(l.rank, Event{Kind: EventSend, From: l.rank, To: pkt.To, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
 	}
-	l.m.box(pkt.To).push(pkt)
+	l.raw.Deliver(pkt)
 }
 
 func (l *link) Pull() Packet {
@@ -183,14 +197,14 @@ func (l *link) Pull() Packet {
 		if l.m.aborting.Load() {
 			panic(abortPanic{})
 		}
-		pkt, ok := l.m.box(l.rank).pull(0, l.m.abortChan())
+		pkt, ok := l.raw.Pull(l.m.abortChan())
 		if !ok {
 			continue // the abort channel woke us; the check above unwinds
 		}
 		if pkt.Epoch != l.m.epoch.Load() {
 			continue // stale retransmission from a pre-recovery epoch
 		}
-		l.m.wireRecv[l.rank].add(int64(len(pkt.Data)))
+		l.m.wireRecv[l.rank].add(l.cost(pkt))
 		if l.m.wireEvents {
 			l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
 		}
@@ -199,7 +213,7 @@ func (l *link) Pull() Packet {
 }
 
 func (l *link) PullTimeout(d time.Duration) (Packet, bool) {
-	pkt, ok := l.m.box(l.rank).pull(d, nil)
+	pkt, ok := l.raw.PullTimeout(d)
 	if ok && pkt.Epoch != l.m.epoch.Load() {
 		// A stale-epoch packet reads as silence, never as a panic: this
 		// path also serves the Idle/Linger/park loops, which must survive
@@ -207,7 +221,7 @@ func (l *link) PullTimeout(d time.Duration) (Packet, bool) {
 		return Packet{}, false
 	}
 	if ok {
-		l.m.wireRecv[l.rank].add(int64(len(pkt.Data)))
+		l.m.wireRecv[l.rank].add(l.cost(pkt))
 		if l.m.wireEvents {
 			l.m.emit(l.rank, Event{Kind: EventRecv, From: pkt.From, To: l.rank, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
 		}
@@ -223,115 +237,11 @@ func (l *link) Pending(entries []PendingEntry) {
 	l.m.diags[l.rank].setPending(entries)
 }
 
-// mailbox is an unbounded (or capacity-capped) FIFO packet queue with a
-// single consumer and many producers. Unlike a fixed-capacity channel it
-// cannot silently deadlock a protocol whose in-flight message count
-// exceeds a preset buffer size. The queue is a head-indexed slice that
-// compacts in place instead of re-slicing its backing array away, so a
-// steady-state producer/consumer pair stops allocating once the array has
-// grown to the high-water depth.
-type mailbox struct {
-	mu     sync.Mutex
-	space  *sync.Cond // producers wait here when capped and full
-	q      []Packet
-	head   int
-	cap    int           // <= 0 means unbounded
-	notify chan struct{} // best-effort consumer wakeup
-}
-
-func newMailbox(capacity int) *mailbox {
-	b := &mailbox{cap: capacity, notify: make(chan struct{}, 1)}
-	b.space = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *mailbox) push(p Packet) {
-	b.mu.Lock()
-	for b.cap > 0 && len(b.q)-b.head >= b.cap {
-		b.space.Wait()
-	}
-	if b.head > 0 && len(b.q) == cap(b.q) {
-		// Reclaim the consumed prefix before growing the array.
-		n := copy(b.q, b.q[b.head:])
-		for i := n; i < len(b.q); i++ {
-			b.q[i] = Packet{}
-		}
-		b.q = b.q[:n]
-		b.head = 0
-	}
-	b.q = append(b.q, p)
-	b.mu.Unlock()
-	select {
-	case b.notify <- struct{}{}:
-	default:
-	}
-}
-
-// pull removes the oldest packet, blocking indefinitely when d == 0 and
-// giving up after d otherwise. A close of the abort channel (nil outside
-// recovery-capable paths) wakes a d == 0 wait with ok == false so a rank
-// blocked on an empty mailbox can unwind during an epoch abort.
-func (b *mailbox) pull(d time.Duration, abort <-chan struct{}) (Packet, bool) {
-	var deadline time.Time
-	if d > 0 {
-		deadline = time.Now().Add(d)
-	}
-	for {
-		b.mu.Lock()
-		if b.head < len(b.q) {
-			p := b.q[b.head]
-			b.q[b.head] = Packet{}
-			b.head++
-			if b.head == len(b.q) {
-				b.q = b.q[:0]
-				b.head = 0
-			}
-			b.space.Signal()
-			b.mu.Unlock()
-			return p, true
-		}
-		b.mu.Unlock()
-		if d == 0 {
-			select {
-			case <-b.notify:
-			case <-abort:
-				return Packet{}, false
-			}
-			continue
-		}
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return Packet{}, false
-		}
-		t := time.NewTimer(remain)
-		select {
-		case <-b.notify:
-			t.Stop()
-		case <-t.C:
-			return Packet{}, false
-		}
-	}
-}
-
-// drain discards every queued packet. Discarded payloads go to the
-// garbage collector, never back to the payload pool: a pre-crash sender's
-// transport may still hold a retransmission reference to the buffer, so
-// recycling here could alias a pooled buffer into a post-recovery Send.
-func (b *mailbox) drain() {
-	b.mu.Lock()
-	for i := range b.q {
-		b.q[i] = Packet{}
-	}
-	b.q = b.q[:0]
-	b.head = 0
-	b.space.Broadcast()
-	b.mu.Unlock()
-}
-
-func (b *mailbox) depth() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.q) - b.head
+// barrier delegates a distributed barrier wait to the raw wire; ok is
+// false when the wire does not support one.
+func (l *link) barrier() (BarrierWire, bool) {
+	bw, ok := l.raw.(BarrierWire)
+	return bw, ok
 }
 
 // directTransport is the default transport: a logical message is exactly

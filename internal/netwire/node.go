@@ -1,0 +1,275 @@
+package netwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// dialTimeout bounds a lazy dial; a peer that cannot be reached within it
+// is treated as down and the packet is dropped (lossy-close semantics).
+const dialTimeout = 5 * time.Second
+
+var errNodeClosed = errors.New("netwire: node closed")
+
+// resolver maps a peer rank to its current socket address. A static map
+// for Loopback; the live portmap for a distributed Client, so a respawned
+// rank's new address takes effect on the next dial.
+type resolver func(peer int) (string, bool)
+
+// node is one rank's socket endpoint: a listener whose inbound
+// connections decode frames into the rank's packet queue, plus a cache of
+// lazily dialed persistent outbound connections, one per peer.
+type node struct {
+	network string // "tcp" or "unix"
+	rank    int
+	ln      net.Listener
+	resolve resolver
+	inbox   atomic.Pointer[machine.PacketQueue] // swappable for ResetRank
+
+	mu       sync.Mutex
+	conns    map[int]*peerConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// peerConn is one persistent outbound connection. Writes are serialized
+// under mu; buf holds the frame being assembled so steady-state sends
+// stop allocating once it reaches the high-water frame size.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	addr string
+	buf  []byte
+}
+
+// newNode listens on addr and starts the accept loop.
+func newNode(network, addr string, rank int, resolve resolver) (*node, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: rank %d listen %s %s: %w", rank, network, addr, err)
+	}
+	nd := &node{
+		network:  network,
+		rank:     rank,
+		ln:       ln,
+		resolve:  resolve,
+		conns:    make(map[int]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	nd.inbox.Store(machine.NewPacketQueue(0))
+	nd.wg.Add(1)
+	go nd.acceptLoop()
+	return nd, nil
+}
+
+func (nd *node) addr() string { return nd.ln.Addr().String() }
+
+func (nd *node) acceptLoop() {
+	defer nd.wg.Done()
+	for {
+		c, err := nd.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		nd.mu.Lock()
+		if nd.closed {
+			nd.mu.Unlock()
+			c.Close()
+			return
+		}
+		nd.accepted[c] = struct{}{}
+		nd.wg.Add(1)
+		nd.mu.Unlock()
+		go nd.readLoop(c)
+	}
+}
+
+// readLoop decodes frames off one inbound connection into the inbox. Any
+// framing error — torn frame, checksum mismatch, reset — drops the whole
+// connection: the stream past a corrupt length prefix is garbage, and a
+// reliable transport (or the recovery supervisor) owns re-delivery.
+func (nd *node) readLoop(c net.Conn) {
+	defer nd.wg.Done()
+	defer func() {
+		nd.mu.Lock()
+		delete(nd.accepted, c)
+		nd.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	var scratch []byte
+	for {
+		pkt, err := ReadFrame(br, &scratch)
+		if err != nil {
+			return
+		}
+		select {
+		case <-nd.done:
+			return
+		default:
+		}
+		nd.inbox.Load().Push(pkt)
+	}
+}
+
+// send frames pkt onto the persistent connection to rank to, dialing it
+// first if needed. The caller treats any error as a silent drop.
+func (nd *node) send(to int, pkt machine.Packet) error {
+	pc, err := nd.conn(to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.buf = AppendFrame(pc.buf[:0], pkt)
+	if _, err := pc.conn.Write(pc.buf); err != nil {
+		nd.invalidate(to, pc)
+		return err
+	}
+	return nil
+}
+
+// conn returns the cached connection to rank to, redialing when the cache
+// is empty or the peer's address changed (its process was respawned).
+func (nd *node) conn(to int) (*peerConn, error) {
+	addr, ok := nd.resolve(to)
+	if !ok {
+		return nil, fmt.Errorf("netwire: no address for rank %d", to)
+	}
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil, errNodeClosed
+	}
+	if pc := nd.conns[to]; pc != nil && pc.addr == addr {
+		nd.mu.Unlock()
+		return pc, nil
+	}
+	nd.mu.Unlock()
+
+	c, err := net.DialTimeout(nd.network, addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency over batching: frames are whole writes
+	}
+	pc := &peerConn{conn: c, addr: addr}
+
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		c.Close()
+		return nil, errNodeClosed
+	}
+	if cur := nd.conns[to]; cur != nil {
+		if cur.addr == addr {
+			// A concurrent sender won the dial race; use its connection.
+			nd.mu.Unlock()
+			c.Close()
+			return cur, nil
+		}
+		cur.conn.Close() // stale address: the peer moved
+	}
+	nd.conns[to] = pc
+	nd.mu.Unlock()
+	return pc, nil
+}
+
+// invalidate evicts a failed connection so the next send redials.
+func (nd *node) invalidate(to int, pc *peerConn) {
+	nd.mu.Lock()
+	if nd.conns[to] == pc {
+		delete(nd.conns, to)
+	}
+	nd.mu.Unlock()
+	pc.conn.Close()
+}
+
+// resetInbox swaps in a fresh packet queue (rank restart); packets already
+// decoded into the old queue are dropped with it.
+func (nd *node) resetInbox() {
+	old := nd.inbox.Swap(machine.NewPacketQueue(0))
+	old.Drain()
+}
+
+// close shuts the listener, every connection in both directions, and
+// waits for the reader goroutines to exit.
+func (nd *node) close() {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.closed = true
+	conns := nd.conns
+	nd.conns = map[int]*peerConn{}
+	accepted := make([]net.Conn, 0, len(nd.accepted))
+	for c := range nd.accepted {
+		accepted = append(accepted, c)
+	}
+	nd.mu.Unlock()
+	close(nd.done)
+	nd.ln.Close()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	nd.wg.Wait()
+}
+
+// Wire is one rank's raw socket endpoint (machine.BackendWire). Its wire
+// meters price packets at their framed size via PacketCost.
+type Wire struct {
+	nd *node
+}
+
+// Deliver frames pkt toward pkt.To. A send the network refuses — peer
+// dead, address unknown, connection reset — is dropped silently: the
+// socket layer is a lossy wire, and loss is resolved above it.
+func (w *Wire) Deliver(pkt machine.Packet) {
+	if pkt.To == w.nd.rank {
+		w.nd.inbox.Load().Push(pkt)
+		return
+	}
+	if err := w.nd.send(pkt.To, pkt); err != nil && debugDrops {
+		fmt.Fprintf(os.Stderr, "netwire: rank %d -> %d tag %d: %v\n", w.nd.rank, pkt.To, pkt.Tag, err)
+	}
+}
+
+// debugDrops surfaces silently dropped sends on stdout (debugging only).
+var debugDrops = os.Getenv("NETWIRE_DEBUG") != ""
+
+// Pull blocks for the next inbound packet; a closed abort channel wakes
+// it with ok == false.
+func (w *Wire) Pull(abort <-chan struct{}) (machine.Packet, bool) {
+	return w.nd.inbox.Load().Pull(abort)
+}
+
+// PullTimeout is Pull with a deadline.
+func (w *Wire) PullTimeout(d time.Duration) (machine.Packet, bool) {
+	return w.nd.inbox.Load().PullTimeout(d)
+}
+
+// Depth reports the decoded-but-unpulled packet count.
+func (w *Wire) Depth() int { return w.nd.inbox.Load().Depth() }
+
+// Drain discards every decoded-but-unpulled packet.
+func (w *Wire) Drain() { w.nd.inbox.Load().Drain() }
+
+// PacketCost prices pkt at its framed size in 8-byte words
+// (machine.PacketCoster), so wire meters count what crossed the socket.
+func (w *Wire) PacketCost(pkt machine.Packet) int64 { return FrameWords(len(pkt.Data)) }

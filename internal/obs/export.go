@@ -106,6 +106,7 @@ type jsonlEvent struct {
 	Ternary int64  `json:"ternary,omitempty"`
 	Wire    bool   `json:"wire,omitempty"`
 	Epoch   int64  `json:"epoch,omitempty"`
+	Wall    int64  `json:"wall_ns,omitempty"`
 }
 
 var kindNames = map[machine.EventKind]string{
@@ -141,6 +142,7 @@ func WriteTraceJSONL(w io.Writer, t *Trace) error {
 			Kind: kindNames[e.Kind], Rank: e.Rank, From: e.From, To: e.To,
 			Tag: e.Tag, Words: e.Words, Phase: e.Phase, Op: e.Op,
 			Seq: e.Seq, Ternary: e.Ternary, Wire: e.Wire, Epoch: e.Epoch,
+			Wall: e.Wall,
 		}
 		switch e.Kind {
 		case machine.EventBarrier:
@@ -183,7 +185,7 @@ func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 			Kind: kind, Rank: je.Rank, From: je.From, To: je.To,
 			Tag: je.Tag, Words: je.Words, Phase: je.Phase, Op: je.Op,
 			Seq: je.Seq, Step: -1, Ternary: je.Ternary, Wire: je.Wire,
-			Epoch: je.Epoch,
+			Epoch: je.Epoch, Wall: je.Wall,
 		}
 		switch kind {
 		case machine.EventBarrier:

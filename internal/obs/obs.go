@@ -99,6 +99,22 @@ func (t *Trace) PerRank() [][]machine.Event {
 	return out
 }
 
+// WallSpan returns the measured wall-clock makespan of the traced run in
+// seconds: the largest Event.Wall stamp, i.e. elapsed time from machine
+// start to the last emitted event. Zero for traces without wall stamps
+// (read back from JSONL written before the stamps existed). Compare it
+// against Timeline.Makespan() to see how far reality is from the α-β-γ
+// prediction on the backend the run used.
+func (t *Trace) WallSpan() float64 {
+	var max int64
+	for _, e := range t.Events {
+		if e.Wall > max {
+			max = e.Wall
+		}
+	}
+	return float64(max) / 1e9
+}
+
 // Logical returns the trace restricted to logical events (Wire == false).
 func (t *Trace) Logical() *Trace {
 	var out []machine.Event

@@ -1,0 +1,226 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+// RankEngine is one rank's share of the distributed power method, packaged
+// for a process that hosts exactly that rank over a real-network backend.
+// It owns the rank's packed block set, arenas and message buffers, and
+// drives iterations through the same sessionRank.powerIterate body the
+// in-process Session dispatches — so a multi-process TCP run computes
+// bit-for-bit the arithmetic of the simulated reference.
+//
+// Unlike a Session, a RankEngine has no host: the embedding runtime (see
+// internal/cluster) supplies the machine.Comm of a distributed machine
+// whose only local rank is this one, calls Iterate once per round, and
+// persists State between rounds so a killed process can resume from its
+// last durable checkpoint.
+type RankEngine struct {
+	part   *partition.Tetrahedral
+	rank   int
+	b      int
+	padded int
+	n      int
+
+	exec   *sttsv.Executor
+	blocks []*tensor.Block
+	rk     *sessionRank
+	pr     *phaseRecorder
+}
+
+// NewRankEngine validates the configuration and packs only this rank's
+// tetrahedral block set (≈ 1/P of the tensor — the point of a distributed
+// run is that no process materializes everything).
+func NewRankEngine(a *tensor.Symmetric, opts Options, rank int) (*RankEngine, error) {
+	part := opts.Part
+	if part == nil {
+		return nil, fmt.Errorf("parallel: nil partition")
+	}
+	if rank < 0 || rank >= part.P {
+		return nil, fmt.Errorf("parallel: rank %d of %d", rank, part.P)
+	}
+	b := opts.B
+	if b < 1 {
+		return nil, fmt.Errorf("parallel: block edge %d", b)
+	}
+	if a == nil {
+		return nil, fmt.Errorf("parallel: power method requires a tensor")
+	}
+	if opts.Wiring != WiringP2P {
+		return nil, fmt.Errorf("parallel: power method supports the p2p wiring only")
+	}
+	padded := part.M * b
+	if a.N > padded {
+		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", a.N, padded)
+	}
+	sched := opts.Sched
+	if sched == nil {
+		s, err := schedule.Build(part)
+		if err != nil {
+			return nil, err
+		}
+		sched = s
+	}
+	lay, err := buildLayout(part, sched, WiringP2P, b)
+	if err != nil {
+		return nil, err
+	}
+
+	cs := part.Blocks(rank)
+	coords := make([][3]int, len(cs))
+	for i, c := range cs {
+		coords[i] = [3]int{c.I, c.J, c.K}
+	}
+	packed := tensor.PackBlocks(a, coords, b)
+
+	rk := &sessionRank{lay: &lay.perRank[rank], b: b, maxCols: 1, scratch: sttsv.NewScratch()}
+	rows := len(rk.lay.rows)
+	rk.xA = make([]float64, rows*b)
+	rk.yA = make([]float64, rows*b)
+	rk.chunk = make([]float64, rows*b)
+	if rk.lay.maxMsgW > 0 {
+		rk.sendBuf = make([]float64, rk.lay.maxMsgW)
+		rk.recvBuf = make([]float64, rk.lay.maxMsgW)
+	}
+
+	return &RankEngine{
+		part:   part,
+		rank:   rank,
+		b:      b,
+		padded: padded,
+		n:      a.N,
+		exec:   opts.executor(),
+		blocks: packed.Blocks,
+		rk:     rk,
+		pr:     newPhaseRecorder(part.P, "gather", "local", "reduce-scatter", "all-reduce"),
+	}, nil
+}
+
+// SeedPower initializes the rank's iterate chunks from the deterministic
+// unit start vector of PowerMethod — the full x0 is generated and
+// normalized exactly as the host does, then restricted to the owned spans,
+// so the distributed seed is bit-identical to the simulated one.
+func (e *RankEngine) SeedPower(seed int64) {
+	x0 := make([]float64, e.padded)
+	norm := 0.0
+	for i := 0; i < e.n; i++ {
+		x0[i] = math.Sin(float64(i+1)*1.7 + float64(seed))
+		norm += x0[i] * x0[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := 0; i < e.n; i++ {
+		x0[i] /= norm
+	}
+	rk := e.rk
+	for k, row := range rk.lay.rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		copy(rk.chunk[k*e.b+lo:k*e.b+hi], x0[row*e.b+lo:row*e.b+hi])
+	}
+	rk.pmLambda, rk.pmPrev = 0, math.Inf(1)
+}
+
+// Iterate runs one power-method round on the supplied communicator (whose
+// machine must span the partition's P ranks with this engine's rank
+// local). It returns the convergence flags every rank derives identically
+// from the all-reduced scalars.
+func (e *RankEngine) Iterate(c *machine.Comm, tol float64) (stop, converged, singular bool) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	return e.rk.powerIterate(c, e.exec, e.blocks, tol, e.pr)
+}
+
+// Lambda returns the current eigenvalue estimate.
+func (e *RankEngine) Lambda() float64 { return e.rk.pmLambda }
+
+// PowerRankState is the complete restartable state of one rank's power
+// method between iterations: the owned iterate chunks (arena layout) and
+// the two convergence scalars. It is what a distributed rank persists per
+// checkpoint and restores after a kill.
+type PowerRankState struct {
+	Lambda float64
+	Prev   float64
+	Chunk  []float64
+}
+
+// State captures the rank's restartable state (the chunk is copied).
+func (e *RankEngine) State() PowerRankState {
+	return PowerRankState{
+		Lambda: e.rk.pmLambda,
+		Prev:   e.rk.pmPrev,
+		Chunk:  append([]float64(nil), e.rk.chunk...),
+	}
+}
+
+// Restore overwrites the rank's state with a checkpoint captured by State
+// on an engine of the same configuration.
+func (e *RankEngine) Restore(st PowerRankState) error {
+	if len(st.Chunk) != len(e.rk.chunk) {
+		return fmt.Errorf("parallel: checkpoint chunk %d words, engine needs %d", len(st.Chunk), len(e.rk.chunk))
+	}
+	copy(e.rk.chunk, st.Chunk)
+	e.rk.pmLambda, e.rk.pmPrev = st.Lambda, st.Prev
+	return nil
+}
+
+// OwnedWords returns the rank's owned spans of the iterate, concatenated
+// in (local row, chunk) order — the payload a rank ships to the
+// coordinator for final assembly. The returned slice is freshly allocated.
+func (e *RankEngine) OwnedWords() []float64 {
+	rk := e.rk
+	var out []float64
+	for k := range rk.lay.rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		out = append(out, rk.chunk[k*e.b+lo:k*e.b+hi]...)
+	}
+	return out
+}
+
+// Phases returns the per-phase meters accumulated so far (this rank's
+// slots only; the other ranks' slots stay zero).
+func (e *RankEngine) Phases() []PhaseMeter { return e.pr.results() }
+
+// AssemblePower reassembles the global iterate from every rank's
+// OwnedWords payload, inverting the span order exactly. owned[p] must come
+// from rank p of the same partition and block edge; the result has length
+// n.
+func AssemblePower(part *partition.Tetrahedral, b, n int, owned [][]float64) ([]float64, error) {
+	if part == nil {
+		return nil, fmt.Errorf("parallel: nil partition")
+	}
+	if len(owned) != part.P {
+		return nil, fmt.Errorf("parallel: %d owned payloads for %d ranks", len(owned), part.P)
+	}
+	padded := part.M * b
+	if n > padded {
+		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, padded)
+	}
+	x := make([]float64, padded)
+	for p := 0; p < part.P; p++ {
+		off := 0
+		for _, row := range part.Rp[p] {
+			lo, hi, ok := part.OwnedRange(p, row, b)
+			if !ok {
+				return nil, fmt.Errorf("parallel: rank %d has no chunk of its row %d", p, row)
+			}
+			w := hi - lo
+			if off+w > len(owned[p]) {
+				return nil, fmt.Errorf("parallel: rank %d payload %d words, needs at least %d", p, len(owned[p]), off+w)
+			}
+			copy(x[row*b+lo:row*b+hi], owned[p][off:off+w])
+			off += w
+		}
+		if off != len(owned[p]) {
+			return nil, fmt.Errorf("parallel: rank %d payload %d words, expected %d", p, len(owned[p]), off)
+		}
+	}
+	return x[:n], nil
+}

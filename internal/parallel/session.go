@@ -443,7 +443,7 @@ func (s *Session) applyOp(cols int, pr *phaseRecorder, deltas []machine.Meters) 
 	return func(me int, c *machine.Comm) {
 		rk := s.rk[me]
 		m0 := c.Meters()
-		if s.opts.Wiring == WiringAllToAll && rk.world == nil {
+		if s.opts.Wiring == WiringAllToAll && (rk.world == nil || rk.world.Comm() != c) {
 			rk.world = collective.World(c)
 		}
 		rk.stage(s.stageX, cols)
@@ -628,75 +628,84 @@ type powerIterState struct {
 	singular  []bool
 }
 
-// powerIterOp is the rank closure of one power-method iteration: stage
-// the owned iterate chunks, gather, local compute, reduce-scatter, then
-// the scalar all-reduce for λ and the normalization. Making each
-// iteration its own dispatch keeps the crash-recovery checkpoint
+// powerIterate runs one power-method iteration on this rank: stage the
+// owned iterate chunks, gather, local compute, reduce-scatter, then the
+// scalar all-reduce for λ and the normalization. It is shared between the
+// Session's dispatched op and the distributed RankEngine, so a rank
+// process on real sockets executes bit-for-bit the arithmetic of the
+// simulated run.
+func (rk *sessionRank) powerIterate(c *machine.Comm, exec *sttsv.Executor, blocks []*tensor.Block, tol float64, pr *phaseRecorder) (stop, converged, singular bool) {
+	// The cached group must wrap this incarnation's Comm: a RankEngine
+	// survives machine restarts, and a group bound to a dead epoch's
+	// machine would panic with that machine's abort sentinel.
+	if rk.world == nil || rk.world.Comm() != c {
+		rk.world = collective.World(c)
+	}
+	b := rk.b
+	rows := rk.lay.rows
+	stride := rk.stride()
+
+	// Stage the owned chunks; gather fills every other chunk.
+	for k := range rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		copy(rk.xA[k*stride+lo:k*stride+hi], rk.chunk[k*b+lo:k*b+hi])
+	}
+	pr.comm(c, "gather", func() { rk.gatherP2P(c, 1) })
+
+	rk.zeroY()
+	pr.local(c, "local", func() int64 {
+		var stats sttsv.Stats
+		exec.ContributeCols(rk.scratch, blocks, b, 1, rk.xRowCol, rk.yRowCol, &stats)
+		return stats.TernaryMults
+	})
+
+	pr.comm(c, "reduce-scatter", func() { rk.scatterP2P(c, 1) })
+
+	// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
+	rk.pbuf[0], rk.pbuf[1] = 0, 0
+	for k := range rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		yc := rk.yA[k*stride+lo : k*stride+hi]
+		xc := rk.chunk[k*b+lo : k*b+hi]
+		for t := range yc {
+			rk.pbuf[0] += xc[t] * yc[t]
+			rk.pbuf[1] += yc[t] * yc[t]
+		}
+	}
+	var sums []float64
+	pr.comm(c, "all-reduce", func() { sums = rk.world.AllReduceSum(300, rk.pbuf[:]) })
+	lambda := sums[0]
+	ynorm := math.Sqrt(sums[1])
+	rk.pmLambda = lambda
+
+	if math.Abs(lambda-rk.pmPrev) <= tol*(1+math.Abs(lambda)) {
+		return true, true, false
+	}
+	rk.pmPrev = lambda
+	if ynorm == 0 {
+		// Singular: y vanished, so the iterate cannot be renormalized.
+		// Keep the current iterate and stop — this is not convergence.
+		return true, false, true
+	}
+	for k := range rows {
+		lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
+		yc := rk.yA[k*stride+lo : k*stride+hi]
+		xc := rk.chunk[k*b+lo : k*b+hi]
+		for t := range xc {
+			xc[t] = yc[t] / ynorm
+		}
+	}
+	return false, false, false
+}
+
+// powerIterOp is the rank closure of one power-method iteration. Making
+// each iteration its own dispatch keeps the crash-recovery checkpoint
 // granularity at one STTSV round: a crash replays the iteration it hit,
 // not the whole method.
 func (s *Session) powerIterOp(tol float64, pr *phaseRecorder, st *powerIterState) func(me int, c *machine.Comm) {
 	return func(me int, c *machine.Comm) {
-		st.stop[me], st.converged[me], st.singular[me] = false, false, false
 		rk := s.rk[me]
-		if rk.world == nil {
-			rk.world = collective.World(c)
-		}
-		b := s.b
-		rows := rk.lay.rows
-		stride := rk.stride()
-
-		// Stage the owned chunks; gather fills every other chunk.
-		for k := range rows {
-			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
-			copy(rk.xA[k*stride+lo:k*stride+hi], rk.chunk[k*b+lo:k*b+hi])
-		}
-		pr.comm(c, "gather", func() { rk.gatherP2P(c, 1) })
-
-		rk.zeroY()
-		pr.local(c, "local", func() int64 {
-			var stats sttsv.Stats
-			s.exec.ContributeCols(rk.scratch, s.blocks.Rank(me), b, 1, rk.xRowCol, rk.yRowCol, &stats)
-			return stats.TernaryMults
-		})
-
-		pr.comm(c, "reduce-scatter", func() { rk.scatterP2P(c, 1) })
-
-		// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
-		rk.pbuf[0], rk.pbuf[1] = 0, 0
-		for k := range rows {
-			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
-			yc := rk.yA[k*stride+lo : k*stride+hi]
-			xc := rk.chunk[k*b+lo : k*b+hi]
-			for t := range yc {
-				rk.pbuf[0] += xc[t] * yc[t]
-				rk.pbuf[1] += yc[t] * yc[t]
-			}
-		}
-		var sums []float64
-		pr.comm(c, "all-reduce", func() { sums = rk.world.AllReduceSum(300, rk.pbuf[:]) })
-		lambda := sums[0]
-		ynorm := math.Sqrt(sums[1])
-		rk.pmLambda = lambda
-
-		if math.Abs(lambda-rk.pmPrev) <= tol*(1+math.Abs(lambda)) {
-			st.stop[me], st.converged[me] = true, true
-			return
-		}
-		rk.pmPrev = lambda
-		if ynorm == 0 {
-			// Singular: y vanished, so the iterate cannot be renormalized.
-			// Keep the current iterate and stop — this is not convergence.
-			st.stop[me], st.singular[me] = true, true
-			return
-		}
-		for k := range rows {
-			lo, hi := rk.lay.myLo[k], rk.lay.myHi[k]
-			yc := rk.yA[k*stride+lo : k*stride+hi]
-			xc := rk.chunk[k*b+lo : k*b+hi]
-			for t := range xc {
-				xc[t] = yc[t] / ynorm
-			}
-		}
+		st.stop[me], st.converged[me], st.singular[me] = rk.powerIterate(c, s.exec, s.blocks.Rank(me), tol, pr)
 	}
 }
 
