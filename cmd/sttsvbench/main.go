@@ -26,6 +26,8 @@
 //	sttsvbench -recover             # crash-recovery drill + checkpoint overhead,
 //	                                # merges a recovery section into BENCH_parallel.json
 //	sttsvbench -recover -check BENCH_parallel.json    # overhead regression gate
+//	sttsvbench -sparse              # sparse/CP fast paths, writes BENCH_sparse.json
+//	sttsvbench -sparse -check gate  # additionally enforce the absolute fast-path gates
 package main
 
 import (
@@ -151,14 +153,22 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default BENCH_kernels.json, or BENCH_parallel.json with -parallel)")
 	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "per-measurement budget")
 	parallelMode := flag.Bool("parallel", false, "benchmark the session engine instead of the local kernels")
-	check := flag.String("check", "", "with -parallel or -recover: compare against this baseline JSON and fail on regression instead of writing output")
+	check := flag.String("check", "", "with -parallel or -recover: compare against this baseline JSON and fail on regression instead of writing output; with -sparse: any non-empty value enforces the absolute fast-path gates")
 	recoverDrill := flag.Bool("recover", false, "run the crash-recovery drill: checkpoint overhead at two problem sizes plus a resident session under a seeded multi-rank crash plan")
 	serveMode := flag.Bool("serve", false, "benchmark the serving tier: concurrent closed-loop clients against the session pool + dual-trigger batcher, quoted vs the sequential one-session baseline")
+	sparseMode := flag.Bool("sparse", false, "benchmark the sparse and low-rank fast paths: dense-vs-sparse crossover, CP scaling, nnz imbalance before/after weighting, and two n≥10⁶ acceptance runs through the session engine")
 	backend = backendflag.Register(flag.CommandLine)
 	flag.Parse()
 	if err := backend.Validate(false); err != nil {
 		fmt.Fprintln(os.Stderr, "sttsvbench:", err)
 		os.Exit(2)
+	}
+	if *sparseMode {
+		if *out == "" {
+			*out = "BENCH_sparse.json"
+		}
+		runSparseBench(*out, *check, *benchtime)
+		return
 	}
 	if *serveMode {
 		if *out == "" {

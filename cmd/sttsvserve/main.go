@@ -6,11 +6,21 @@
 // r simultaneous users cost r× the words but 1× the messages of a solo
 // apply — and every response is bit-identical to a solo Session.Apply.
 //
+// Besides the default dense tensor, the server can host the sparse and
+// low-rank fast paths: -workload hypergraph serves a random 3-uniform
+// hypergraph adjacency tensor through a pool of sparse sessions (packed
+// once, O(nnz) storage — n ≥ 10⁶ is practical), and -workload cp serves
+// a factored rank-r CP operator whose parallel apply moves O(r) words
+// per rank regardless of n.
+//
 // Usage:
 //
 //	sttsvserve                          # q=3, b=4 tensor on :8347
 //	sttsvserve -q 4 -b 6 -sessions 4    # bigger machine, four sessions
 //	sttsvserve -maxcols 8 -maxwait 2ms  # batching policy
+//	sttsvserve -workload hypergraph -n 1000000 -edges 10000000
+//	sttsvserve -workload cp -n 1000000 -rank 16 -cpranks 8
+//	sttsvserve -metrics serve.jsonl -metrics-interval 10s
 //
 // Endpoints:
 //
@@ -42,6 +52,8 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/serve"
+	"repro/internal/sparse"
+	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
 
@@ -78,6 +90,9 @@ type infoResponse struct {
 	MaxCols   int     `json:"max_cols"`
 	MaxWaitUs float64 `json:"max_wait_us"`
 	QueueCap  int     `json:"queue_cap"`
+	Workload  string  `json:"workload"`
+	NNZ       int     `json:"nnz,omitempty"`
+	Rank      int     `json:"rank,omitempty"`
 }
 
 type server struct {
@@ -168,10 +183,19 @@ func main() {
 	maxWait := flag.Duration("maxwait", 2*time.Millisecond, "latency flush trigger: max batching delay for the oldest queued request")
 	queueCap := flag.Int("queue", 0, "admission queue bound (0 = 4 × sessions × maxcols)")
 	metricsOut := flag.String("metrics", "", "append the final serving metrics snapshot as JSONL to this file on shutdown")
+	metricsInterval := flag.Duration("metrics-interval", 0, "with -metrics: additionally append a snapshot every interval while serving (JSONL, obs serving schema)")
+	workload := flag.String("workload", "dense", "served operator: dense (random tensor), hypergraph (sparse sessions over a random 3-uniform adjacency tensor), or cp (factored rank-r low-rank operator)")
+	nFlag := flag.Int("n", 0, "with -workload hypergraph|cp: problem dimension (block edge is derived; 0 = m·b from -q/-b)")
+	edges := flag.Int("edges", 0, "with -workload hypergraph: hyperedge count (0 = 10·n)")
+	cpRank := flag.Int("rank", 16, "with -workload cp: CP rank r")
+	cpRanks := flag.Int("cpranks", 8, "with -workload cp: parallel ranks per session")
 	backend := backendflag.Register(flag.CommandLine)
 	flag.Parse()
 	if err := backend.Validate(false); err != nil {
 		fatal(err)
+	}
+	if *metricsInterval > 0 && *metricsOut == "" {
+		fatal(fmt.Errorf("-metrics-interval requires -metrics"))
 	}
 
 	part, err := partition.NewSpherical(*q)
@@ -187,34 +211,79 @@ func main() {
 		fatal(fmt.Errorf("unknown wiring %q", *wiring))
 	}
 	n := part.M * *b
-	rng := rand.New(rand.NewSource(*seed))
-	a := tensor.Random(n, rng)
+	if *nFlag > 0 {
+		if *workload == "dense" {
+			fatal(fmt.Errorf("-n applies to -workload hypergraph|cp only (dense: n = m·b)"))
+		}
+		n = *nFlag
+		// Derive the block edge covering n on the chosen partition.
+		*b = (n + part.M - 1) / part.M
+	}
 	if *queueCap < 1 {
 		*queueCap = 4 * *sessions * *maxCols // mirror the pool default so /v1/info reports the effective bound
 	}
 
 	sessOpts := parallel.Options{Part: part, B: *b, Wiring: wr}
 	backend.Apply(&sessOpts.Machine)
-	pool, err := serve.Open(a, serve.Options{
+	poolOpts := serve.Options{
 		Session:  sessOpts,
 		Sessions: *sessions,
 		MaxCols:  *maxCols,
 		MaxWait:  *maxWait,
 		QueueCap: *queueCap,
-	})
+	}
+	info := infoResponse{
+		N: n, Q: *q, P: part.P, B: *b, Wiring: *wiring,
+		Sessions: *sessions, MaxCols: *maxCols,
+		MaxWaitUs: float64(maxWait.Nanoseconds()) / 1e3,
+		QueueCap:  *queueCap,
+		Workload:  *workload,
+	}
+	var pool *serve.Pool
+	switch *workload {
+	case "dense":
+		rng := rand.New(rand.NewSource(*seed))
+		pool, err = serve.Open(tensor.Random(n, rng), poolOpts)
+	case "hypergraph":
+		e := *edges
+		if e < 1 {
+			e = 10 * n
+		}
+		var sp *sparse.Tensor
+		sp, err = sparse.RandomHypergraph(n, e, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		info.NNZ = sp.NNZ()
+		pool, err = serve.OpenSparse(sp, poolOpts)
+	case "cp":
+		rng := rand.New(rand.NewSource(*seed))
+		weights := make([]float64, *cpRank)
+		vectors := make([][]float64, *cpRank)
+		for k := range vectors {
+			weights[k] = rng.NormFloat64()
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			vectors[k] = v
+		}
+		var op *sttsv.CPOperator
+		op, err = sttsv.NewCPOperator(weights, vectors)
+		if err != nil {
+			fatal(err)
+		}
+		info.Rank = *cpRank
+		info.P = *cpRanks
+		pool, err = serve.OpenCP(op, *cpRanks, poolOpts)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
 	if err != nil {
 		fatal(err)
 	}
 
-	srv := &server{
-		pool: pool,
-		info: infoResponse{
-			N: n, Q: *q, P: part.P, B: *b, Wiring: *wiring,
-			Sessions: *sessions, MaxCols: *maxCols,
-			MaxWaitUs: float64(maxWait.Nanoseconds()) / 1e3,
-			QueueCap:  *queueCap,
-		},
-	}
+	srv := &server{pool: pool, info: info}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/apply", srv.handleApply)
 	mux.HandleFunc("/v1/metrics", srv.handleMetrics)
@@ -233,8 +302,42 @@ func main() {
 		_ = hs.Shutdown(ctx)
 	}()
 
-	fmt.Printf("sttsvserve: n=%d (q=%d, P=%d, b=%d, %s), %d sessions, batch ≤%d cols / %v, listening on %s\n",
-		n, *q, part.P, *b, *wiring, *sessions, *maxCols, *maxWait, *addr)
+	// Periodic metrics appender: one snapshot per interval, same JSONL
+	// schema as the shutdown export and /v1/metrics, so a scraper or a
+	// post-mortem reads one stream. Stops with the HTTP server.
+	tickerDone := make(chan struct{})
+	if *metricsInterval > 0 {
+		go func() {
+			defer close(tickerDone)
+			t := time.NewTicker(*metricsInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					snap := pool.Metrics()
+					if err := appendMetrics(*metricsOut, &snap); err != nil {
+						fmt.Fprintln(os.Stderr, "sttsvserve: metrics append:", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(tickerDone)
+	}
+
+	switch *workload {
+	case "cp":
+		fmt.Printf("sttsvserve: cp n=%d r=%d (P=%d), %d sessions, batch ≤%d cols / %v, listening on %s\n",
+			n, *cpRank, *cpRanks, *sessions, *maxCols, *maxWait, *addr)
+	case "hypergraph":
+		fmt.Printf("sttsvserve: hypergraph n=%d nnz=%d (q=%d, P=%d, b=%d, %s), %d sessions, batch ≤%d cols / %v, listening on %s\n",
+			n, info.NNZ, *q, part.P, *b, *wiring, *sessions, *maxCols, *maxWait, *addr)
+	default:
+		fmt.Printf("sttsvserve: n=%d (q=%d, P=%d, b=%d, %s), %d sessions, batch ≤%d cols / %v, listening on %s\n",
+			n, *q, part.P, *b, *wiring, *sessions, *maxCols, *maxWait, *addr)
+	}
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -246,17 +349,26 @@ func main() {
 	snap := pool.Metrics()
 	fmt.Printf("sttsvserve: served %d requests in %d batches (avg occupancy %.2f, %d rejected)\n",
 		snap.Requests, snap.Batches, snap.AvgOccupancy, snap.Rejected)
+	<-tickerDone
 	if *metricsOut != "" {
-		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteServingMetricsJSONL(f, &snap); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := appendMetrics(*metricsOut, &snap); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("sttsvserve: metrics appended to %s\n", *metricsOut)
 	}
+}
+
+// appendMetrics appends one serving snapshot to path as a JSONL line
+// (obs serving schema) — the shared sink of the interval ticker, the
+// shutdown export, and manual scrapes of /v1/metrics.
+func appendMetrics(path string, snap *obs.ServingSnapshot) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteServingMetricsJSONL(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,37 @@
+package obs
+
+// LoadStats summarizes a per-rank load vector — nonzero counts, storage
+// words, ternary multiplications — for balance reporting. Imbalance is
+// the makespan ratio max/mean: 1.0 is perfect balance, and the nnz-aware
+// partition benchmarks gate on it staying near 1 for skewed inputs.
+type LoadStats struct {
+	Min       int64   `json:"min"`
+	Max       int64   `json:"max"`
+	Mean      float64 `json:"mean"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// ComputeLoadStats reduces a per-rank load vector. Empty or all-zero
+// loads yield a zero Imbalance (no work to misbalance).
+func ComputeLoadStats(loads []int64) LoadStats {
+	var st LoadStats
+	if len(loads) == 0 {
+		return st
+	}
+	st.Min = loads[0]
+	var total int64
+	for _, l := range loads {
+		if l < st.Min {
+			st.Min = l
+		}
+		if l > st.Max {
+			st.Max = l
+		}
+		total += l
+	}
+	st.Mean = float64(total) / float64(len(loads))
+	if st.Mean > 0 {
+		st.Imbalance = float64(st.Max) / st.Mean
+	}
+	return st
+}

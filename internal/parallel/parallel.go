@@ -83,11 +83,25 @@ type Options struct {
 	// re-extraction. Must match the partition, block edge and tensor of
 	// the run.
 	Blocks *RankBlocks
+	// Sparse selects the sparse fast path: the session's local compute
+	// runs the packed sparse block kernels over these per-rank block sets
+	// (PackSparseRankBlocks) and never materializes a dense block. The
+	// tensor argument must be nil and Blocks unset; the communication
+	// structure, meters, checkpointing and recovery are identical to a
+	// dense session, and the output bits match a dense scalar-kernel
+	// session on the materialized tensor.
+	Sparse *SparseRankBlocks
 	// Workers sets the per-rank local-compute worker count (the shared-
 	// memory executor inside each simulated rank). 0 or 1 runs the local
 	// phase sequentially; values above 1 distribute blocks across that
 	// many workers with a deterministic tree reduction.
 	Workers int
+	// ScalarKernel makes the dense executor use the scalar reference
+	// kernel (sttsv.BlockContributeScalar) instead of the tiled kernels.
+	// Slower, but its association order is the one the sparse kernels
+	// reproduce — a dense scalar session is the bit-exact conformance
+	// oracle for a sparse session.
+	ScalarKernel bool
 	// MaxCols presizes a Session's arenas and message buffers for batched
 	// applications of up to this many columns (ApplyBatch / MTTKRP).
 	// Defaults to 1; the session grows on demand when exceeded.
@@ -108,6 +122,9 @@ func (o *Options) executor() *sttsv.Executor {
 	w := o.Workers
 	if w < 1 {
 		w = 1
+	}
+	if o.ScalarKernel {
+		return sttsv.NewScalarExecutor(w)
 	}
 	return sttsv.NewExecutor(w)
 }

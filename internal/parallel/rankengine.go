@@ -135,7 +135,11 @@ func (e *RankEngine) Iterate(c *machine.Comm, tol float64) (stop, converged, sin
 	if tol <= 0 {
 		tol = 1e-12
 	}
-	return e.rk.powerIterate(c, e.exec, e.blocks, tol, e.pr)
+	return e.rk.powerIterate(c, func() int64 {
+		var stats sttsv.Stats
+		e.exec.ContributeCols(e.rk.scratch, e.blocks, e.b, 1, e.rk.xRowCol, e.rk.yRowCol, &stats)
+		return stats.TernaryMults
+	}, tol, e.pr)
 }
 
 // Lambda returns the current eigenvalue estimate.

@@ -38,10 +38,11 @@ type Session struct {
 	sched  *schedule.Schedule
 	b      int
 	padded int
+	n      int // logical operator dimension; 0 when unknown (nil tensor)
 
-	blocks *RankBlocks
-	exec   *sttsv.Executor
-	lay    *sessionLayout
+	op  localOperator // rank-local compute seam (dense or sparse)
+	cp  *cpRuntime    // non-nil for CP sessions (their own exchange shape)
+	lay *sessionLayout
 
 	maxCols int
 	rk      []*sessionRank
@@ -134,9 +135,30 @@ func OpenSession(a *tensor.Symmetric, opts Options) (*Session, error) {
 		}
 		sched = s
 	}
-	blocks, err := rankBlocksFor(&opts, a, part, b)
-	if err != nil {
-		return nil, err
+	var op localOperator
+	n := 0
+	if srb := opts.Sparse; srb != nil {
+		if a != nil {
+			return nil, fmt.Errorf("parallel: sparse session takes no dense tensor")
+		}
+		if opts.Blocks != nil {
+			return nil, fmt.Errorf("parallel: Options.Blocks and Options.Sparse are mutually exclusive")
+		}
+		srb, err := sparseBlocksFor(srb, part, b)
+		if err != nil {
+			return nil, err
+		}
+		op = &sparseOp{blocks: srb}
+		n = srb.N
+	} else {
+		blocks, err := rankBlocksFor(&opts, a, part, b)
+		if err != nil {
+			return nil, err
+		}
+		op = &denseOp{exec: opts.executor(), blocks: blocks}
+		if a != nil {
+			n = a.N
+		}
 	}
 	lay, err := buildLayout(part, sched, opts.Wiring, b)
 	if err != nil {
@@ -160,8 +182,8 @@ func OpenSession(a *tensor.Symmetric, opts Options) (*Session, error) {
 		sched:  sched,
 		b:      b,
 		padded: part.M * b,
-		blocks: blocks,
-		exec:   opts.executor(),
+		n:      n,
+		op:     op,
 		lay:    lay,
 	}
 	maxCols := opts.MaxCols
@@ -456,9 +478,7 @@ func (s *Session) applyOp(cols int, pr *phaseRecorder, deltas []machine.Meters) 
 		})
 		rk.zeroY()
 		pr.local(c, "local", func() int64 {
-			var st sttsv.Stats
-			s.exec.ContributeCols(rk.scratch, s.blocks.Rank(me), s.b, cols, rk.xRowCol, rk.yRowCol, &st)
-			return st.TernaryMults
+			return s.op.contribute(me, rk, s.b, cols)
 		})
 		pr.comm(c, "reduce-scatter", func() {
 			if s.opts.Wiring == WiringP2P {
@@ -500,6 +520,9 @@ func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, er
 		if s.a != nil && s.a.N != len(x) {
 			return nil, nil, fmt.Errorf("parallel: tensor dimension %d, vector length %d", s.a.N, len(x))
 		}
+		if s.n > 0 && s.n != len(x) {
+			return nil, nil, fmt.Errorf("parallel: operator dimension %d, vector length %d", s.n, len(x))
+		}
 	}
 	if !s.inflight.CompareAndSwap(false, true) {
 		return nil, nil, ErrSessionBusy
@@ -510,8 +533,15 @@ func (s *Session) applyCols(X [][]float64) ([]machine.Meters, *phaseRecorder, er
 		copy(s.stageX[l], x)
 		clear(s.stageX[l][len(x):])
 	}
-	pr := newPhaseRecorder(s.part.P, "gather", "local", "reduce-scatter")
 	deltas := make([]machine.Meters, s.part.P)
+	if s.cp != nil {
+		pr := newPhaseRecorder(s.part.P, "local", "all-reduce")
+		if err := s.dispatch(pr, dirtyNone, s.cpApplyOp(cols, pr, deltas)); err != nil {
+			return nil, nil, err
+		}
+		return deltas, pr, nil
+	}
+	pr := newPhaseRecorder(s.part.P, "gather", "local", "reduce-scatter")
 	if err := s.dispatch(pr, dirtyNone, s.applyOp(cols, pr, deltas)); err != nil {
 		return nil, nil, err
 	}
@@ -629,12 +659,12 @@ type powerIterState struct {
 }
 
 // powerIterate runs one power-method iteration on this rank: stage the
-// owned iterate chunks, gather, local compute, reduce-scatter, then the
-// scalar all-reduce for λ and the normalization. It is shared between the
-// Session's dispatched op and the distributed RankEngine, so a rank
-// process on real sockets executes bit-for-bit the arithmetic of the
-// simulated run.
-func (rk *sessionRank) powerIterate(c *machine.Comm, exec *sttsv.Executor, blocks []*tensor.Block, tol float64, pr *phaseRecorder) (stop, converged, singular bool) {
+// owned iterate chunks, gather, local compute (the operator-specific
+// closure), reduce-scatter, then the scalar all-reduce for λ and the
+// normalization. It is shared between the Session's dispatched op (dense
+// or sparse) and the distributed RankEngine, so a rank process on real
+// sockets executes bit-for-bit the arithmetic of the simulated run.
+func (rk *sessionRank) powerIterate(c *machine.Comm, compute func() int64, tol float64, pr *phaseRecorder) (stop, converged, singular bool) {
 	// The cached group must wrap this incarnation's Comm: a RankEngine
 	// survives machine restarts, and a group bound to a dead epoch's
 	// machine would panic with that machine's abort sentinel.
@@ -653,13 +683,22 @@ func (rk *sessionRank) powerIterate(c *machine.Comm, exec *sttsv.Executor, block
 	pr.comm(c, "gather", func() { rk.gatherP2P(c, 1) })
 
 	rk.zeroY()
-	pr.local(c, "local", func() int64 {
-		var stats sttsv.Stats
-		exec.ContributeCols(rk.scratch, blocks, b, 1, rk.xRowCol, rk.yRowCol, &stats)
-		return stats.TernaryMults
-	})
+	pr.local(c, "local", compute)
 
 	pr.comm(c, "reduce-scatter", func() { rk.scatterP2P(c, 1) })
+
+	return rk.powerAdvance(c, tol, pr)
+}
+
+// powerAdvance is the operator-agnostic tail of one power iteration: the
+// convergence scalars from the finished y arena, their all-reduce, the
+// shared convergence test, and the normalization of the owned iterate
+// chunks. The CP iteration (its own exchange shape) shares it with the
+// scheduled dense/sparse path.
+func (rk *sessionRank) powerAdvance(c *machine.Comm, tol float64, pr *phaseRecorder) (stop, converged, singular bool) {
+	b := rk.b
+	rows := rk.lay.rows
+	stride := rk.stride()
 
 	// λ = xᵀy and ‖y‖² from owned chunks, combined globally.
 	rk.pbuf[0], rk.pbuf[1] = 0, 0
@@ -705,7 +744,9 @@ func (rk *sessionRank) powerIterate(c *machine.Comm, exec *sttsv.Executor, block
 func (s *Session) powerIterOp(tol float64, pr *phaseRecorder, st *powerIterState) func(me int, c *machine.Comm) {
 	return func(me int, c *machine.Comm) {
 		rk := s.rk[me]
-		st.stop[me], st.converged[me], st.singular[me] = rk.powerIterate(c, s.exec, s.blocks.Rank(me), tol, pr)
+		st.stop[me], st.converged[me], st.singular[me] = rk.powerIterate(c, func() int64 {
+			return s.op.contribute(me, rk, s.b, 1)
+		}, tol, pr)
 	}
 }
 
@@ -719,13 +760,13 @@ func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 	if s.closed {
 		return nil, fmt.Errorf("parallel: session closed")
 	}
-	if s.a == nil {
+	if s.n == 0 {
 		return nil, fmt.Errorf("parallel: power method requires a tensor")
 	}
 	if s.opts.Wiring != WiringP2P {
 		return nil, fmt.Errorf("parallel: power method supports the p2p wiring only")
 	}
-	n := s.a.N
+	n := s.n
 	if n > s.padded {
 		return nil, fmt.Errorf("parallel: n=%d exceeds padded dimension %d", n, s.padded)
 	}
@@ -764,17 +805,26 @@ func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 		rk.pmLambda, rk.pmPrev = 0, math.Inf(1)
 	}
 
-	pr := newPhaseRecorder(p, "gather", "local", "reduce-scatter", "all-reduce")
+	var pr *phaseRecorder
+	if s.cp != nil {
+		pr = newPhaseRecorder(p, "local", "all-reduce")
+	} else {
+		pr = newPhaseRecorder(p, "gather", "local", "reduce-scatter", "all-reduce")
+	}
 	base := make([]machine.Meters, p)
 	for r := range base {
 		base[r] = s.cur.h.RankMeters(r)
 	}
 
 	st := &powerIterState{stop: make([]bool, p), converged: make([]bool, p), singular: make([]bool, p)}
+	iterOp := s.powerIterOp
+	if s.cp != nil {
+		iterOp = s.cpPowerIterOp
+	}
 	iterations := 0
 	for iterations < po.MaxIter {
 		iterations++
-		if err := s.dispatch(pr, dirtyIterate, s.powerIterOp(po.Tol, pr, st)); err != nil {
+		if err := s.dispatch(pr, dirtyIterate, iterOp(po.Tol, pr, st)); err != nil {
 			return nil, err
 		}
 		if st.stop[0] {
@@ -797,9 +847,13 @@ func (s *Session) PowerMethod(po PowerOptions) (*EigenResult, error) {
 		}
 	}
 
-	// The two exchanges ran the full schedule once per iteration.
-	pr.meter("gather").Steps = s.lay.steps * iterations
-	pr.meter("reduce-scatter").Steps = s.lay.steps * iterations
+	// The two exchanges ran the full schedule once per iteration (CP
+	// sessions have no scheduled exchange — their all-reduce is the whole
+	// communication).
+	if s.cp == nil {
+		pr.meter("gather").Steps = s.lay.steps * iterations
+		pr.meter("reduce-scatter").Steps = s.lay.steps * iterations
+	}
 	return &EigenResult{
 		Lambda:     s.rk[0].pmLambda,
 		X:          xOut[:n],
@@ -825,8 +879,8 @@ func (s *Session) MTTKRP(x *la.Matrix, r int) (*la.Matrix, *Result, error) {
 	switch {
 	case x != nil:
 		n = x.Rows
-	case s.a != nil:
-		n = s.a.N
+	case s.n > 0:
+		n = s.n
 	default:
 		n = s.padded
 	}

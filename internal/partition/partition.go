@@ -61,6 +61,12 @@ type Tetrahedral struct {
 	// with i ∈ Rp.
 	Qi [][]int
 
+	// Weighted records that the diagonal assignment balanced per-block
+	// weights (e.g. nnz) instead of block counts; Validate then skips the
+	// count-balance invariant (weight balance replaces it) while keeping
+	// coverage and admissibility checks.
+	Weighted bool
+
 	rpSet []map[int]bool
 }
 
@@ -69,6 +75,21 @@ type Tetrahedral struct {
 // differing by at most one (exactly q each for the spherical family,
 // exactly 4 for SQS(8)).
 func New(sys *steiner.System) (*Tetrahedral, error) {
+	t := newSkeleton(sys)
+	if err := t.assignNonCentral(); err != nil {
+		return nil, err
+	}
+	if err := t.assignCentral(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// newSkeleton builds the Steiner-determined part of the partition — row
+// block ownership Rp/Qi and the off-diagonal blocks they imply — leaving
+// the diagonal assignment (the only placement freedom §6.1.3 grants) to
+// the caller.
+func newSkeleton(sys *steiner.System) *Tetrahedral {
 	m := sys.N
 	p := sys.NumBlocks()
 	t := &Tetrahedral{Sys: sys, M: m, P: p, R: sys.R}
@@ -92,14 +113,7 @@ func New(sys *steiner.System) (*Tetrahedral, error) {
 		sort.Ints(procs)
 		t.Qi[i] = procs
 	}
-
-	if err := t.assignNonCentral(); err != nil {
-		return nil, err
-	}
-	if err := t.assignCentral(); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return t
 }
 
 // NewSpherical builds the partition from the spherical Steiner system for
@@ -309,7 +323,7 @@ func (t *Tetrahedral) Validate() error {
 	npTotal := 0
 	for p := 0; p < t.P; p++ {
 		npTotal += len(t.Np[p])
-		if len(t.Np[p]) > perProc {
+		if !t.Weighted && len(t.Np[p]) > perProc {
 			return fmt.Errorf("partition: |N_%d| = %d exceeds %d", p, len(t.Np[p]), perProc)
 		}
 		for _, c := range t.Np[p] {

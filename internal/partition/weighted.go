@@ -1,0 +1,174 @@
+// nnz-aware diagonal assignment. The Steiner system fixes the
+// communication structure — which processor owns which off-diagonal
+// blocks and row-block chunks — but §6.1.3's diagonal placement is free:
+// any processor whose R_p contains a diagonal block's row indices may own
+// it. The count-balanced Dinic assignment of New treats all blocks as
+// equal dense volume; for sparse workloads (skewed hypergraphs
+// especially) that can hot-spot one rank with most of the nonzeros. The
+// weighted variant keeps the Steiner skeleton and assigns diagonal
+// blocks by longest-processing-time greedy over per-block weights (nnz),
+// seeding each processor's load with the weight of its fixed
+// off-diagonal blocks.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/steiner"
+)
+
+// NewWeighted builds the tetrahedral partition with the diagonal blocks
+// placed to balance total per-processor weight. weight(c) is the cost of
+// block c (typically its nonzero count; zero for empty blocks). Ownership
+// of off-diagonal blocks and the row-block distribution are identical to
+// New — only N_p and D_p placement changes, so every layout/schedule
+// built from the partition remains valid.
+func NewWeighted(sys *steiner.System, weight func(Coord) int64) (*Tetrahedral, error) {
+	if weight == nil {
+		return nil, fmt.Errorf("partition: NewWeighted requires a weight function")
+	}
+	t := newSkeleton(sys)
+	t.Weighted = true
+
+	// Seed loads with the fixed off-diagonal weight per processor.
+	loads := make([]int64, t.P)
+	for p := 0; p < t.P; p++ {
+		for _, c := range t.OffDiagonalBlocks(p) {
+			loads[p] += weight(c)
+		}
+	}
+	if err := t.assignNonCentralWeighted(weight, loads); err != nil {
+		return nil, err
+	}
+	if err := t.assignCentralWeighted(weight, loads); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewSphericalWeighted is NewWeighted over the spherical Steiner system
+// for prime power q.
+func NewSphericalWeighted(q int, weight func(Coord) int64) (*Tetrahedral, error) {
+	sys, err := steiner.Spherical(q)
+	if err != nil {
+		return nil, err
+	}
+	return NewWeighted(sys, weight)
+}
+
+type weightedItem struct {
+	c     Coord
+	w     int64
+	procs []int // admissible processors, ascending
+}
+
+// sortLPT orders items heaviest first with a deterministic coordinate
+// tie-break so assignment is reproducible.
+func sortLPT(items []weightedItem) {
+	sort.Slice(items, func(a, b int) bool {
+		ia, ib := items[a], items[b]
+		if ia.w != ib.w {
+			return ia.w > ib.w
+		}
+		ca, cb := ia.c, ib.c
+		if ca.I != cb.I {
+			return ca.I < cb.I
+		}
+		if ca.J != cb.J {
+			return ca.J < cb.J
+		}
+		return ca.K < cb.K
+	})
+}
+
+// assignNonCentralWeighted places each non-central diagonal block
+// (a,a,b)/(a,b,b) on the admissible processor (R_p ∋ a, b — the Steiner
+// pair blocks) with the least accumulated weight, heaviest blocks first.
+// Admissibility is never relaxed, so coverage and the communication
+// pattern match the unweighted partition; only per-processor counts may
+// exceed ⌈m(m−1)/P⌉ when that lowers the weight makespan.
+func (t *Tetrahedral) assignNonCentralWeighted(weight func(Coord) int64, loads []int64) error {
+	items := make([]weightedItem, 0, t.M*(t.M-1))
+	for a := 1; a < t.M; a++ {
+		for b := 0; b < a; b++ {
+			procs := append([]int(nil), t.Sys.BlocksWithPair(a+1, b+1)...)
+			sort.Ints(procs)
+			if len(procs) == 0 {
+				return fmt.Errorf("partition: no processor admits diagonal pair (%d,%d)", a, b)
+			}
+			for _, c := range []Coord{{a, a, b}, {a, b, b}} {
+				items = append(items, weightedItem{c: c, w: weight(c), procs: procs})
+			}
+		}
+	}
+	sortLPT(items)
+	t.Np = make([][]Coord, t.P)
+	for _, it := range items {
+		best := it.procs[0]
+		for _, p := range it.procs[1:] {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		t.Np[best] = append(t.Np[best], it.c)
+		loads[best] += it.w
+	}
+	for pi := range t.Np {
+		sortCoords(t.Np[pi])
+	}
+	return nil
+}
+
+// assignCentralWeighted places the m central blocks (i,i,i) greedily by
+// weight under the at-most-one-per-processor cap. Greedy can paint
+// itself into a corner that Hall's theorem says a matching avoids; on
+// failure it falls back to the flow-based count assignment (correct,
+// weight-oblivious for the central blocks only).
+func (t *Tetrahedral) assignCentralWeighted(weight func(Coord) int64, loads []int64) error {
+	items := make([]weightedItem, 0, t.M)
+	for i := 0; i < t.M; i++ {
+		c := Coord{i, i, i}
+		items = append(items, weightedItem{c: c, w: weight(c), procs: t.Qi[i]})
+	}
+	sortLPT(items)
+	used := make([]bool, t.P)
+	dp := make([][]Coord, t.P)
+	ok := true
+	for _, it := range items {
+		best := -1
+		for _, p := range it.procs {
+			if used[p] {
+				continue
+			}
+			if best < 0 || loads[p] < loads[best] {
+				best = p
+			}
+		}
+		if best < 0 {
+			ok = false
+			break
+		}
+		used[best] = true
+		dp[best] = append(dp[best], it.c)
+		loads[best] += it.w
+	}
+	if ok {
+		t.Dp = dp
+		return nil
+	}
+	return t.assignCentral()
+}
+
+// Loads returns the total weight each processor carries under the given
+// per-block weight function — the load-accounting half of nnz-aware
+// partitioning, usable against any partition (weighted or not).
+func (t *Tetrahedral) Loads(weight func(Coord) int64) []int64 {
+	loads := make([]int64, t.P)
+	for p := 0; p < t.P; p++ {
+		for _, c := range t.Blocks(p) {
+			loads[p] += weight(c)
+		}
+	}
+	return loads
+}

@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// skewWeight builds a per-block nnz weight function from a skewed
+// hypergraph at the partition's block edge.
+func skewWeight(t *testing.T, part *Tetrahedral, b int) (func(Coord) int64, int64) {
+	t.Helper()
+	n := part.M * b
+	// skew 1.3 concentrates nonzeros on low-index blocks while leaving
+	// the (Steiner-fixed) off-diagonal load near the balance floor —
+	// harder skews are bounded below by the off-diagonal hot spot no
+	// diagonal placement can move.
+	sp, err := sparse.SkewedHypergraph(n, 32*n, 1.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := sparse.BlockCounts(sp, b)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return func(c Coord) int64 { return counts[[3]int{c.I, c.J, c.K}] }, total
+}
+
+// TestWeightedPartitionValid: the weighted assignment must keep every
+// partition invariant except count balance — full coverage, exactly-once
+// ownership, admissibility of every diagonal block.
+func TestWeightedPartitionValid(t *testing.T) {
+	for _, q := range []int{2, 3} {
+		part, err := NewSpherical(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weight, _ := skewWeight(t, part, 16)
+		wp, err := NewSphericalWeighted(q, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wp.Validate(); err != nil {
+			t.Fatalf("q=%d: weighted partition invalid: %v", q, err)
+		}
+		if !wp.Weighted {
+			t.Fatal("Weighted flag not set")
+		}
+		// The Steiner-fixed structure must be untouched.
+		if !reflect.DeepEqual(wp.Rp, part.Rp) || !reflect.DeepEqual(wp.Qi, part.Qi) {
+			t.Fatalf("q=%d: weighted partition changed row-block ownership", q)
+		}
+		for p := 0; p < part.P; p++ {
+			if !reflect.DeepEqual(wp.OffDiagonalBlocks(p), part.OffDiagonalBlocks(p)) {
+				t.Fatalf("q=%d: off-diagonal blocks of processor %d changed", q, p)
+			}
+		}
+	}
+}
+
+// TestWeightedPartitionBalancesSkew: on a skewed hypergraph the weighted
+// assignment's nnz makespan must beat (or at worst match) the
+// count-balanced assignment, and stay within the 1.3× imbalance the
+// bench gates on.
+func TestWeightedPartitionBalancesSkew(t *testing.T) {
+	for _, q := range []int{2, 3} {
+		part, err := NewSpherical(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weight, total := skewWeight(t, part, 16)
+		wp, err := NewSphericalWeighted(q, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := obs.ComputeLoadStats(part.Loads(weight))
+		after := obs.ComputeLoadStats(wp.Loads(weight))
+		if after.Max > before.Max {
+			t.Errorf("q=%d: weighted makespan %d worse than unweighted %d", q, after.Max, before.Max)
+		}
+		if after.Imbalance > 1.3 {
+			t.Errorf("q=%d: weighted imbalance %.3f exceeds 1.3", q, after.Imbalance)
+		}
+		// Loads must account for every nonzero exactly once.
+		var sum int64
+		for _, l := range wp.Loads(weight) {
+			sum += l
+		}
+		if sum != total {
+			t.Errorf("q=%d: loads sum %d, want %d nonzeros", q, sum, total)
+		}
+	}
+}
+
+// TestWeightedPartitionDeterministic: identical inputs must produce an
+// identical assignment (LPT ties broken by coordinate).
+func TestWeightedPartitionDeterministic(t *testing.T) {
+	part, err := NewSpherical(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight, _ := skewWeight(t, part, 4)
+	a, err := NewSphericalWeighted(2, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSphericalWeighted(2, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Np, b.Np) || !reflect.DeepEqual(a.Dp, b.Dp) {
+		t.Fatal("weighted assignment not deterministic")
+	}
+}

@@ -35,6 +35,8 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/sparse"
+	"repro/internal/sttsv"
 	"repro/internal/tensor"
 )
 
@@ -201,6 +203,78 @@ func Open(a *tensor.Symmetric, opts Options) (*Pool, error) {
 	if a != nil {
 		n = a.N
 	}
+	return openPool(n, o, func(int) (*parallel.Session, error) {
+		return parallel.OpenSession(a, so)
+	})
+}
+
+// OpenSparse launches a pool of sparse sessions over one shared packed
+// sparse block set: the tensor's nonzeros are packed once (CSF fiber
+// blocks, O(nnz) words) and every pooled session reads the same
+// immutable cache — the sparse analogue of Open's one-time dense
+// extraction, and the configuration that serves hypergraph problems at
+// n ≥ 10⁶ where a dense pool could not allocate a single session.
+// Responses are bit-identical to a solo sparse Session.Apply, which the
+// parallel conformance suite pins to the dense scalar-kernel session.
+func OpenSparse(sp *sparse.Tensor, opts Options) (*Pool, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("serve: nil sparse tensor")
+	}
+	o := opts.withDefaults()
+	so := o.Session
+	if so.Part == nil {
+		return nil, fmt.Errorf("serve: nil partition")
+	}
+	if so.B < 1 {
+		return nil, fmt.Errorf("serve: block edge %d", so.B)
+	}
+	if so.MaxCols < o.MaxCols {
+		so.MaxCols = o.MaxCols
+	}
+	if so.Sparse == nil {
+		srb, err := parallel.PackSparseRankBlocks(sp, so.Part, so.B)
+		if err != nil {
+			return nil, err
+		}
+		so.Sparse = srb
+	}
+	o.Session = so
+	return openPool(sp.N, o, func(int) (*parallel.Session, error) {
+		return parallel.OpenSession(nil, so)
+	})
+}
+
+// OpenCP launches a pool of low-rank CP sessions over one shared
+// operator (O(nr) words, read-only). ranks is the per-session rank
+// count; the pool Options' Machine and Recovery settings carry over from
+// the Session template, while partitioning fields are ignored — a CP
+// session synthesizes its own row layout. Per-request communication is
+// O(r) words per rank regardless of n, so a CP pool batches exactly like
+// a tetrahedral one but serves n ≥ 10⁶ from megabytes of state.
+func OpenCP(op *sttsv.CPOperator, ranks int, opts Options) (*Pool, error) {
+	if op == nil {
+		return nil, fmt.Errorf("serve: nil CP operator")
+	}
+	o := opts.withDefaults()
+	maxCols := o.Session.MaxCols
+	if maxCols < o.MaxCols {
+		maxCols = o.MaxCols
+	}
+	copts := parallel.CPOptions{
+		P:        ranks,
+		Machine:  o.Session.Machine,
+		MaxCols:  maxCols,
+		Recovery: o.Session.Recovery,
+	}
+	return openPool(op.N, o, func(int) (*parallel.Session, error) {
+		return parallel.OpenCPSession(op, copts)
+	})
+}
+
+// openPool is the shared pool-construction core: it launches Sessions
+// sessions via open, wires the free list and admission queue, and starts
+// the batching scheduler. n is the serving dimension.
+func openPool(n int, o Options, open func(i int) (*parallel.Session, error)) (*Pool, error) {
 	p := &Pool{
 		opts:      o,
 		n:         n,
@@ -211,7 +285,7 @@ func Open(a *tensor.Symmetric, opts Options) (*Pool, error) {
 		schedDone: make(chan struct{}),
 	}
 	for i := 0; i < o.Sessions; i++ {
-		s, err := parallel.OpenSession(a, so)
+		s, err := open(i)
 		if err != nil {
 			for _, prev := range p.sess {
 				prev.Close()

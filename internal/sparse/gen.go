@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RandomHypergraph generates a 3-uniform hypergraph adjacency tensor
+// with the given number of hyperedges, scaling to n ≥ 10⁶ and nnz ≥ 10⁷
+// where a rejection-sampling generator's dedup map would dominate. It
+// draws distinct "offset families" (o1, o2) with 1 <= o1 < o2 < n and
+// emits the translates {v, v+o1, v+o2}: triples from different families
+// differ in their index gaps and triples within a family differ in v,
+// so the construction is collision-free — no dedup structure, O(nnz)
+// memory, one final sort.
+func RandomHypergraph(n, edges int, seed int64) (*Tensor, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("sparse: hypergraph needs n >= 3, got %d", n)
+	}
+	if edges < 0 {
+		return nil, fmt.Errorf("sparse: negative edge count %d", edges)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type family struct{ o1, o2 int }
+	seen := make(map[family]bool)
+	t := &Tensor{N: n, entries: make([]Entry, 0, edges)}
+	attempts := 0
+	for len(t.entries) < edges {
+		if attempts++; attempts > 1000+16*edges/(n/2+1)+len(seen)*4 {
+			return nil, fmt.Errorf("sparse: could not place %d edges on n=%d (families exhausted)", edges, n)
+		}
+		o1 := 1 + rng.Intn(n-2)
+		o2 := o1 + 1 + rng.Intn(n-1-o1)
+		f := family{o1, o2}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		take := n - o2 // translates that fit without wraparound
+		if rem := edges - len(t.entries); take > rem {
+			take = rem
+		}
+		for v := 0; v < take; v++ {
+			t.entries = append(t.entries, Entry{I: v + o2, J: v + o1, K: v, V: 0.5})
+		}
+	}
+	sortEntries(t.entries)
+	return t, nil
+}
+
+// SkewedHypergraph generates a hypergraph whose edges concentrate on
+// low-index vertices: each vertex is drawn as ⌊n·u^skew⌋ for uniform u,
+// so skew > 1 hot-spots the low diagonal blocks — the adversarial input
+// for nnz-aware partition weighting. Rejection sampling with a dedup
+// map; intended for moderate sizes (benchmarks and tests), not the 10⁷
+// nnz regime RandomHypergraph covers.
+func SkewedHypergraph(n, edges int, skew float64, seed int64) (*Tensor, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("sparse: hypergraph needs n >= 3, got %d", n)
+	}
+	if skew <= 0 {
+		return nil, fmt.Errorf("sparse: skew must be positive, got %g", skew)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := func() int {
+		u := rng.Float64()
+		v := int(float64(n) * math.Pow(u, skew))
+		if v >= n {
+			v = n - 1
+		}
+		return v
+	}
+	seen := make(map[[3]int]bool, edges)
+	t := &Tensor{N: n, entries: make([]Entry, 0, edges)}
+	attempts := 0
+	for len(t.entries) < edges {
+		if attempts++; attempts > 100*edges+1000 {
+			return nil, fmt.Errorf("sparse: could not place %d distinct skewed edges on n=%d", edges, n)
+		}
+		a, b, c := draw(), draw(), draw()
+		i, j, k := a, b, c
+		if i < j {
+			i, j = j, i
+		}
+		if j < k {
+			j, k = k, j
+		}
+		if i < j {
+			i, j = j, i
+		}
+		if i == j || j == k {
+			continue
+		}
+		key := [3]int{i, j, k}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		t.entries = append(t.entries, Entry{I: i, J: j, K: k, V: 0.5})
+	}
+	sortEntries(t.entries)
+	return t, nil
+}
+
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(a, b int) bool {
+		ea, eb := entries[a], entries[b]
+		if ea.I != eb.I {
+			return ea.I < eb.I
+		}
+		if ea.J != eb.J {
+			return ea.J < eb.J
+		}
+		return ea.K < eb.K
+	})
+}

@@ -1,0 +1,196 @@
+// Sparse block kernels: BlockApply is the sparse analogue of
+// sttsv.BlockContributeScalar. It visits only the stored nonzeros but
+// reproduces the scalar kernel's association order exactly — fibers in
+// (di, dj) ascending order, dk ascending within a fiber, the same fused
+// update expressions per Algorithm-4 multiplicity case. Skipping a zero
+// element is bitwise neutral for finite inputs: a zero tensor entry
+// contributes ±0.0 to every accumulator it touches, the kernel's
+// accumulators are never -0.0 (they start at +0.0 and IEEE-754
+// round-to-nearest addition never produces -0.0 from a +0.0 start), and
+// adding ±0.0 to a finite non-(-0.0) float is the identity. BlockApply
+// on a sparse block is therefore bit-for-bit BlockContributeScalar on
+// the dense expansion of the same block — the property the parallel
+// conformance grid pins against a dense scalar-kernel session.
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+func checkBlockLens(blk *Block, xI, xJ, xK, yI, yJ, yK []float64) {
+	b := blk.B
+	if len(xI) != b || len(xJ) != b || len(xK) != b || len(yI) != b || len(yJ) != b || len(yK) != b {
+		panic(fmt.Sprintf("sparse: BlockApply slice lengths (%d,%d,%d,%d,%d,%d), want %d",
+			len(xI), len(xJ), len(xK), len(yI), len(yJ), len(yK), b))
+	}
+}
+
+// BlockApply accumulates one sparse block's contribution into the three
+// output row blocks, in O(nnz) work. Slice contract is identical to
+// sttsv.BlockContributeScalar: xI/xJ/xK and yI/yJ/yK are the length-b
+// row blocks for the block's I, J, K coordinates (aliased when they
+// coincide; the kernel only accumulates, so aliasing is safe).
+func BlockApply(blk *Block, xI, xJ, xK, yI, yJ, yK []float64, stats *sttsv.Stats) {
+	checkBlockLens(blk, xI, xJ, xK, yI, yJ, yK)
+	dks, vals := blk.DKs, blk.Vals
+	switch blk.Kind {
+	case tensor.OffDiagonal:
+		// Every element is a strict global triple i > j > k. The dense
+		// kernel keeps a per-di accumulator across the dj row; fibers
+		// sharing a di are contiguous, so one outer pass per di group
+		// reproduces it.
+		f, nf := 0, len(blk.Fibers)
+		for f < nf {
+			di := blk.Fibers[f].Di
+			xi := xI[di]
+			acc := 0.0
+			for ; f < nf && blk.Fibers[f].Di == di; f++ {
+				fb := &blk.Fibers[f]
+				xj := xJ[fb.Dj]
+				s := 0.0
+				txi2 := 2 * xi
+				txij2 := 2 * xi * xj
+				for t := fb.Lo; t < fb.Hi; t++ {
+					v := vals[t]
+					s += v * xK[dks[t]]
+					yK[dks[t]] += txij2 * v
+				}
+				acc += s * xj
+				yJ[fb.Dj] += txi2 * s
+			}
+			yI[di] += 2 * acc
+		}
+	case tensor.DiagPairHigh:
+		// I == J > K: di > dj is a strict triple, di == dj is i == j > k.
+		for f := range blk.Fibers {
+			fb := &blk.Fibers[f]
+			di, dj := fb.Di, fb.Dj
+			xi := xI[di]
+			if di > dj {
+				xj := xJ[dj]
+				s := 0.0
+				txij2 := 2 * xi * xj
+				for t := fb.Lo; t < fb.Hi; t++ {
+					v := vals[t]
+					s += v * xK[dks[t]]
+					yK[dks[t]] += txij2 * v
+				}
+				yI[di] += 2 * s * xj
+				yJ[dj] += 2 * s * xi
+			} else {
+				s := 0.0
+				xi2 := xi * xi
+				for t := fb.Lo; t < fb.Hi; t++ {
+					v := vals[t]
+					s += v * xK[dks[t]]
+					yK[dks[t]] += xi2 * v
+				}
+				yI[di] += 2 * s * xi
+			}
+		}
+	case tensor.DiagPairLow:
+		// I > J == K: dk <= dj within a fiber; the dk == dj diagonal
+		// element (ascending order puts it last when stored) folds into
+		// the dense kernel's fused row updates, so it is split off the
+		// s-loop and substituted — 0.0 when absent, which leaves the
+		// fused expressions bitwise unchanged.
+		for f := range blk.Fibers {
+			fb := &blk.Fibers[f]
+			di, dj := fb.Di, fb.Dj
+			xi, xj := xI[di], xJ[dj]
+			txij2 := 2 * xi * xj
+			s := 0.0
+			vd := 0.0
+			hi := fb.Hi
+			if hi > fb.Lo && dks[hi-1] == dj {
+				vd = vals[hi-1]
+				hi--
+			}
+			for t := fb.Lo; t < hi; t++ {
+				v := vals[t]
+				s += v * xK[dks[t]]
+				yK[dks[t]] += txij2 * v
+			}
+			yI[di] += 2*s*xj + vd*xj*xj
+			yJ[dj] += 2*s*xi + 2*vd*xi*xj
+		}
+	case tensor.Central:
+		// I == J == K: full element-level classification, split per
+		// fiber exactly as the dense scalar kernel splits its rows.
+		for f := range blk.Fibers {
+			fb := &blk.Fibers[f]
+			di, dj := fb.Di, fb.Dj
+			xi := xI[di]
+			if di > dj {
+				xj := xJ[dj]
+				txij2 := 2 * xi * xj
+				s := 0.0
+				vd := 0.0
+				hi := fb.Hi
+				if hi > fb.Lo && dks[hi-1] == dj {
+					vd = vals[hi-1]
+					hi--
+				}
+				for t := fb.Lo; t < hi; t++ {
+					v := vals[t]
+					s += v * xK[dks[t]]
+					yK[dks[t]] += txij2 * v
+				}
+				yI[di] += 2*s*xj + vd*xj*xj
+				yJ[dj] += 2*s*xi + 2*vd*xi*xj
+			} else {
+				xi2 := xi * xi
+				s := 0.0
+				vc := 0.0
+				hi := fb.Hi
+				if hi > fb.Lo && dks[hi-1] == di {
+					vc = vals[hi-1]
+					hi--
+				}
+				for t := fb.Lo; t < hi; t++ {
+					v := vals[t]
+					s += v * xK[dks[t]]
+					yK[dks[t]] += xi2 * v
+				}
+				yI[di] += 2*s*xi + vc*xi2
+			}
+		}
+	default:
+		panic("sparse: unknown block kind")
+	}
+	if stats != nil {
+		stats.TernaryMults += blk.Ternary
+	}
+}
+
+// Contribute applies a block list against padded row-major vectors:
+// x and y hold m·b words with row block i at [i·b, (i+1)·b). Blocks are
+// applied sequentially in input order — the sequential oracle the
+// parallel sparse session is conformance-tested against.
+func Contribute(blocks []*Block, b int, x, y []float64, stats *sttsv.Stats) {
+	row := func(buf []float64, i int) []float64 { return buf[i*b : (i+1)*b] }
+	for _, blk := range blocks {
+		BlockApply(blk,
+			row(x, blk.I), row(x, blk.J), row(x, blk.K),
+			row(y, blk.I), row(y, blk.J), row(y, blk.K), stats)
+	}
+}
+
+// ApplyPacked computes y = A ×₂ x ×₃ x through the packed blocks (all
+// blocks, sequential coordinate order grouped by kind), returning a
+// length-N result. It must agree exactly with the COO Apply on ternary
+// counts and with the dense scalar block path on bits.
+func (p *Packed) ApplyPacked(x []float64, stats *sttsv.Stats) []float64 {
+	if len(x) != p.N {
+		panic(fmt.Sprintf("sparse: vector length %d, dimension %d", len(x), p.N))
+	}
+	padded := p.M * p.B
+	xp := make([]float64, padded)
+	copy(xp, x)
+	yp := make([]float64, padded)
+	Contribute(p.Select(p.coords), p.B, xp, yp, stats)
+	return yp[:p.N]
+}

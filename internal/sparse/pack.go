@@ -1,0 +1,228 @@
+// CSF-style packed sparse blocks: the sparse analogue of
+// tensor.BlockPacked. The tensor's stored nonzeros are grouped into the
+// same b×b×b lower-tetrahedral blocks the dense partition machinery
+// assigns to ranks (block coordinates I >= J >= K, the four BlockKind
+// shapes), but each block stores only its nonzeros in a compressed
+// fiber format: one Fiber per occupied local (di, dj) pair, holding a
+// contiguous run of ascending dk indices and values. Storage and kernel
+// work are O(nnz) per block instead of O(b³), while the block-to-rank
+// assignment, layout tables and exchange schedule of the dense session
+// engine apply unchanged.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Fiber is one occupied local (di, dj) pair of a sparse block: entries
+// Vals[Lo:Hi] with local k indices DKs[Lo:Hi] in ascending order.
+type Fiber struct {
+	Di, Dj int32
+	Lo, Hi int32
+}
+
+// Block holds the stored nonzeros of one b×b×b lower-tetrahedral block.
+// Fibers are sorted by (Di, Dj) ascending; within a fiber the dk indices
+// ascend — exactly the dense scalar kernel's element visit order
+// restricted to the stored entries, which is what makes BlockApply
+// bit-identical to sttsv.BlockContributeScalar on the expanded block.
+type Block struct {
+	Kind    tensor.BlockKind
+	I, J, K int // block coordinates, I >= J >= K
+	B       int
+	Fibers  []Fiber
+	DKs     []int32
+	Vals    []float64
+	// Ternary is the exact Algorithm-4 ternary-multiplication count over
+	// the stored nonzeros (3 per strict triple, 2 per pairwise-equal, 1
+	// per central element) — the sparse analogue of
+	// sttsv.BlockTernaryCount.
+	Ternary int64
+}
+
+// NNZ returns the number of stored nonzeros in the block.
+func (blk *Block) NNZ() int { return len(blk.Vals) }
+
+// Words returns the payload words of the block (values only; index
+// overhead is reported separately by Packed.IndexWords).
+func (blk *Block) Words() int { return len(blk.Vals) }
+
+// entryTernary classifies one stored entry by its global index equality
+// structure, mirroring the COO Apply multiplicity rules.
+func entryTernary(i, j, k int) int64 {
+	switch {
+	case i > j && j > k:
+		return 3
+	case i == j && j > k:
+		return 2
+	case i > j && j == k:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Packed is a sparse tensor regrouped into per-block-coordinate sparse
+// blocks, the unit the tetrahedral partition assigns to ranks. It is
+// built in one pass over the tensor and then sliced per rank with
+// Select — mirroring how tensor.PackBlocks extracts a rank's dense
+// blocks from the full tensor.
+type Packed struct {
+	N int // logical dimension of the underlying tensor
+	M int // row blocks: ceil(N / B)
+	B int
+
+	blocks map[[3]int]*Block
+	coords [][3]int // occupied block coordinates, sorted (I, J, K)
+}
+
+// Pack groups the tensor's nonzeros into b×b×b sparse blocks. Every
+// stored entry (i >= j >= k) lands in block (i/b, j/b, k/b) with local
+// coordinates (i%b, j%b, k%b); the sorted entry order of the tensor
+// makes each block's fibers come out sorted without further work.
+func Pack(t *Tensor, b int) (*Packed, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("sparse: block edge %d, want >= 1", b)
+	}
+	p := &Packed{
+		N:      t.N,
+		M:      (t.N + b - 1) / b,
+		B:      b,
+		blocks: make(map[[3]int]*Block),
+	}
+	for _, e := range t.entries {
+		bi, bj, bk := e.I/b, e.J/b, e.K/b
+		di, dj, dk := int32(e.I%b), int32(e.J%b), int32(e.K%b)
+		c := [3]int{bi, bj, bk}
+		blk := p.blocks[c]
+		if blk == nil {
+			blk = &Block{Kind: blockKind(bi, bj, bk), I: bi, J: bj, K: bk, B: b}
+			p.blocks[c] = blk
+			p.coords = append(p.coords, c)
+		}
+		nf := len(blk.Fibers)
+		if nf == 0 || blk.Fibers[nf-1].Di != di || blk.Fibers[nf-1].Dj != dj {
+			blk.Fibers = append(blk.Fibers, Fiber{Di: di, Dj: dj, Lo: int32(len(blk.DKs))})
+			nf++
+		}
+		blk.DKs = append(blk.DKs, dk)
+		blk.Vals = append(blk.Vals, e.V)
+		blk.Fibers[nf-1].Hi = int32(len(blk.DKs))
+		blk.Ternary += entryTernary(e.I, e.J, e.K)
+	}
+	sort.Slice(p.coords, func(a, b int) bool {
+		ca, cb := p.coords[a], p.coords[b]
+		if ca[0] != cb[0] {
+			return ca[0] < cb[0]
+		}
+		if ca[1] != cb[1] {
+			return ca[1] < cb[1]
+		}
+		return ca[2] < cb[2]
+	})
+	return p, nil
+}
+
+func blockKind(bi, bj, bk int) tensor.BlockKind {
+	switch {
+	case bi == bj && bj == bk:
+		return tensor.Central
+	case bi == bj:
+		return tensor.DiagPairHigh
+	case bj == bk:
+		return tensor.DiagPairLow
+	default:
+		return tensor.OffDiagonal
+	}
+}
+
+// Block returns the sparse block at the given block coordinates, or nil
+// when no stored entry falls inside it.
+func (p *Packed) Block(i, j, k int) *Block { return p.blocks[[3]int{i, j, k}] }
+
+// Coords returns the occupied block coordinates in sorted order.
+func (p *Packed) Coords() [][3]int {
+	out := make([][3]int, len(p.coords))
+	copy(out, p.coords)
+	return out
+}
+
+// selectKindOrder mirrors tensor.PackBlocks's kind grouping so a rank's
+// sparse blocks stream in the same kind-major order as its dense blocks.
+var selectKindOrder = [...]tensor.BlockKind{
+	tensor.OffDiagonal, tensor.DiagPairHigh, tensor.DiagPairLow, tensor.Central,
+}
+
+// Select returns the sparse blocks for the given block coordinates,
+// grouped by kind (off-diagonal, diag-pair-high, diag-pair-low, central)
+// with the caller's coordinate order preserved within each kind — the
+// same streaming order tensor.PackBlocks produces. Coordinates with no
+// stored entries are skipped: an empty block contributes nothing.
+func (p *Packed) Select(coords [][3]int) []*Block {
+	var out []*Block
+	for _, kind := range selectKindOrder {
+		for _, c := range coords {
+			blk := p.blocks[c]
+			if blk != nil && blk.Kind == kind {
+				out = append(out, blk)
+			}
+		}
+	}
+	return out
+}
+
+// PackBlocks packs only the entries falling inside the given block
+// coordinates — the sparse mirror of tensor.PackBlocks' signature. For
+// packing many ranks from one tensor, build a Packed once and call
+// Select per rank instead.
+func PackBlocks(t *Tensor, coords [][3]int, b int) ([]*Block, error) {
+	p, err := Pack(t, b)
+	if err != nil {
+		return nil, err
+	}
+	return p.Select(coords), nil
+}
+
+// NNZ returns the total stored nonzeros across all blocks.
+func (p *Packed) NNZ() int {
+	n := 0
+	for _, blk := range p.blocks {
+		n += len(blk.Vals)
+	}
+	return n
+}
+
+// TernaryCount returns the exact total ternary multiplications one apply
+// performs over all blocks — by construction equal to the count the COO
+// Apply oracle reports for the same tensor.
+func (p *Packed) TernaryCount() int64 {
+	var n int64
+	for _, blk := range p.blocks {
+		n += blk.Ternary
+	}
+	return n
+}
+
+// BlockCounts returns per-block-coordinate nnz counts — the weights the
+// nnz-aware partition assignment consumes.
+func (p *Packed) BlockCounts() map[[3]int]int64 {
+	out := make(map[[3]int]int64, len(p.blocks))
+	for c, blk := range p.blocks {
+		out[c] = int64(len(blk.Vals))
+	}
+	return out
+}
+
+// BlockCounts computes per-block nnz counts for block edge b directly
+// from the tensor, without building the packed form — used to weight the
+// partition before any rank blocks exist.
+func BlockCounts(t *Tensor, b int) map[[3]int]int64 {
+	out := make(map[[3]int]int64)
+	for _, e := range t.entries {
+		out[[3]int{e.I / b, e.J / b, e.K / b}]++
+	}
+	return out
+}

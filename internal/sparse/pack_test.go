@@ -1,0 +1,263 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sttsv"
+	"repro/internal/tensor"
+)
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// randSparse builds a random sparsified tensor of dimension n.
+func randSparse(n int, drop float64, rng *rand.Rand) (*tensor.Symmetric, *Tensor) {
+	a := tensor.Random(n, rng)
+	for idx := range a.Data {
+		if rng.Float64() < drop {
+			a.Data[idx] = 0
+		}
+	}
+	return a, FromPacked(a, 0)
+}
+
+// TestPackTernaryOracle: the packed blocks' exact ternary count must
+// equal the COO Apply count — the nnz/Stats accounting oracle.
+func TestPackTernaryOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(30) + 3
+		b := rng.Intn(5) + 1
+		_, sp := randSparse(n, 0.8, rng)
+		pk, err := Pack(sp, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var coo sttsv.Stats
+		sp.Apply(make([]float64, n), &coo)
+		if pk.TernaryCount() != coo.TernaryMults {
+			t.Fatalf("n=%d b=%d: packed ternary %d, COO %d", n, b, pk.TernaryCount(), coo.TernaryMults)
+		}
+		if pk.NNZ() != sp.NNZ() {
+			t.Fatalf("n=%d b=%d: packed nnz %d, tensor nnz %d", n, b, pk.NNZ(), sp.NNZ())
+		}
+		var st sttsv.Stats
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		pk.ApplyPacked(x, &st)
+		if st.TernaryMults != coo.TernaryMults {
+			t.Fatalf("n=%d b=%d: ApplyPacked counted %d, COO %d", n, b, st.TernaryMults, coo.TernaryMults)
+		}
+	}
+}
+
+// TestBlockApplyBitwiseScalarOracle: BlockApply on a sparse block must be
+// bit-for-bit BlockContributeScalar on the dense expansion of the same
+// block — across all four kinds, paddings and sparsity levels.
+func TestBlockApplyBitwiseScalarOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(40) + 4
+		b := rng.Intn(6) + 2
+		drop := []float64{0.3, 0.8, 0.97}[trial%3]
+		a, sp := randSparse(n, drop, rng)
+		pk, err := Pack(sp, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := pk.M
+		padded := m * b
+		// Padded dense copy for block extraction.
+		ad := tensor.NewSymmetric(padded)
+		a.ForEach(func(i, j, k int, v float64) { ad.Set(i, j, k, v) })
+		x := make([]float64, padded)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+		}
+		row := func(buf []float64, i int) []float64 { return buf[i*b : (i+1)*b] }
+		kinds := make(map[tensor.BlockKind]bool)
+		for _, c := range pk.Coords() {
+			blk := pk.Block(c[0], c[1], c[2])
+			dblk := tensor.ExtractBlock(ad, c[0], c[1], c[2], b)
+			ys := make([]float64, padded)
+			yd := make([]float64, padded)
+			BlockApply(blk, row(x, blk.I), row(x, blk.J), row(x, blk.K),
+				row(ys, blk.I), row(ys, blk.J), row(ys, blk.K), nil)
+			sttsv.BlockContributeScalar(dblk, row(x, dblk.I), row(x, dblk.J), row(x, dblk.K),
+				row(yd, dblk.I), row(yd, dblk.J), row(yd, dblk.K), nil)
+			if !bitsEqual(ys, yd) {
+				t.Fatalf("trial %d: block (%d,%d,%d) kind %v: sparse kernel not bit-identical to scalar kernel", trial, c[0], c[1], c[2], blk.Kind)
+			}
+			kinds[blk.Kind] = true
+		}
+		if trial == 0 && len(kinds) < 4 {
+			t.Logf("trial 0 covered %d kinds", len(kinds))
+		}
+	}
+}
+
+// TestApplyPackedBitwiseBlockedOracle: the full packed apply must be
+// bit-identical to running the dense scalar kernel over the dense
+// expansion's blocks in the same kind-grouped order.
+func TestApplyPackedBitwiseBlockedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(30) + 6
+		b := rng.Intn(4) + 2
+		a, sp := randSparse(n, 0.85, rng)
+		pk, err := Pack(sp, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded := pk.M * b
+		ad := tensor.NewSymmetric(padded)
+		a.ForEach(func(i, j, k int, v float64) { ad.Set(i, j, k, v) })
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := pk.ApplyPacked(x, nil)
+
+		xp := make([]float64, padded)
+		copy(xp, x)
+		yp := make([]float64, padded)
+		row := func(buf []float64, i int) []float64 { return buf[i*b : (i+1)*b] }
+		for _, blk := range pk.Select(pk.Coords()) {
+			dblk := tensor.ExtractBlock(ad, blk.I, blk.J, blk.K, b)
+			sttsv.BlockContributeScalar(dblk, row(xp, blk.I), row(xp, blk.J), row(xp, blk.K),
+				row(yp, blk.I), row(yp, blk.J), row(yp, blk.K), nil)
+		}
+		if !bitsEqual(got, yp[:n]) {
+			t.Fatalf("trial %d (n=%d b=%d): ApplyPacked not bit-identical to dense scalar blocked apply", trial, n, b)
+		}
+		// And within tolerance of the entry-order COO kernel (different
+		// association order, so ulps not bits).
+		coo := sp.Apply(x, nil)
+		for i := range coo {
+			if math.Abs(coo[i]-got[i]) > 1e-9*math.Max(1, math.Abs(coo[i])) {
+				t.Fatalf("trial %d: packed vs COO differ at %d: %g vs %g", trial, i, got[i], coo[i])
+			}
+		}
+	}
+}
+
+// TestPackBlocksSelect: PackBlocks restricted to a coordinate subset
+// returns exactly those blocks, kind-grouped, and Select skips empty
+// coordinates.
+func TestPackBlocksSelect(t *testing.T) {
+	sp, err := New(8, []Entry{
+		{7, 3, 1, 1.0}, // block (3,1,0) off-diagonal at b=2
+		{5, 4, 1, 2.0}, // block (2,2,0) diag-pair-high
+		{1, 1, 0, 3.0}, // block (0,0,0) central
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := PackBlocks(sp, [][3]int{{0, 0, 0}, {3, 1, 0}, {1, 1, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("selected %d blocks, want 2 (empty (1,1,1) skipped)", len(blocks))
+	}
+	// Kind grouping: off-diagonal before central.
+	if blocks[0].Kind != tensor.OffDiagonal || blocks[1].Kind != tensor.Central {
+		t.Fatalf("kind order = %v, %v", blocks[0].Kind, blocks[1].Kind)
+	}
+	if blocks[0].NNZ() != 1 || blocks[1].NNZ() != 1 {
+		t.Fatalf("nnz = %d, %d, want 1, 1", blocks[0].NNZ(), blocks[1].NNZ())
+	}
+}
+
+// TestBlockCounts: direct per-block nnz counting must agree with the
+// packed form's accounting.
+func TestBlockCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	_, sp := randSparse(25, 0.7, rng)
+	pk, err := Pack(sp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := BlockCounts(sp, 3)
+	fromPack := pk.BlockCounts()
+	if len(direct) != len(fromPack) {
+		t.Fatalf("BlockCounts has %d blocks, packed %d", len(direct), len(fromPack))
+	}
+	var total int64
+	for c, cnt := range direct {
+		if fromPack[c] != cnt {
+			t.Fatalf("block %v: direct %d, packed %d", c, cnt, fromPack[c])
+		}
+		total += cnt
+	}
+	if total != int64(sp.NNZ()) {
+		t.Fatalf("counts sum %d, nnz %d", total, sp.NNZ())
+	}
+}
+
+// TestEntriesReturnsCopy: mutating the slice returned by Entries must
+// not corrupt the tensor's sorted invariant (regression: the seed
+// returned the internal slice).
+func TestEntriesReturnsCopy(t *testing.T) {
+	sp, err := New(4, []Entry{{3, 2, 1, 1.0}, {2, 1, 0, 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := sp.Entries()
+	es[0] = Entry{I: 99, J: 99, K: 99, V: -1}
+	again := sp.Entries()
+	if again[0].I == 99 {
+		t.Fatal("Entries() aliases internal state: external mutation corrupted the tensor")
+	}
+	if again[0].I != 2 || again[1].I != 3 {
+		t.Fatalf("entries out of order after external mutation: %+v", again)
+	}
+	var seen int
+	sp.ForEach(func(e Entry) {
+		if e.I == 99 {
+			t.Fatal("ForEach observed the external mutation")
+		}
+		seen++
+	})
+	if seen != 2 {
+		t.Fatalf("ForEach visited %d entries, want 2", seen)
+	}
+}
+
+// TestFromPackedThreshold pins the threshold semantics: strict |v| >
+// threshold, negative threshold means keep all nonzero, and explicit
+// zeros are never kept.
+func TestFromPackedThreshold(t *testing.T) {
+	a := tensor.NewSymmetric(4)
+	a.Set(1, 0, 0, 0.5)
+	a.Set(2, 1, 0, -0.5)
+	a.Set(3, 2, 1, 0.25)
+	a.Set(2, 2, 2, 1.5)
+	a.Set(3, 3, 3, 0) // explicit zero
+
+	if got := FromPacked(a, 0.5).NNZ(); got != 1 {
+		t.Errorf("threshold 0.5: kept %d entries, want 1 (strict >: both ±0.5 dropped)", got)
+	}
+	if got := FromPacked(a, 0.25).NNZ(); got != 3 {
+		t.Errorf("threshold 0.25: kept %d entries, want 3 (0.25 itself dropped)", got)
+	}
+	if got := FromPacked(a, 0).NNZ(); got != 4 {
+		t.Errorf("threshold 0: kept %d entries, want 4 (all nonzero)", got)
+	}
+	if got := FromPacked(a, -1).NNZ(); got != 4 {
+		t.Errorf("threshold -1: kept %d entries, want 4 (negative = keep all nonzero, zeros never kept)", got)
+	}
+}

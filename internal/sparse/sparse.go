@@ -66,8 +66,14 @@ func New(n int, coords []Entry) (*Tensor, error) {
 }
 
 // FromPacked converts a packed symmetric tensor, keeping entries with
-// |value| > threshold.
+// |value| strictly greater than threshold. A negative threshold is
+// clamped to zero and therefore means "keep every nonzero": explicitly
+// stored zeros are never kept, and entries with |value| exactly equal to
+// a non-negative threshold are dropped (strict inequality).
 func FromPacked(a *tensor.Symmetric, threshold float64) *Tensor {
+	if threshold < 0 {
+		threshold = 0
+	}
 	var coords []Entry
 	a.ForEach(func(i, j, k int, v float64) {
 		if v > threshold || v < -threshold {
@@ -99,9 +105,22 @@ func FromHypergraph(n int, edges [][3]int) (*Tensor, error) {
 // NNZ returns the number of stored entries.
 func (t *Tensor) NNZ() int { return len(t.entries) }
 
-// Entries returns the stored entries in sorted order. The slice aliases
-// internal state and must not be modified.
-func (t *Tensor) Entries() []Entry { return t.entries }
+// Entries returns a copy of the stored entries in sorted order. Mutating
+// the returned slice cannot corrupt the tensor's sorted/unique invariant;
+// use ForEach for zero-copy read-only iteration.
+func (t *Tensor) Entries() []Entry {
+	out := make([]Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// ForEach visits the stored entries in sorted (I,J,K) order without
+// copying. The callback must not retain or mutate tensor state.
+func (t *Tensor) ForEach(fn func(e Entry)) {
+	for _, e := range t.entries {
+		fn(e)
+	}
+}
 
 // Dense expands to packed symmetric storage.
 func (t *Tensor) Dense() *tensor.Symmetric {

@@ -1,0 +1,164 @@
+package sttsv
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// CPOperator applies a symmetric rank-r CP tensor A = Σ_k λ_k v_k³
+// without ever materializing A: y = A ×₂ x ×₃ x = V·diag(λ)·(Vᵀx)²,
+// O(nr) work and O(nr) storage versus the C(n+2,3) words of the dense
+// packed path. V is stored row-major (n rows of r factor weights) so a
+// contiguous row range is exactly the state one parallel rank owns.
+//
+// Work accounting: each apply is counted as 2nr "ternary-equivalent"
+// multiplications — nr for the factor projection z = Vᵀx and nr for the
+// rank-r update y = V·(λ∘z²) — the convention used by the session
+// engine's logical compute meters.
+type CPOperator struct {
+	N, R   int
+	Lambda []float64
+	V      []float64 // row-major: V[i*R+k] is factor k's weight on row i
+}
+
+// NewCPOperator builds the operator from factor columns: vectors[k] is
+// v_k (length n), weights[k] its λ_k — the same shape tensor.CP takes,
+// so the dense expansion of small problems is available for testing.
+func NewCPOperator(weights []float64, vectors [][]float64) (*CPOperator, error) {
+	if len(weights) == 0 || len(weights) != len(vectors) {
+		return nil, fmt.Errorf("sttsv: %d weights for %d factor vectors", len(weights), len(vectors))
+	}
+	n := len(vectors[0])
+	if n == 0 {
+		return nil, fmt.Errorf("sttsv: empty factor vectors")
+	}
+	r := len(weights)
+	op := &CPOperator{N: n, R: r, Lambda: append([]float64(nil), weights...), V: make([]float64, n*r)}
+	for k, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("sttsv: factor vector %d has length %d, want %d", k, len(v), n)
+		}
+		for i, w := range v {
+			op.V[i*r+k] = w
+		}
+	}
+	return op, nil
+}
+
+// Dense expands the operator to packed symmetric storage via tensor.CP —
+// only feasible for small n, used by conformance tests.
+func (op *CPOperator) Dense() (*tensor.Symmetric, error) {
+	vectors := make([][]float64, op.R)
+	for k := range vectors {
+		v := make([]float64, op.N)
+		for i := range v {
+			v[i] = op.V[i*op.R+k]
+		}
+		vectors[k] = v
+	}
+	return tensor.CP(op.Lambda, vectors)
+}
+
+// TernaryEquiv returns the per-apply work in ternary-equivalent
+// multiplications: 2nr.
+func (op *CPOperator) TernaryEquiv() int64 { return 2 * int64(op.N) * int64(op.R) }
+
+// Project accumulates the factor projection of rows [lo, hi):
+// z[k] += Σ_{i in [lo,hi)} V[i,k]·x[i-lo]. x addresses the row range
+// locally (len hi-lo); z has length R. This is the per-rank partial the
+// parallel CP session all-reduces — r words per rank, independent of n.
+func (op *CPOperator) Project(lo, hi int, x, z []float64) {
+	r := op.R
+	for i := lo; i < hi; i++ {
+		xi := x[i-lo]
+		row := op.V[i*r : i*r+r]
+		for k, w := range row {
+			z[k] += w * xi
+		}
+	}
+}
+
+// Update computes the rank-r output for rows [lo, hi) given the full
+// projection z = Vᵀx: y[i-lo] += Σ_k V[i,k]·(λ_k·z_k²), using wk as a
+// length-R scratch for the weighted squares so the steady state
+// allocates nothing. All callers — sequential oracle and every parallel
+// rank — share this exact expression, so row i's bits depend only on z.
+func (op *CPOperator) Update(lo, hi int, z, wk, y []float64) {
+	r := op.R
+	for k, zk := range z[:r] {
+		wk[k] = op.Lambda[k] * zk * zk
+	}
+	for i := lo; i < hi; i++ {
+		row := op.V[i*r : i*r+r]
+		s := 0.0
+		for k, w := range row {
+			s += w * wk[k]
+		}
+		y[i-lo] += s
+	}
+}
+
+// Apply computes y = V·diag(λ)·(Vᵀx)² sequentially. Equivalent to
+// ApplyChunked with a single chunk.
+func (op *CPOperator) Apply(x []float64, stats *Stats) []float64 {
+	return op.ApplyChunked(x, 1, stats)
+}
+
+// ApplyChunked is the exact oracle for a P-rank parallel CP apply: the
+// rows are split into P contiguous chunks of ⌈n/P⌉ rows, per-chunk
+// partial projections are formed independently and then summed in chunk
+// order — reproducing bit-for-bit the AllReduceSum combination the
+// session engine performs (chunk 0's partial, plus chunk 1's, …) —
+// before the shared rank-r update runs per chunk.
+func (op *CPOperator) ApplyChunked(x []float64, chunks int, stats *Stats) []float64 {
+	if len(x) != op.N {
+		panic(fmt.Sprintf("sttsv: CP vector length %d, dimension %d", len(x), op.N))
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	b := (op.N + chunks - 1) / chunks
+	span := func(p int) (int, int) {
+		lo := p * b
+		hi := lo + b
+		if lo > op.N {
+			lo = op.N
+		}
+		if hi > op.N {
+			hi = op.N
+		}
+		return lo, hi
+	}
+	z := make([]float64, op.R)
+	partial := make([]float64, op.R)
+	for p := 0; p < chunks; p++ {
+		lo, hi := span(p)
+		for k := range partial {
+			partial[k] = 0
+		}
+		op.Project(lo, hi, x[lo:hi], partial)
+		if p == 0 {
+			// The collective starts from a copy of rank 0's partial (not
+			// from zeros), so -0.0 partials survive; mirror it exactly.
+			copy(z, partial)
+		} else {
+			for k, v := range partial {
+				z[k] += v
+			}
+		}
+	}
+	y := make([]float64, op.N)
+	wk := make([]float64, op.R)
+	for p := 0; p < chunks; p++ {
+		lo, hi := span(p)
+		op.Update(lo, hi, z, wk, y[lo:hi])
+	}
+	stats.add(op.TernaryEquiv())
+	return y
+}
+
+// STTSV adapts Apply to the hopm.STTSV function shape.
+func (op *CPOperator) STTSV() func(x []float64) []float64 {
+	return func(x []float64) []float64 { return op.Apply(x, nil) }
+}

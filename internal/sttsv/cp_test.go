@@ -1,0 +1,112 @@
+package sttsv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCP(n, r int, rng *rand.Rand) *CPOperator {
+	weights := make([]float64, r)
+	vectors := make([][]float64, r)
+	for k := range weights {
+		weights[k] = rng.NormFloat64()
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		vectors[k] = v
+	}
+	op, err := NewCPOperator(weights, vectors)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// TestCPApplyMatchesDense: the O(nr) apply must agree with the dense
+// kernel on the materialized CP tensor (to rounding; the dense path sums
+// C(n+2,3) terms in a completely different order).
+func TestCPApplyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(12) + 3
+		r := rng.Intn(4) + 1
+		op := randCP(n, r, rng)
+		a, err := op.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := Packed(a, x, nil)
+		got := op.Apply(x, nil)
+		for i := range want {
+			scale := math.Max(1, math.Abs(want[i]))
+			if math.Abs(got[i]-want[i]) > 1e-9*scale {
+				t.Fatalf("trial %d (n=%d r=%d): CP apply differs at %d: %g vs %g", trial, n, r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCPApplyChunkedStable: chunked applies agree with the flat apply to
+// rounding (the projection is re-associated per chunk) and are exactly
+// reproducible for a fixed chunk count — the property that makes
+// ApplyChunked(x, P) the bit-exact oracle for a P-rank session.
+func TestCPApplyChunkedStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n, r := 101, 5
+	op := randCP(n, r, rng)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	flat := op.Apply(x, nil)
+	for _, chunks := range []int{1, 2, 3, 7, 10, 101, 200} {
+		got := op.ApplyChunked(x, chunks, nil)
+		for i := range flat {
+			scale := math.Max(1, math.Abs(flat[i]))
+			if math.Abs(got[i]-flat[i]) > 1e-12*scale {
+				t.Fatalf("chunks=%d: differs at %d: %g vs %g", chunks, i, got[i], flat[i])
+			}
+		}
+		again := op.ApplyChunked(x, chunks, nil)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(again[i]) {
+				t.Fatalf("chunks=%d: not reproducible at %d", chunks, i)
+			}
+		}
+	}
+}
+
+// TestCPWorkAccounting pins the 2nr ternary-equivalent convention.
+func TestCPWorkAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	op := randCP(64, 7, rng)
+	if op.TernaryEquiv() != 2*64*7 {
+		t.Fatalf("TernaryEquiv = %d, want %d", op.TernaryEquiv(), 2*64*7)
+	}
+	var st Stats
+	x := make([]float64, 64)
+	op.Apply(x, &st)
+	op.ApplyChunked(x, 4, &st)
+	if st.TernaryMults != 2*op.TernaryEquiv() {
+		t.Fatalf("stats counted %d, want %d", st.TernaryMults, 2*op.TernaryEquiv())
+	}
+}
+
+// TestCPOperatorValidation: shape errors must be rejected.
+func TestCPOperatorValidation(t *testing.T) {
+	if _, err := NewCPOperator(nil, nil); err == nil {
+		t.Error("empty operator accepted")
+	}
+	if _, err := NewCPOperator([]float64{1}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("weight/vector count mismatch accepted")
+	}
+	if _, err := NewCPOperator([]float64{1, 2}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged factor vectors accepted")
+	}
+}

@@ -21,6 +21,7 @@ import (
 // callers (e.g. all ranks of the simulated machine sharing one).
 type Executor struct {
 	workers int
+	scalar  bool
 }
 
 // NewExecutor returns an executor with the given worker count;
@@ -32,8 +33,32 @@ func NewExecutor(workers int) *Executor {
 	return &Executor{workers: workers}
 }
 
+// NewScalarExecutor returns an executor that applies blocks with the
+// scalar reference kernel (BlockContributeScalar) instead of the tiled
+// kernels. With one worker its output is bit-for-bit the seed sequential
+// behavior — the exact oracle the sparse block kernels are conformance-
+// tested against (they reproduce the scalar association order over the
+// stored nonzeros).
+func NewScalarExecutor(workers int) *Executor {
+	e := NewExecutor(workers)
+	e.scalar = true
+	return e
+}
+
 // Workers returns the configured worker count.
 func (e *Executor) Workers() int { return e.workers }
+
+// Scalar reports whether this executor uses the scalar reference kernel.
+func (e *Executor) Scalar() bool { return e.scalar }
+
+// contribute applies one block with the executor's configured kernel.
+func (e *Executor) contribute(blk *tensor.Block, xI, xJ, xK, yI, yJ, yK []float64, stats *Stats) {
+	if e.scalar {
+		BlockContributeScalar(blk, xI, xJ, xK, yI, yJ, yK, stats)
+		return
+	}
+	BlockContribute(blk, xI, xJ, xK, yI, yJ, yK, stats)
+}
 
 // Contribute applies every block to the input row blocks and accumulates
 // into the output row blocks: xRow(i) and yRow(i) return the length-b row
@@ -62,7 +87,7 @@ func (e *Executor) ContributeWith(sc *Scratch, blocks []*tensor.Block, b int, xR
 	}
 	if w <= 1 {
 		for _, blk := range blocks {
-			BlockContribute(blk,
+			e.contribute(blk,
 				xRow(blk.I), xRow(blk.J), xRow(blk.K),
 				yRow(blk.I), yRow(blk.J), yRow(blk.K), stats)
 		}
@@ -96,7 +121,7 @@ func (e *Executor) ContributeWith(sc *Scratch, blocks []*tensor.Block, b int, xR
 			var st Stats
 			for bi := wi; bi < len(blocks); bi += w {
 				blk := blocks[bi]
-				BlockContribute(blk,
+				e.contribute(blk,
 					xRow(blk.I), xRow(blk.J), xRow(blk.K),
 					row(blk.I), row(blk.J), row(blk.K), &st)
 			}
