@@ -88,17 +88,24 @@ func runDistMode(bf *backendflag.Options, cfg cluster.Config) int {
 		CtlAddr:  ctlAddr,
 		OnListen: func(addr string) { resolved = addr },
 		Spawn: func(rank int) (cluster.Proc, error) {
-			cmd := exec.Command(exe,
-				"-backend="+cfg.Network,
-				"-addr="+resolved,
-				"-rank="+strconv.Itoa(rank),
-				"-q="+strconv.Itoa(cfg.Q),
-				"-n="+strconv.Itoa(cfg.N),
-				"-seed="+strconv.FormatInt(cfg.Seed, 10),
-				"-maxiter="+strconv.Itoa(cfg.MaxIter),
-				"-tol="+strconv.FormatFloat(cfg.Tol, 'g', -1, 64),
-				"-ckptdir="+cfg.CkptDir,
-			)
+			args := []string{
+				"-backend=" + cfg.Network,
+				"-addr=" + resolved,
+				"-rank=" + strconv.Itoa(rank),
+				"-q=" + strconv.Itoa(cfg.Q),
+				"-n=" + strconv.Itoa(cfg.N),
+				"-seed=" + strconv.FormatInt(cfg.Seed, 10),
+				"-maxiter=" + strconv.Itoa(cfg.MaxIter),
+				"-tol=" + strconv.FormatFloat(cfg.Tol, 'g', -1, 64),
+				"-ckptdir=" + cfg.CkptDir,
+			}
+			if cfg.Faults != "" {
+				args = append(args, "-faults="+cfg.Faults)
+			}
+			if bf.Hosts != "" {
+				args = append(args, "-hosts="+bf.Hosts)
+			}
+			cmd := exec.Command(exe, args...)
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
 				return nil, err

@@ -39,6 +39,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hopm"
 	"repro/internal/machine"
+	"repro/internal/netwire"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
@@ -101,6 +102,15 @@ func main() {
 		ccfg := cluster.Config{
 			Network: bf.Backend, Q: *q, N: *n, Seed: *seed,
 			MaxIter: *maxIter, Tol: *tol, CkptDir: *ckptDir,
+			Faults: *faults,
+		}
+		if bf.Hosts != "" {
+			hosts, err := netwire.LoadHosts(bf.Hosts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sttsvrun: -hosts:", err)
+				os.Exit(2)
+			}
+			ccfg.Hosts = hosts
 		}
 		if bf.Worker() {
 			os.Exit(runRankMode(bf, ccfg))

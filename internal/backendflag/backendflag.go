@@ -34,6 +34,11 @@ type Options struct {
 	// Rank is the machine rank this process hosts, or -1 for
 	// single-process modes.
 	Rank int
+	// Hosts is a hosts-file path for multi-host distributed runs: one
+	// bind address per rank ("host" or "host:port", rank order). Empty
+	// keeps the single-host default (every rank binds loopback with an
+	// ephemeral port). tcp only.
+	Hosts string
 }
 
 // Register installs the shared -backend flag on fs (the process-global
@@ -53,6 +58,7 @@ func RegisterDistributed(fs *flag.FlagSet) *Options {
 	o := Register(fs)
 	fs.StringVar(&o.Addr, "addr", "", "coordinator control address for distributed runs (with -rank or -dist; default 127.0.0.1:0 for tcp)")
 	fs.IntVar(&o.Rank, "rank", -1, "host exactly this machine rank and join the coordinator at -addr (requires -backend=tcp|unix)")
+	fs.StringVar(&o.Hosts, "hosts", "", "hosts file for multi-host distributed runs: one bind address per rank, in rank order (requires -backend=tcp with -rank or -dist)")
 	return o
 }
 
@@ -81,6 +87,9 @@ func (o *Options) Validate(distributed bool) error {
 		if o.Addr == "" {
 			return fmt.Errorf("-rank requires -addr (the coordinator's control address)")
 		}
+	}
+	if o.Hosts != "" && o.Backend != "tcp" {
+		return fmt.Errorf("-hosts requires -backend=tcp (per-rank bind addresses are TCP endpoints)")
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/partition"
 	"repro/internal/tensor"
 )
@@ -35,6 +36,15 @@ type Config struct {
 	Tol float64
 	// CkptDir is the shared directory for per-rank checkpoint files.
 	CkptDir string
+	// Faults is an optional socket-level fault plan in fault.ParsePlan
+	// syntax (drop/dup/reorder/corrupt/stall/reset). An active plan
+	// perturbs every rank's outbound data frames and runs a reliable
+	// transport above the wire, so committed results stay bit-identical.
+	Faults string
+	// Hosts optionally lists one bind address per rank ("host" or
+	// "host:port", rank order — the netwire hosts-file format). Empty
+	// means every rank binds loopback with an ephemeral port. tcp only.
+	Hosts []string
 }
 
 func (cfg *Config) withDefaults() Config {
@@ -49,6 +59,21 @@ func (cfg *Config) withDefaults() Config {
 		out.Tol = 1e-12
 	}
 	return out
+}
+
+// faultPlan parses and validates the socket fault schedule. Deterministic
+// crash faults are rejected: a respawned rank replays the same operation
+// sequence and would re-crash at the same point forever. Process death in
+// a cluster run is exercised by killing the rank process instead.
+func (cfg *Config) faultPlan() (fault.Plan, error) {
+	plan, err := fault.ParsePlan(cfg.Faults)
+	if err != nil {
+		return fault.Plan{}, err
+	}
+	if len(plan.Crash) > 0 {
+		return fault.Plan{}, fmt.Errorf("cluster: fault plan %q schedules a deterministic crash; kill the rank process instead", cfg.Faults)
+	}
+	return plan, nil
 }
 
 // layout resolves the partition and block edge (no tensor entries).

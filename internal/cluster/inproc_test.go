@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"net"
 	"testing"
 	"time"
+
+	"repro/internal/partition"
 )
 
 // goProc satisfies Proc for a rank running as a goroutine — it cannot be
@@ -19,6 +22,50 @@ func (goProc) Wait() error { return nil }
 // exec. Failures here come with this process's stack dump.
 func TestSuperviseInProcess(t *testing.T) {
 	cfg := testConfig(t)
+	var addr string
+	addrCh := make(chan string, 1)
+	out, err := Supervise(SuperviseOptions{
+		Config:   cfg,
+		OnListen: func(a string) { addr = a; close(addrCh) },
+		Spawn: func(rank int) (Proc, error) {
+			<-addrCh
+			go func() {
+				if err := RunRank(RankOptions{Config: cfg, CtlAddr: addr, Rank: rank}); err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+			}()
+			return goProc{}, nil
+		},
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSim(t, out, simReference(t, cfg))
+}
+
+// TestSuperviseInProcessMultiHost is the multi-host-shaped cluster run:
+// every rank binds a distinct loopback address from a hosts list, so
+// nothing in the portmap path may assume a shared 127.0.0.1 — and the
+// committed outcome still matches the simulator bit for bit.
+func TestSuperviseInProcessMultiHost(t *testing.T) {
+	cfg := testConfig(t)
+	part, err := partition.NewSpherical(cfg.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hosts = make([]string, part.P)
+	for r := range cfg.Hosts {
+		// 127.0.0.2, 127.0.0.3, ... — one address per rank.
+		cfg.Hosts[r] = net.IPv4(127, 0, 0, byte(2+r)).String()
+	}
+	for _, h := range cfg.Hosts {
+		ln, err := net.Listen("tcp", net.JoinHostPort(h, "0"))
+		if err != nil {
+			t.Skipf("cannot bind %s: %v (single-address loopback)", h, err)
+		}
+		ln.Close()
+	}
 	var addr string
 	addrCh := make(chan string, 1)
 	out, err := Supervise(SuperviseOptions{

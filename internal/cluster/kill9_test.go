@@ -44,6 +44,7 @@ func TestHelperRankProcess(t *testing.T) {
 			MaxIter: atoi("STTSV_CLUSTER_MAXITER"),
 			Tol:     1e-10,
 			CkptDir: os.Getenv("STTSV_CLUSTER_CKPT"),
+			Faults:  os.Getenv("STTSV_CLUSTER_FAULTS"),
 		},
 		CtlAddr: os.Getenv("STTSV_CLUSTER_CTL"),
 		Rank:    rank,
@@ -77,6 +78,7 @@ func (s *testSpawner) spawn(rank int) (Proc, error) {
 		"STTSV_CLUSTER_MAXITER="+strconv.Itoa(s.cfg.MaxIter),
 		"STTSV_CLUSTER_CKPT="+s.cfg.CkptDir,
 		"STTSV_CLUSTER_CTL="+s.ctlAddr(),
+		"STTSV_CLUSTER_FAULTS="+s.cfg.Faults,
 	)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -233,6 +235,45 @@ func TestClusterKill9Recovery(t *testing.T) {
 		t.Errorf("final epoch %d after a kill; want ≥ 1", out.FinalEpoch)
 	}
 	assertMatchesSim(t, out, simReference(t, cfg))
+}
+
+// TestClusterChaosKill9Recovery composes the socket fault layer with hard
+// process death: every rank's data frames cross a chaos-perturbed TCP
+// wire (drops, duplicates, reorders — no deterministic crash; cluster
+// runs forbid those, since a respawn would replay straight into the same
+// crash), and mid-run one rank process is SIGKILLed on top. The reliable
+// transport absorbs the frame damage, the supervisor absorbs the kill,
+// and the committed outcome still matches the simulator bit for bit.
+func TestClusterChaosKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	cfg := testConfig(t)
+	cfg.Faults = "seed=909,drop=0.08,dup=0.08,reorder=0.1"
+	var once sync.Once
+	out := superviseWith(t, cfg, func(sp *testSpawner, rank, iter int) {
+		if rank == 1 && iter == 3 {
+			once.Do(func() { sp.kill(2) })
+		}
+	})
+	if out.Respawns < 1 {
+		t.Fatalf("no respawn recorded — the kill never landed")
+	}
+	assertMatchesSim(t, out, simReference(t, cfg))
+}
+
+// TestClusterRejectsCrashPlans: a fault plan with a deterministic crash is
+// refused up front — a respawned rank process would re-derive the same
+// plan and re-crash at the same operation forever.
+func TestClusterRejectsCrashPlans(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Faults = "drop=0.1,crash=1@5"
+	if _, err := Supervise(SuperviseOptions{Config: cfg, Spawn: func(int) (Proc, error) { return nil, nil }}); err == nil {
+		t.Fatal("Supervise accepted a crash-scheduling fault plan")
+	}
+	if err := RunRank(RankOptions{Config: cfg, Rank: 0}); err == nil {
+		t.Fatal("RunRank accepted a crash-scheduling fault plan")
+	}
 }
 
 // TestCheckpointRoundTrip: the durable checkpoint file restores the exact

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/netwire"
 	"repro/internal/parallel"
@@ -42,7 +43,18 @@ func RunRank(opt RankOptions) error {
 	if err != nil {
 		return err
 	}
-	cl, err := netwire.NewClient(cfg.Network, opt.CtlAddr, opt.Rank, part.P)
+	plan, err := cfg.faultPlan()
+	if err != nil {
+		return err
+	}
+	copt := netwire.ClientOptions{FaultPlan: plan}
+	if len(cfg.Hosts) > 0 {
+		if len(cfg.Hosts) != part.P {
+			return fmt.Errorf("cluster: hosts file lists %d hosts for %d ranks", len(cfg.Hosts), part.P)
+		}
+		copt.Bind = cfg.Hosts[opt.Rank]
+	}
+	cl, err := netwire.NewClientOpts(cfg.Network, opt.CtlAddr, opt.Rank, part.P, copt)
 	if err != nil {
 		return err
 	}
@@ -127,11 +139,19 @@ func RunRank(opt RankOptions) error {
 			done                bool
 			ckptErr             error
 		)
-		h, err := machine.StartWith(part.P, machine.RunConfig{
+		runCfg := machine.RunConfig{
 			Backend:    cl,
 			LocalRanks: []int{opt.Rank},
 			StartEpoch: epoch,
-		}, func(c *machine.Comm) {
+		}
+		if plan.Active() {
+			// Chaos-perturbed frames need the reliable transport above the
+			// wire. The retry budget is effectively unbounded — the
+			// supervisor's abort, not the transport, decides when a silent
+			// peer means a dead rank.
+			runCfg.Transport = fault.TransportOpts(fault.Plan{}, fault.ReliableOptions{MaxAttempts: 1 << 20})
+		}
+		h, err := machine.StartWith(part.P, runCfg, func(c *machine.Comm) {
 			defer func() {
 				if r := recover(); r != nil {
 					if machine.IsAbort(r) {

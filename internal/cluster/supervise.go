@@ -70,6 +70,17 @@ func Supervise(opt SuperviseOptions) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := cfg.faultPlan(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Hosts) > 0 {
+		if cfg.Network != "tcp" {
+			return nil, fmt.Errorf("cluster: hosts file requires the tcp network")
+		}
+		if len(cfg.Hosts) != part.P {
+			return nil, fmt.Errorf("cluster: hosts file lists %d hosts for %d ranks", len(cfg.Hosts), part.P)
+		}
+	}
 	if opt.Spawn == nil {
 		return nil, fmt.Errorf("cluster: no spawner")
 	}

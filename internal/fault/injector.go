@@ -62,6 +62,7 @@ func (i *injector) Deliver(pkt machine.Packet) {
 	rReorder := i.rng.Float64()
 	rCorrupt := i.rng.Float64()
 	rStall := i.rng.Float64()
+	rReset := i.rng.Float64()
 
 	if rStall < i.plan.Stall && i.budget() {
 		d := i.plan.StallDelay
@@ -74,6 +75,11 @@ func (i *injector) Deliver(pkt machine.Packet) {
 	var out []machine.Packet
 	if rDrop < i.plan.Drop && i.budget() {
 		// Dropped: the packet vanishes before reaching the wire.
+	} else if rReset < i.plan.Reset && i.budget() {
+		// Connection reset: the simulated wire has no connections to tear,
+		// so the packet is simply lost. The socket chaos layer
+		// (internal/netwire) realizes the same plan key as a torn frame
+		// plus a closed connection.
 	} else {
 		if rCorrupt < i.plan.Corrupt && pkt.Kind == machine.PacketData && len(pkt.Data) > 0 && i.budget() {
 			pkt.Data = corrupt(pkt.Data, i.ops)

@@ -32,6 +32,11 @@ type Plan struct {
 	// Drop, Dup, Reorder, Corrupt, Stall are per-packet fault
 	// probabilities in [0, 1].
 	Drop, Dup, Reorder, Corrupt, Stall float64
+	// Reset is the per-packet probability of a connection reset. On a
+	// socket wire (internal/netwire) the frame is torn mid-write and the
+	// connection closed, so the receiver drops the stream; on the
+	// simulated wire, which has no connections, it degenerates to a drop.
+	Reset float64
 	// StallDelay is the bounded delay a stall fault imposes on the
 	// sending rank (default 1ms).
 	StallDelay time.Duration
@@ -48,7 +53,7 @@ type Plan struct {
 // Active reports whether the plan injects anything at all.
 func (p Plan) Active() bool {
 	return p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 || p.Corrupt > 0 ||
-		p.Stall > 0 || len(p.Crash) > 0
+		p.Stall > 0 || p.Reset > 0 || len(p.Crash) > 0
 }
 
 // String renders the plan in the spec syntax ParsePlan accepts.
@@ -67,6 +72,7 @@ func (p Plan) String() string {
 	add("reorder", p.Reorder)
 	add("corrupt", p.Corrupt)
 	add("stall", p.Stall)
+	add("reset", p.Reset)
 	if p.StallDelay > 0 {
 		parts = append(parts, fmt.Sprintf("stalldelay=%v", p.StallDelay))
 	}
@@ -91,7 +97,7 @@ func (p Plan) String() string {
 //
 //	seed=42,drop=0.1,dup=0.05,reorder=0.2,corrupt=0.02,stall=0.01,stalldelay=2ms,crash=3@40
 //
-// Keys: seed=<int>, drop/dup/reorder/corrupt/stall=<prob in [0,1]>,
+// Keys: seed=<int>, drop/dup/reorder/corrupt/stall/reset=<prob in [0,1]>,
 // stalldelay=<duration>, crash=<rank>@<op> (repeatable), maxfaults=<int>.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
@@ -124,6 +130,8 @@ func ParsePlan(spec string) (Plan, error) {
 			p.Corrupt, err = parseProb(val)
 		case "stall":
 			p.Stall, err = parseProb(val)
+		case "reset":
+			p.Reset, err = parseProb(val)
 		case "stalldelay":
 			p.StallDelay, err = time.ParseDuration(val)
 		case "maxfaults":

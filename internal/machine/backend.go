@@ -74,6 +74,16 @@ type BarrierWire interface {
 	Barrier(epoch int64, abort <-chan struct{}) (gen int, ok bool)
 }
 
+// DropReporter is an optional BackendWire extension for lossy wires that
+// can tell when they lose a datagram — a send to a dead peer, a write
+// error, an injected chaos fault. The machine registers a hook that turns
+// each loss into an EventDrop wire event, so dropped sends are countable
+// in traces instead of only visible under ad-hoc debug logging. The hook
+// is called from whatever goroutine performed the Deliver.
+type DropReporter interface {
+	OnDrop(fn func(pkt Packet, reason string))
+}
+
 // RankResetter is an optional Backend extension for backends that can
 // hand a restarting rank a fresh inbound state (Handle.RestartRank).
 // SimBackend implements it by swapping the rank's mailbox; a distributed

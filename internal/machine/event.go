@@ -59,6 +59,12 @@ const (
 	// affected rank and Step the failing page index. The supervisor turns
 	// it into a RestoreMismatchError instead of replaying corrupt state.
 	EventRestoreMismatch
+	// EventDrop records a raw datagram the wire lost — a socket send to a
+	// dead peer, a write error, or an injected chaos fault. Always a wire
+	// event (Wire == true, emitted only when RunConfig.WireEvents is set);
+	// it never enters the logical meters, which count only what the
+	// Send/Recv layer commits.
+	EventDrop
 )
 
 func (k EventKind) String() string {
@@ -85,6 +91,8 @@ func (k EventKind) String() string {
 		return "restore-verify"
 	case EventRestoreMismatch:
 		return "restore-mismatch"
+	case EventDrop:
+		return "drop"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

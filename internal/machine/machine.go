@@ -255,9 +255,11 @@ func (c *Comm) Exchange(peer, tag int, data []float64) []float64 {
 // In a distributed run (some ranks in other processes) the in-process
 // counting barrier cannot see the remote ranks, so the wait is delegated
 // to the backend's BarrierWire — the coordinator counts all P arrivals
-// and hands back the global generation. The Idler servicing loop does not
-// apply there: socket backends pull frames on dedicated reader
-// goroutines, so the wire keeps draining while this rank waits.
+// and hands back the global generation. The Idler servicing loop still
+// applies there: socket backends drain frames into the inbox on dedicated
+// reader goroutines, but only the transport can acknowledge them, so a
+// rank parked at the control-plane barrier without idling would strand
+// any peer retransmitting a message whose ack was lost.
 func (c *Comm) Barrier() {
 	c.m.checkAbort()
 	c.diag.setBlocked(BlockBarrier, -1, -1)
@@ -271,8 +273,24 @@ func (c *Comm) Barrier() {
 		if !ok {
 			panic(fmt.Sprintf("machine: distributed run over %T, which provides no BarrierWire", l.raw))
 		}
-		g, ok := bw.Barrier(c.m.epoch.Load(), c.m.abortChan())
-		if !ok {
+		epoch, abort := c.m.epoch.Load(), c.m.abortChan()
+		var g int
+		var bok bool
+		if idler, ok := c.t.(Idler); ok {
+			// BarrierWire.Barrier blocks on the control plane only, so it
+			// is safe off the rank goroutine; the rank goroutine itself
+			// keeps servicing the data plane (acks, dedup) until release.
+			// The channel close orders g/bok before the reads below.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				g, bok = bw.Barrier(epoch, abort)
+			}()
+			idler.Idle(done)
+		} else {
+			g, bok = bw.Barrier(epoch, abort)
+		}
+		if !bok {
 			panic(abortPanic{})
 		}
 		gen = g

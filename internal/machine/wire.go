@@ -174,6 +174,14 @@ func newLink(m *Machine, rank int, raw BackendWire) *link {
 	} else {
 		l.cost = func(pkt Packet) int64 { return int64(len(pkt.Data)) }
 	}
+	if dr, ok := raw.(DropReporter); ok && m.wireEvents {
+		// Promote the wire's loss reports into the structured event
+		// stream: one EventDrop per lost datagram. Wire-only — drops never
+		// touch the logical meters the paper's bounds are checked against.
+		dr.OnDrop(func(pkt Packet, reason string) {
+			m.emit(rank, Event{Kind: EventDrop, From: rank, To: pkt.To, Tag: pkt.Tag, Words: len(pkt.Data), Step: -1, Wire: true})
+		})
+	}
 	return l
 }
 

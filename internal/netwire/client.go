@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 )
 
@@ -40,10 +41,35 @@ type Client struct {
 	wg     sync.WaitGroup
 }
 
+// ClientOptions configures a rank's data plane beyond the loopback
+// defaults: where to bind, what address to advertise to peers, and an
+// optional socket-level fault plan.
+type ClientOptions struct {
+	// Bind is the local address ("host" or "host:port") the rank's data
+	// listener binds; empty means 127.0.0.1 with an ephemeral port. A
+	// bare host gets an ephemeral port. tcp only; ignored for unix.
+	Bind string
+	// Advertise is the address peers dial to reach this rank, registered
+	// with the coordinator's portmap. Empty advertises the bound listener
+	// address; a bare host is joined with the listener's actual port —
+	// the multi-host case, where a rank binds a NIC (or wildcard) and
+	// advertises the name other hosts route to. tcp only.
+	Advertise string
+	// FaultPlan attaches seeded socket-level chaos (see fault.Plan) to
+	// every outbound data frame. An inactive plan attaches nothing.
+	FaultPlan fault.Plan
+}
+
 // NewClient creates rank's data listener, dials the coordinator at
 // ctlAddr, and registers with hello. network is "tcp" or "unix"; for
 // "unix" the data socket lives in a fresh temporary directory.
 func NewClient(network, ctlAddr string, rank, size int) (*Client, error) {
+	return NewClientOpts(network, ctlAddr, rank, size, ClientOptions{})
+}
+
+// NewClientOpts is NewClient with explicit bind/advertise addresses and
+// an optional fault plan.
+func NewClientOpts(network, ctlAddr string, rank, size int, opt ClientOptions) (*Client, error) {
 	switch network {
 	case "tcp", "unix":
 	default:
@@ -60,7 +86,7 @@ func NewClient(network, ctlAddr string, rank, size int) (*Client, error) {
 		events:  make(chan CtlEvent, 64),
 		done:    make(chan struct{}),
 	}
-	listen := "127.0.0.1:0"
+	listen := listenAddr(opt.Bind)
 	if network == "unix" {
 		dir, err := os.MkdirTemp("", "netwire")
 		if err != nil {
@@ -76,8 +102,14 @@ func NewClient(network, ctlAddr string, rank, size int) (*Client, error) {
 		}
 		return nil, err
 	}
+	nd.chaos = newFaultWire(opt.FaultPlan, rank)
 	cl.nd = nd
 	cl.wire = &clientWire{Wire: &Wire{nd: nd}, cl: cl}
+
+	advertise := nd.addr()
+	if network == "tcp" && opt.Advertise != "" {
+		advertise = advertiseAddr(opt.Advertise, nd.addr())
+	}
 
 	ctl, err := net.DialTimeout(network, ctlAddr, dialTimeout)
 	if err != nil {
@@ -89,13 +121,39 @@ func NewClient(network, ctlAddr string, rank, size int) (*Client, error) {
 	}
 	cl.ctl = ctl
 	cl.enc = json.NewEncoder(ctl)
-	if err := cl.sendCtl(ctlMsg{Type: "hello", Rank: rank, Addr: nd.addr()}); err != nil {
+	if err := cl.sendCtl(ctlMsg{Type: "hello", Rank: rank, Addr: advertise}); err != nil {
 		cl.Close()
 		return nil, err
 	}
 	cl.wg.Add(1)
 	go cl.readLoop()
 	return cl, nil
+}
+
+// listenAddr normalizes a tcp bind spec: empty means loopback ephemeral,
+// a bare host gets an ephemeral port, host:port passes through.
+func listenAddr(bind string) string {
+	if bind == "" {
+		return "127.0.0.1:0"
+	}
+	if _, _, err := net.SplitHostPort(bind); err == nil {
+		return bind
+	}
+	return net.JoinHostPort(bind, "0")
+}
+
+// advertiseAddr resolves the address registered in the portmap: a full
+// host:port passes through, a bare host is joined with the port the
+// listener actually bound.
+func advertiseAddr(advertise, bound string) string {
+	if _, _, err := net.SplitHostPort(advertise); err == nil {
+		return advertise
+	}
+	_, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return advertise
+	}
+	return net.JoinHostPort(advertise, port)
 }
 
 // Rank returns the rank this client hosts.
@@ -168,11 +226,23 @@ func (cl *Client) readLoop() {
 		}
 		switch m.Type {
 		case "release":
-			select {
-			case cl.rel <- m:
-			default:
-				// Only stale releases (from an epoch aborted after this rank
-				// arrived) can pile up; dropping them is safe.
+			// The buffer can fill with stale releases from epochs aborted
+			// after this rank arrived at their barriers. Evict the OLDEST
+			// entry when full — never the incoming message — so the release
+			// for the current epoch is the one guaranteed to survive;
+			// Barrier itself skips entries of non-matching epochs. The loop
+			// terminates because readLoop is the only producer.
+			for {
+				select {
+				case cl.rel <- m:
+				default:
+					select {
+					case <-cl.rel:
+					default:
+					}
+					continue
+				}
+				break
 			}
 		case "resume":
 			cl.Adopt(m.Addrs)

@@ -24,6 +24,7 @@ type Coordinator struct {
 	conns    map[int]*ctlConn
 	addrs    map[int]string
 	arrivals map[int64]map[int]bool // epoch → ranks arrived at the barrier
+	fence    int64                  // epochs below this were aborted; their arrivals are ignored
 	gen      int
 	closed   bool
 
@@ -158,9 +159,17 @@ func (co *Coordinator) serve(c net.Conn) {
 }
 
 // arrive counts a barrier arrival; the p-th arrival of an epoch advances
-// the global generation and releases everyone.
+// the global generation and releases everyone. Arrivals of fenced
+// (aborted) epochs are discarded outright: without the fence, a barrier
+// message that races AbortEpoch would re-create the epoch's arrival set,
+// which nothing ever deletes — the map would grow by one dead entry per
+// crash for the life of the coordinator.
 func (co *Coordinator) arrive(rank int, epoch int64) {
 	co.mu.Lock()
+	if epoch < co.fence {
+		co.mu.Unlock()
+		return
+	}
 	set := co.arrivals[epoch]
 	if set == nil {
 		set = make(map[int]bool, co.p)
@@ -234,7 +243,16 @@ func (co *Coordinator) Go(iter int) { co.broadcast(ctlMsg{Type: "go", Iter: iter
 // never complete once a participant is dead.
 func (co *Coordinator) AbortEpoch(epoch int64) {
 	co.mu.Lock()
-	delete(co.arrivals, epoch)
+	// Fence the epoch (and every earlier one — epochs only move forward)
+	// so a straggling barrier message cannot resurrect its arrival state.
+	if epoch >= co.fence {
+		co.fence = epoch + 1
+	}
+	for e := range co.arrivals {
+		if e < co.fence {
+			delete(co.arrivals, e)
+		}
+	}
 	co.mu.Unlock()
 	co.broadcast(ctlMsg{Type: "abort", Epoch: epoch})
 }

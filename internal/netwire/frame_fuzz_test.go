@@ -1,0 +1,89 @@
+package netwire
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// testFrame returns one valid 3-word frame, the torn-frame fixture.
+func testFrame() []byte {
+	return AppendFrame(nil, machine.Packet{
+		From: 1, To: 2, Tag: 3, Seq: 4, Kind: machine.PacketData,
+		Check: 0xfeedface, Epoch: 5, Data: []float64{1.5, -2.25, 3.75},
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader: it must
+// never panic and never grow its scratch buffer beyond the largest legal
+// frame body, no matter what the length prefix claims.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(testFrame())
+	frame := testFrame()
+	f.Add(frame[:len(frame)/2])                // torn mid-frame
+	f.Add(append(testFrame(), testFrame()...)) // two frames back to back
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})      // absurd length prefix
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxBody = frameHeaderLen + 8*MaxFrameWords + frameTrailerLen
+		br := bufio.NewReader(bytes.NewReader(data))
+		var scratch []byte
+		for {
+			pkt, err := ReadFrame(br, &scratch)
+			if cap(scratch) > maxBody {
+				t.Fatalf("scratch grew to %d bytes, legal max body is %d", cap(scratch), maxBody)
+			}
+			if err != nil {
+				return
+			}
+			if len(pkt.Data) > MaxFrameWords {
+				t.Fatalf("decoded %d payload words, cap %d", len(pkt.Data), MaxFrameWords)
+			}
+			if pkt.Recycle {
+				t.Fatal("decoded packet claims a pooled payload")
+			}
+		}
+	})
+}
+
+// TestReadFrameTornAtEveryBoundary cuts a valid frame at every field
+// boundary (and inside every field) and checks each truncation surfaces
+// as an error — never a panic, never a silently wrong packet. The frame
+// is 77 bytes: prefix 0–4, from 4–8, to 8–12, tag 12–16, seq 16–24, kind
+// 24–25, check 25–33, epoch 33–41, nwords 41–45, payload 45–69, trailer
+// 69–77.
+func TestReadFrameTornAtEveryBoundary(t *testing.T) {
+	frame := testFrame()
+	if len(frame) != 77 {
+		t.Fatalf("fixture frame is %d bytes, want 77", len(frame))
+	}
+	cuts := []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 25, 29, 33, 37, 41, 43, 45, 53, 61, 69, 73, 76}
+	for _, cut := range cuts {
+		br := bufio.NewReader(bytes.NewReader(frame[:cut]))
+		var scratch []byte
+		if _, err := ReadFrame(br, &scratch); err == nil {
+			t.Errorf("cut at %d: torn frame decoded without error", cut)
+		} else if !strings.Contains(err.Error(), "torn frame") {
+			t.Errorf("cut at %d: error %q does not name the torn frame", cut, err)
+		}
+	}
+
+	// A complete frame followed by a torn one: the first decodes intact,
+	// the second errors.
+	stream := append(append([]byte(nil), frame...), frame[:30]...)
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var scratch []byte
+	pkt, err := ReadFrame(br, &scratch)
+	if err != nil {
+		t.Fatalf("intact frame before the tear: %v", err)
+	}
+	if pkt.From != 1 || pkt.To != 2 || pkt.Tag != 3 || len(pkt.Data) != 3 {
+		t.Fatalf("intact frame decoded wrong: %+v", pkt)
+	}
+	if _, err := ReadFrame(br, &scratch); err == nil {
+		t.Error("torn second frame decoded without error")
+	}
+}

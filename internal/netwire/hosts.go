@@ -1,0 +1,57 @@
+package netwire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseHosts reads a hosts file: one bind address per rank, rank order,
+// `host` or `host:port` per line. Blank lines and `#` comments are
+// skipped. The result indexes by rank — line i is rank i's address.
+//
+// A bare host binds an ephemeral port (the coordinator's portmap carries
+// the resolved one); an explicit port pins it, for firewalled clusters.
+func ParseHosts(r io.Reader) ([]string, error) {
+	var hosts []string
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.ContainsAny(text, " \t") {
+			return nil, fmt.Errorf("netwire: hosts line %d: %q is not one host[:port]", line, text)
+		}
+		hosts = append(hosts, text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netwire: reading hosts: %w", err)
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("netwire: hosts file lists no hosts")
+	}
+	return hosts, nil
+}
+
+// LoadHosts is ParseHosts over a file path.
+func LoadHosts(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: open hosts file: %w", err)
+	}
+	defer f.Close()
+	hosts, err := ParseHosts(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hosts, nil
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 )
 
@@ -22,6 +23,7 @@ import (
 // recovery suite (Handle.RestartRank) runs over sockets too.
 type Loopback struct {
 	network string
+	plan    fault.Plan
 	mu      sync.Mutex
 	size    int
 	dir     string
@@ -41,6 +43,20 @@ func NewLoopback(network string) (*Loopback, error) {
 		return nil, fmt.Errorf("netwire: loopback network %q (want tcp or unix)", network)
 	}
 	return &Loopback{network: network}, nil
+}
+
+// NewChaosLoopback is NewLoopback with a seeded fault plan applied to
+// every rank's outbound frames at the socket level (see fault.Plan and
+// the faultWire mapping of fault classes onto framed bytes). Plan seeds
+// match the simulated injector's per-rank derivation, so the same plan
+// perturbs sim and socket runs comparably.
+func NewChaosLoopback(network string, plan fault.Plan) (*Loopback, error) {
+	b, err := NewLoopback(network)
+	if err != nil {
+		return nil, err
+	}
+	b.plan = plan
+	return b, nil
 }
 
 // NewWire returns rank's socket endpoint, setting up all P listeners on
@@ -101,6 +117,7 @@ func (b *Loopback) setupLocked(size int) error {
 			}
 			return err
 		}
+		nd.chaos = newFaultWire(b.plan, r)
 		nodes[r] = nd
 		wires[r] = &Wire{nd: nd}
 		addrs[r] = nd.addr()

@@ -17,12 +17,26 @@ import (
 // is treated as down and the packet is dropped (lossy-close semantics).
 const dialTimeout = 5 * time.Second
 
+// Failed dials are cached so a dead peer costs one dial timeout, not one
+// per send: while the cache entry is live every send to that peer fails
+// immediately, and the retry interval doubles from dialRetryMin up to
+// dialRetryMax. The entry is keyed by the resolved address, so a
+// respawned peer (new address in the portmap) is dialed right away.
+const (
+	dialRetryMin = 50 * time.Millisecond
+	dialRetryMax = time.Second
+)
+
 var errNodeClosed = errors.New("netwire: node closed")
 
 // resolver maps a peer rank to its current socket address. A static map
 // for Loopback; the live portmap for a distributed Client, so a respawned
 // rank's new address takes effect on the next dial.
 type resolver func(peer int) (string, bool)
+
+// dialer dials one peer connection; injectable so tests can model dead or
+// slow peers without real unroutable addresses.
+type dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 // node is one rank's socket endpoint: a listener whose inbound
 // connections decode frames into the rank's packet queue, plus a cache of
@@ -32,10 +46,14 @@ type node struct {
 	rank    int
 	ln      net.Listener
 	resolve resolver
+	dial    dialer
+	chaos   *faultWire                          // nil: faithful writes
 	inbox   atomic.Pointer[machine.PacketQueue] // swappable for ResetRank
+	onDrop  atomic.Pointer[func(machine.Packet, string)]
 
 	mu       sync.Mutex
 	conns    map[int]*peerConn
+	down     map[int]*dialFailure
 	accepted map[net.Conn]struct{}
 	closed   bool
 	done     chan struct{}
@@ -52,6 +70,14 @@ type peerConn struct {
 	buf  []byte
 }
 
+// dialFailure is the negative dial cache entry for one peer.
+type dialFailure struct {
+	addr    string        // resolved address the dial failed against
+	until   time.Time     // no redial before this
+	backoff time.Duration // next entry's TTL (doubles up to dialRetryMax)
+	err     error         // the dial error, replayed to fast-failed sends
+}
+
 // newNode listens on addr and starts the accept loop.
 func newNode(network, addr string, rank int, resolve resolver) (*node, error) {
 	ln, err := net.Listen(network, addr)
@@ -63,7 +89,9 @@ func newNode(network, addr string, rank int, resolve resolver) (*node, error) {
 		rank:     rank,
 		ln:       ln,
 		resolve:  resolve,
+		dial:     net.DialTimeout,
 		conns:    make(map[int]*peerConn),
+		down:     make(map[int]*dialFailure),
 		accepted: make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
@@ -74,6 +102,18 @@ func newNode(network, addr string, rank int, resolve resolver) (*node, error) {
 }
 
 func (nd *node) addr() string { return nd.ln.Addr().String() }
+
+// reportDrop surfaces a packet the socket layer lost — dial failure,
+// write error, injected fault — to the registered hook (the machine's
+// wire-event stream) and, under NETWIRE_DEBUG, to stderr.
+func (nd *node) reportDrop(pkt machine.Packet, reason string) {
+	if fn := nd.onDrop.Load(); fn != nil {
+		(*fn)(pkt, reason)
+	}
+	if debugDrops {
+		fmt.Fprintf(os.Stderr, "netwire: rank %d -> %d tag %d dropped: %s\n", nd.rank, pkt.To, pkt.Tag, reason)
+	}
+}
 
 func (nd *node) acceptLoop() {
 	defer nd.wg.Done()
@@ -124,8 +164,13 @@ func (nd *node) readLoop(c net.Conn) {
 }
 
 // send frames pkt onto the persistent connection to rank to, dialing it
-// first if needed. The caller treats any error as a silent drop.
+// first if needed. The caller treats any error as a silent drop. With a
+// chaos plan attached the write is routed through the fault layer, which
+// may drop, duplicate, reorder, corrupt or tear it.
 func (nd *node) send(to int, pkt machine.Packet) error {
+	if nd.chaos != nil {
+		return nd.chaos.send(nd, to, pkt)
+	}
 	pc, err := nd.conn(to)
 	if err != nil {
 		return err
@@ -140,8 +185,35 @@ func (nd *node) send(to int, pkt machine.Packet) error {
 	return nil
 }
 
+// writeFrame writes pre-framed bytes to rank to. With reset set, only the
+// first half of the frame is written and the connection is torn down —
+// the receiver sees a torn frame and drops the stream (the chaos layer's
+// connection-reset fault).
+func (nd *node) writeFrame(to int, frame []byte, reset bool) error {
+	pc, err := nd.conn(to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	if reset {
+		pc.conn.Write(frame[:len(frame)/2])
+		pc.mu.Unlock()
+		nd.invalidate(to, pc)
+		return nil
+	}
+	_, werr := pc.conn.Write(frame)
+	pc.mu.Unlock()
+	if werr != nil {
+		nd.invalidate(to, pc)
+		return werr
+	}
+	return nil
+}
+
 // conn returns the cached connection to rank to, redialing when the cache
-// is empty or the peer's address changed (its process was respawned).
+// is empty or the peer's address changed (its process was respawned). A
+// recent dial failure for the same address fails fast instead of paying
+// another synchronous dial timeout.
 func (nd *node) conn(to int) (*peerConn, error) {
 	addr, ok := nd.resolve(to)
 	if !ok {
@@ -156,10 +228,28 @@ func (nd *node) conn(to int) (*peerConn, error) {
 		nd.mu.Unlock()
 		return pc, nil
 	}
+	if df := nd.down[to]; df != nil && df.addr == addr && time.Now().Before(df.until) {
+		nd.mu.Unlock()
+		return nil, fmt.Errorf("netwire: rank %d down (dial backoff): %w", to, df.err)
+	}
 	nd.mu.Unlock()
 
-	c, err := net.DialTimeout(nd.network, addr, dialTimeout)
+	c, err := nd.dial(nd.network, addr, dialTimeout)
 	if err != nil {
+		nd.mu.Lock()
+		df := nd.down[to]
+		if df == nil || df.addr != addr {
+			df = &dialFailure{addr: addr, backoff: dialRetryMin}
+			nd.down[to] = df
+		} else if df.backoff < dialRetryMax {
+			df.backoff *= 2
+			if df.backoff > dialRetryMax {
+				df.backoff = dialRetryMax
+			}
+		}
+		df.err = err
+		df.until = time.Now().Add(df.backoff)
+		nd.mu.Unlock()
 		return nil, err
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
@@ -173,6 +263,7 @@ func (nd *node) conn(to int) (*peerConn, error) {
 		c.Close()
 		return nil, errNodeClosed
 	}
+	delete(nd.down, to) // the peer answered; drop any failure entry
 	if cur := nd.conns[to]; cur != nil {
 		if cur.addr == addr {
 			// A concurrent sender won the dial race; use its connection.
@@ -242,16 +333,35 @@ type Wire struct {
 // socket layer is a lossy wire, and loss is resolved above it.
 func (w *Wire) Deliver(pkt machine.Packet) {
 	if pkt.To == w.nd.rank {
+		// A socket-crossing packet gets a freshly allocated payload in
+		// DecodeFrame; a self-delivered one must match, or it would alias
+		// the sender's buffer — which payload pooling may hand back to the
+		// sender and mutate while the packet still sits in the inbox.
+		if len(pkt.Data) > 0 {
+			pkt.Data = append([]float64(nil), pkt.Data...)
+		}
 		w.nd.inbox.Load().Push(pkt)
 		return
 	}
-	if err := w.nd.send(pkt.To, pkt); err != nil && debugDrops {
-		fmt.Fprintf(os.Stderr, "netwire: rank %d -> %d tag %d: %v\n", w.nd.rank, pkt.To, pkt.Tag, err)
+	if err := w.nd.send(pkt.To, pkt); err != nil {
+		w.nd.reportDrop(pkt, err.Error())
 	}
 }
 
-// debugDrops surfaces silently dropped sends on stdout (debugging only).
+// debugDrops surfaces silently dropped sends on stderr (debugging only);
+// the structured path is OnDrop, which the machine wires into its event
+// stream.
 var debugDrops = os.Getenv("NETWIRE_DEBUG") != ""
+
+// OnDrop registers fn to be called for every packet the socket layer
+// loses, with a short reason (machine.DropReporter).
+func (w *Wire) OnDrop(fn func(pkt machine.Packet, reason string)) {
+	if fn == nil {
+		w.nd.onDrop.Store(nil)
+		return
+	}
+	w.nd.onDrop.Store(&fn)
+}
 
 // Pull blocks for the next inbound packet; a closed abort channel wakes
 // it with ok == false.

@@ -121,6 +121,7 @@ var kindNames = map[machine.EventKind]string{
 	machine.EventRecoveryEnd:     "recovery-end",
 	machine.EventRestoreVerify:   "restore-verify",
 	machine.EventRestoreMismatch: "restore-mismatch",
+	machine.EventDrop:            "drop",
 }
 
 var kindValues = func() map[string]machine.EventKind {
